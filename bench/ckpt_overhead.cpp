@@ -1,0 +1,84 @@
+// Ablation of Table II's E1 column: failure-free execution time vs checkpoint
+// interval, decomposed into compute, halo-exchange, checkpoint-write, and
+// barrier contributions. Explains *why* shorter intervals cost more: each
+// cycle adds a (linear-algorithm) barrier over all ranks plus the halo
+// exchange the application ties to it.
+
+#include <cstdio>
+#include <optional>
+
+#include "apps/heat3d.hpp"
+#include "core/runner.hpp"
+#include "metrics/table.hpp"
+#include "util/log.hpp"
+
+using namespace exasim;
+
+namespace {
+
+// Scaled-down paper system: 4,096 ranks so the sweep runs in seconds.
+core::SimConfig machine() {
+  core::SimConfig m;
+  m.ranks = 4096;
+  m.topology = "torus:16x16x16";
+  m.net.link_latency = sim_us(1);
+  m.net.bandwidth_bytes_per_sec = 32e9;
+  m.proc.slowdown = 1000.0;
+  m.proc.reference_ns_per_unit = 1281.0;
+  m.process.fiber_stack_bytes = 64 * 1024;
+  return m;
+}
+
+double e1_seconds(int interval, bool do_halo, bool do_ckpt, std::optional<PfsParams> pfs) {
+  apps::HeatParams heat;
+  heat.nx = heat.ny = heat.nz = 256;  // 16^3 per rank.
+  heat.px = heat.py = heat.pz = 16;
+  heat.total_iterations = 1000;
+  heat.halo_interval = do_halo ? interval : 0;
+  heat.checkpoint_interval = do_ckpt ? interval : 0;
+  heat.real_compute = false;
+  core::RunnerConfig rc;
+  rc.base = machine();
+  if (pfs) rc.base.pfs = *pfs;
+  return to_seconds(core::ResilientRunner(rc, apps::make_heat3d(heat)).run().total_time);
+}
+
+}  // namespace
+
+int main() {
+  Log::set_level(LogLevel::kWarn);
+  std::printf("=== E1 decomposition: checkpoint-cycle overhead vs interval ===\n");
+  std::printf("(4,096 ranks, 1,000 iterations, free checkpoint I/O like the paper)\n\n");
+
+  const double compute_only = e1_seconds(1000, false, false, std::nullopt);
+
+  TablePrinter table({"C", "cycles", "E1", "halo part", "ckpt+barrier part", "overhead"});
+  for (int c : {1000, 500, 250, 125, 63}) {
+    const double halo_only = e1_seconds(c, true, false, std::nullopt);
+    const double full = e1_seconds(c, true, true, std::nullopt);
+    table.add_row({TablePrinter::integer(c), TablePrinter::integer(1000 / c),
+                   TablePrinter::num(full, 2) + " s",
+                   TablePrinter::num((halo_only - compute_only) * 1e3, 3) + " ms",
+                   TablePrinter::num((full - halo_only) * 1e3, 3) + " ms",
+                   TablePrinter::num(100.0 * (full - compute_only) / compute_only, 4) + " %"});
+  }
+  table.print();
+  std::printf("\ncompute-only baseline: %.2f s\n", compute_only);
+
+  // With a real parallel-file-system cost model (the paper's future-work
+  // item 4), checkpoint writes stop being free:
+  PfsParams pfs;
+  pfs.metadata_latency = sim_ms(1);
+  pfs.aggregate_bandwidth_bytes_per_sec = 100e9;  // 100 GB/s PFS.
+  std::printf("\nwith a 100 GB/s PFS model (32 KiB/rank checkpoints):\n\n");
+  TablePrinter t2({"C", "E1 (free I/O)", "E1 (PFS model)", "I/O overhead"});
+  for (int c : {500, 250, 125}) {
+    const double free_io = e1_seconds(c, true, true, std::nullopt);
+    const double pfs_io = e1_seconds(c, true, true, pfs);
+    t2.add_row({TablePrinter::integer(c), TablePrinter::num(free_io, 2) + " s",
+                TablePrinter::num(pfs_io, 2) + " s",
+                TablePrinter::num(pfs_io - free_io, 3) + " s"});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Microbenchmarks (google-benchmark) for the simulator substrate itself:
+// event-queue throughput, fiber context switches, message matching, p2p
+// round trips, and whole-machine construction — the costs that bound how
+// many simulated MPI processes one native core can carry (xSim's
+// scalability/accuracy trade-off, paper §II-A).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "fiber/fiber.hpp"
+#include "pdes/engine.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "vmpi/context.hpp"
+
+using namespace exasim;
+
+namespace {
+
+struct Quiet {
+  Quiet() { Log::set_level(LogLevel::kOff); }
+} quiet;
+
+// ---- Event queue -----------------------------------------------------------
+
+class CountingLp final : public LogicalProcess {
+ public:
+  void on_event(Engine&, Event&&) override { ++count; }
+  bool terminated() const override { return true; }
+  std::uint64_t count = 0;
+};
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    CountingLp lp;
+    engine.add_process(0, &lp);
+    Rng rng(7);
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      engine.schedule(rng.next_below(1'000'000), 0, 1, nullptr);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(lp.count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1024)->Arg(65536);
+
+// ---- Fibers ---------------------------------------------------------------
+
+void BM_FiberSwitch(benchmark::State& state) {
+  Fiber fiber([] {
+    for (;;) Fiber::yield();
+  });
+  for (auto _ : state) fiber.resume();
+  state.SetItemsProcessed(state.iterations() * 2);  // In + out.
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_FiberCreateDestroy(benchmark::State& state) {
+  for (auto _ : state) {
+    Fiber fiber([] {});
+    fiber.resume();
+    benchmark::DoNotOptimize(fiber.finished());
+  }
+}
+BENCHMARK(BM_FiberCreateDestroy);
+
+// ---- Simulated MPI ---------------------------------------------------------
+
+core::SimConfig micro_config(int ranks) {
+  core::SimConfig cfg;
+  cfg.ranks = ranks;
+  cfg.topology = "star:" + std::to_string(ranks);
+  cfg.proc.slowdown = 1.0;
+  cfg.process.fiber_stack_bytes = 64 * 1024;
+  return cfg;
+}
+
+void BM_PingPong(benchmark::State& state) {
+  const int rounds = 1000;
+  for (auto _ : state) {
+    core::Machine machine(micro_config(2), [&](vmpi::Context& ctx) {
+      std::uint64_t v = 0;
+      for (int i = 0; i < rounds; ++i) {
+        if (ctx.rank() == 0) {
+          ctx.send(1, 0, &v, sizeof v);
+          ctx.recv(1, 1, &v, sizeof v);
+        } else {
+          ctx.recv(0, 0, &v, sizeof v);
+          ctx.send(0, 1, &v, sizeof v);
+        }
+      }
+      ctx.finalize();
+    });
+    machine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_PingPong);
+
+void BM_UnexpectedQueueMatch(benchmark::State& state) {
+  // Many tagged messages arrive before the receives are posted; matching
+  // then scans the unexpected queue.
+  const int msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::Machine machine(micro_config(2), [&](vmpi::Context& ctx) {
+      std::uint64_t v = 0;
+      if (ctx.rank() == 0) {
+        for (int i = 0; i < msgs; ++i) ctx.send(1, i, &v, sizeof v);
+      } else {
+        ctx.elapse(sim_ms(10));  // Let everything arrive first.
+        for (int i = msgs - 1; i >= 0; --i) ctx.recv(0, i, &v, sizeof v);
+      }
+      ctx.finalize();
+    });
+    machine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_UnexpectedQueueMatch)->Arg(64)->Arg(512);
+
+void BM_LinearBarrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::Machine machine(micro_config(ranks), [](vmpi::Context& ctx) {
+      ctx.barrier(ctx.world());
+      ctx.finalize();
+    });
+    machine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * ranks);
+}
+BENCHMARK(BM_LinearBarrier)->Arg(64)->Arg(1024);
+
+void BM_MachineConstruction(benchmark::State& state) {
+  // Cost of standing up (and tearing down) n simulated processes.
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::Machine machine(micro_config(ranks), [](vmpi::Context& ctx) { ctx.finalize(); });
+    machine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * ranks);
+}
+BENCHMARK(BM_MachineConstruction)->Arg(1024)->Arg(16384);
+
+}  // namespace

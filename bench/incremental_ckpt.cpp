@@ -1,0 +1,125 @@
+// Extension bench (paper intro: "incremental/differential checkpointing" as
+// an advanced resilience technology): full vs incremental checkpointing cost
+// as a function of how much of the application state mutates between
+// checkpoints, and the resulting E2 under failures.
+
+#include <cstdio>
+#include <vector>
+
+#include "ckpt/incremental.hpp"
+#include "core/machine.hpp"
+#include "core/runner.hpp"
+#include "metrics/table.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "vmpi/context.hpp"
+
+using namespace exasim;
+using vmpi::Context;
+
+namespace {
+
+constexpr int kRanks = 32;
+constexpr int kCheckpoints = 10;
+constexpr std::size_t kStateBytes = 1 << 20;  // 1 MiB per rank.
+
+core::SimConfig machine() {
+  core::SimConfig m;
+  m.ranks = kRanks;
+  m.topology = "star:" + std::to_string(kRanks);
+  m.proc.slowdown = 1.0;
+  m.proc.reference_ns_per_unit = 1.0;
+  m.pfs.aggregate_bandwidth_bytes_per_sec = 1e9;  // 1 GB/s shared PFS.
+  m.pfs.metadata_latency = sim_ms(1);
+  return m;
+}
+
+/// App: mutate `change_permille` of the state blocks per step, checkpoint
+/// each step (full or incremental), report total I/O time and bytes.
+struct Outcome {
+  double io_seconds = 0;
+  double stored_mib = 0;
+};
+
+Outcome run(bool incremental, int change_permille) {
+  Outcome out;
+  core::Machine m(machine(), [&](Context& ctx) {
+    auto& services = core::services_of(ctx);
+    std::vector<std::byte> state(kStateBytes);
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      state[i] = static_cast<std::byte>((i * 7 + ctx.rank()) & 0xff);
+    }
+    ckpt::IncrementalPolicy policy;
+    policy.block_bytes = 4096;
+    policy.full_every = 1000;
+    ckpt::IncrementalCheckpointer inc(policy);
+    Rng rng(static_cast<std::uint64_t>(ctx.rank()) + 1);
+
+    SimTime io_time = 0;
+    const std::size_t blocks = kStateBytes / policy.block_bytes;
+    for (int v = 1; v <= kCheckpoints; ++v) {
+      ctx.compute(1e6);
+      // Mutate the requested fraction of blocks (all of them at 100%; random
+      // with replacement below that, like real working sets).
+      if (change_permille >= 1000) {
+        for (std::size_t b = 0; b < blocks; ++b) {
+          state[b * policy.block_bytes] ^= std::byte{0xFF};
+        }
+      } else {
+        const std::size_t to_change =
+            blocks * static_cast<std::size_t>(change_permille) / 1000;
+        for (std::size_t k = 0; k < to_change; ++k) {
+          const std::size_t block = rng.next_below(blocks);
+          state[block * policy.block_bytes] ^= std::byte{0xFF};
+        }
+      }
+      const SimTime t0 = ctx.now();
+      if (incremental) {
+        inc.write(ctx, *services.checkpoints, static_cast<std::uint64_t>(v), state,
+                  *services.pfs, ctx.size());
+      } else {
+        ckpt::write_rank_checkpoint(ctx, *services.checkpoints,
+                                    static_cast<std::uint64_t>(v), state, *services.pfs,
+                                    ctx.size());
+      }
+      io_time += ctx.now() - t0;
+      ctx.barrier(ctx.world());
+    }
+    if (ctx.rank() == 0) out.io_seconds = to_seconds(io_time);
+    ctx.finalize();
+  });
+  ckpt::CheckpointStore store(kRanks);
+  m.set_checkpoint_store(&store);
+  m.run();
+  out.stored_mib = static_cast<double>(store.total_bytes()) / (1 << 20);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Log::set_level(LogLevel::kError);
+  std::printf("=== Incremental vs full checkpointing (paper intro tech list) ===\n");
+  std::printf("(%d ranks, %d checkpoints of 1 MiB state each, 1 GB/s shared PFS)\n\n", kRanks,
+              kCheckpoints);
+
+  TablePrinter table({"state churn", "full I/O", "incremental I/O", "speedup",
+                      "stored (full)", "stored (incr)"});
+  for (int permille : {10, 100, 300, 1000}) {
+    const Outcome full = run(false, permille);
+    const Outcome inc = run(true, permille);
+    table.add_row({TablePrinter::num(permille / 10.0, 1) + " %",
+                   TablePrinter::num(full.io_seconds, 3) + " s",
+                   TablePrinter::num(inc.io_seconds, 3) + " s",
+                   TablePrinter::num(full.io_seconds / inc.io_seconds, 1) + "x",
+                   TablePrinter::num(full.stored_mib, 1) + " MiB",
+                   TablePrinter::num(inc.stored_mib, 1) + " MiB"});
+  }
+  table.print();
+  std::printf(
+      "\nIncremental checkpointing turns per-checkpoint cost from O(state) into\n"
+      "O(changed state): at low churn the rank writes a few delta blocks\n"
+      "instead of the full image — exactly the trade a co-design study must\n"
+      "price against the longer restore chains it creates.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Application MTTF vs system MTTF (the paper cites Daly et al. [45]: "in
+// this worst case scenario, the application MTTF can differ significantly
+// from the system MTTF"). Sweeps the system MTTF for a fixed application and
+// reports the experienced application MTTF_a = E2/(F+1), plus the efficiency
+// E1/E2 — the metric a co-design study optimizes.
+
+#include <cstdio>
+
+#include "apps/heat3d.hpp"
+#include "core/runner.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "util/log.hpp"
+
+using namespace exasim;
+
+namespace {
+
+core::SimConfig machine() {
+  core::SimConfig m;
+  m.ranks = 512;
+  m.topology = "torus:8x8x8";
+  m.net.link_latency = sim_us(1);
+  m.net.bandwidth_bytes_per_sec = 32e9;
+  m.proc.slowdown = 100.0;
+  m.proc.reference_ns_per_unit = 200.0;
+  return m;
+}
+
+apps::HeatParams heat() {
+  apps::HeatParams h;
+  h.nx = h.ny = h.nz = 64;
+  h.px = h.py = h.pz = 8;
+  h.total_iterations = 1000;
+  h.halo_interval = 100;
+  h.checkpoint_interval = 100;
+  h.real_compute = false;
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  Log::set_level(LogLevel::kError);
+  std::printf("=== Application MTTF vs system MTTF (worst-case schedule, [45]) ===\n");
+  std::printf("(512 ranks, heat3d, checkpoint every 100 of 1,000 iterations,\n"
+              " failures uniform within 2*MTTF per launch, 10 seeds per row)\n\n");
+
+  const double e1 = to_seconds([&] {
+    core::RunnerConfig rc;
+    rc.base = machine();
+    return core::ResilientRunner(rc, apps::make_heat3d(heat())).run().total_time;
+  }());
+  std::printf("failure-free baseline E1 = %.2f s\n\n", e1);
+
+  TablePrinter table(
+      {"MTTF_s", "mean E2", "mean F", "mean MTTF_a", "MTTF_a/MTTF_s", "efficiency E1/E2"});
+  for (double mttf_s : {64.0, 16.0, 8.0, 4.0, 2.0, 1.0}) {
+    RunningStats e2, f, mttfa;
+    for (int seed = 0; seed < 10; ++seed) {
+      core::RunnerConfig rc;
+      rc.base = machine();
+      rc.system_mttf = sim_seconds(mttf_s);
+      rc.seed = 7000 + static_cast<std::uint64_t>(seed);
+      core::RunnerResult res = core::ResilientRunner(rc, apps::make_heat3d(heat())).run();
+      e2.add(to_seconds(res.total_time));
+      f.add(res.failures);
+      mttfa.add(res.app_mttf_seconds);
+    }
+    table.add_row({TablePrinter::num(mttf_s, 0) + " s", TablePrinter::num(e2.mean(), 2) + " s",
+                   TablePrinter::num(f.mean(), 1), TablePrinter::num(mttfa.mean(), 2) + " s",
+                   TablePrinter::num(mttfa.mean() / mttf_s, 2),
+                   TablePrinter::num(e1 / e2.mean(), 2)});
+  }
+  table.print();
+  std::printf(
+      "\nAs the system MTTF approaches the per-launch runtime, failures compound:\n"
+      "E2 inflates, the experienced application MTTF diverges from the system\n"
+      "MTTF, and machine efficiency collapses — the regime exascale resilience\n"
+      "co-design has to engineer against.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Hardware/software co-design sweep: run two communication-bound workloads —
+// the halo-exchange-heavy heat application and the allreduce-heavy CG proxy —
+// on four candidate interconnect topologies and compare communication cost.
+// This is the architectural what-if loop the xSim toolkit exists for.
+//
+// Run: ./build/examples/topology_comparison
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/cgproxy.hpp"
+#include "apps/heat3d.hpp"
+#include "core/runner.hpp"
+#include "metrics/table.hpp"
+#include "util/log.hpp"
+
+using namespace exasim;
+
+namespace {
+
+core::SimConfig machine_on(const std::string& topo) {
+  core::SimConfig machine;
+  machine.ranks = 512;
+  machine.topology = topo;
+  machine.net.link_latency = sim_us(1);
+  machine.net.bandwidth_bytes_per_sec = 32e9;
+  machine.proc.slowdown = 1.0;
+  machine.proc.reference_ns_per_unit = 2.0;  // Light compute: comm-bound.
+  return machine;
+}
+
+double run_seconds(const core::SimConfig& machine, vmpi::AppMain app) {
+  core::RunnerConfig rc;
+  rc.base = machine;
+  core::RunnerResult res = core::ResilientRunner(rc, std::move(app)).run();
+  return to_seconds(res.total_time);
+}
+
+}  // namespace
+
+int main() {
+  Log::set_level(LogLevel::kWarn);
+
+  // Halo-exchange workload: nearest-neighbor messages every iteration.
+  apps::HeatParams heat;
+  heat.nx = heat.ny = heat.nz = 64;  // 8^3 per rank on 512 ranks.
+  heat.px = heat.py = heat.pz = 8;
+  heat.total_iterations = 100;
+  heat.halo_interval = 1;
+  heat.checkpoint_interval = 100;
+  heat.real_compute = false;
+
+  // Global-reduction workload: two allreduces per iteration.
+  apps::CgProxyParams cg;
+  cg.total_iterations = 100;
+  cg.checkpoint_interval = 0;
+  cg.local_elements = 256;
+  cg.work_units_per_element = 2.0;
+
+  const std::vector<std::string> topologies = {
+      "torus:8x8x8",
+      "mesh:8x8x8",
+      "fattree:64x8",
+      "star:512",
+  };
+
+  TablePrinter table({"topology", "diameter", "heat (halo)", "cg (allreduce)"});
+  for (const auto& topo : topologies) {
+    const auto machine = machine_on(topo);
+    const double t_heat = run_seconds(machine, apps::make_heat3d(heat));
+    const double t_cg = run_seconds(machine, apps::make_cgproxy(cg));
+    table.add_row({topo, TablePrinter::integer(make_topology(topo)->diameter()),
+                   TablePrinter::num(t_heat * 1e3, 3) + " ms",
+                   TablePrinter::num(t_cg * 1e3, 3) + " ms"});
+  }
+  std::printf("512 ranks, one per node, 1 us link latency, communication-bound:\n\n");
+  table.print();
+  std::printf(
+      "\nNearest-neighbor halo traffic favors the torus (rank-adjacent nodes are\n"
+      "1 hop; the fat tree pays 2-4 hops for the same neighbors). The linear\n"
+      "collectives of the CG proxy are serialization-bound at the root's NIC —\n"
+      "~512 sequential messages per phase — so interconnect diameter barely\n"
+      "moves them: a co-design argument for better collective algorithms, not\n"
+      "more expensive networks.\n");
+  return 0;
+}

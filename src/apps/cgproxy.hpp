@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "vmpi/process.hpp"
+
+namespace exasim::apps {
+
+/// Allreduce-heavy iterative-solver proxy (CG-style): per iteration every
+/// rank does local work, then the ranks perform two global dot-product
+/// allreduces; every `checkpoint_interval` iterations the solver state is
+/// checkpointed (write + barrier + old-checkpoint delete, like heat3d).
+///
+/// Models the second major HPC workload class the paper's co-design tool
+/// targets: global-synchronization-bound solvers, where collective cost —
+/// not halo exchange — dominates the communication phase.
+struct CgProxyParams {
+  int total_iterations = 50;
+  int checkpoint_interval = 10;   ///< 0 = no checkpoints.
+  std::size_t local_elements = 1024;  ///< Local vector length (dot products).
+  double work_units_per_element = 1.0;
+};
+
+struct CgProxyReport {
+  int completed_iterations = 0;
+  int restarts_used = 0;
+  double residual = 0;  ///< Final global dot value (verification).
+};
+
+vmpi::AppMain make_cgproxy(CgProxyParams params, std::vector<CgProxyReport>* reports = nullptr);
+
+}  // namespace exasim::apps

@@ -1,0 +1,390 @@
+#include "apps/heat3d.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/machine.hpp"
+
+namespace exasim::apps {
+namespace {
+
+using vmpi::Context;
+using vmpi::Err;
+using vmpi::RequestHandle;
+
+/// Face directions in deterministic order: -x, +x, -y, +y, -z, +z.
+constexpr int kDirs = 6;
+constexpr int opposite(int dir) { return dir ^ 1; }
+constexpr int kHaloTagBase = 100;
+
+struct Decomposition {
+  int px, py, pz;       // process grid
+  int lx, ly, lz;       // local interior dims
+  int ix, iy, iz;       // my process coordinates
+  int neighbor[kDirs];  // world rank per direction, -1 at physical boundary
+
+  std::size_t points() const {
+    return static_cast<std::size_t>(lx) * static_cast<std::size_t>(ly) *
+           static_cast<std::size_t>(lz);
+  }
+  std::size_t face_bytes(int dir) const {
+    const std::size_t d = dir / 2 == 0   ? static_cast<std::size_t>(ly) * lz
+                          : dir / 2 == 1 ? static_cast<std::size_t>(lx) * lz
+                                         : static_cast<std::size_t>(lx) * ly;
+    return d * sizeof(double);
+  }
+};
+
+Decomposition decompose(const HeatParams& p, int rank, int size) {
+  if (p.px * p.py * p.pz != size) {
+    throw std::invalid_argument("heat3d: process grid does not match world size");
+  }
+  if (p.nx % p.px != 0 || p.ny % p.py != 0 || p.nz % p.pz != 0) {
+    throw std::invalid_argument("heat3d: grid does not divide evenly");
+  }
+  Decomposition d{};
+  d.px = p.px;
+  d.py = p.py;
+  d.pz = p.pz;
+  d.lx = p.nx / p.px;
+  d.ly = p.ny / p.py;
+  d.lz = p.nz / p.pz;
+  d.ix = rank % p.px;
+  d.iy = (rank / p.px) % p.py;
+  d.iz = rank / (p.px * p.py);
+  auto rank_of = [&](int x, int y, int z) -> int {
+    if (x < 0 || x >= p.px || y < 0 || y >= p.py || z < 0 || z >= p.pz) return -1;
+    return x + y * p.px + z * p.px * p.py;
+  };
+  d.neighbor[0] = rank_of(d.ix - 1, d.iy, d.iz);
+  d.neighbor[1] = rank_of(d.ix + 1, d.iy, d.iz);
+  d.neighbor[2] = rank_of(d.ix, d.iy - 1, d.iz);
+  d.neighbor[3] = rank_of(d.ix, d.iy + 1, d.iz);
+  d.neighbor[4] = rank_of(d.ix, d.iy, d.iz - 1);
+  d.neighbor[5] = rank_of(d.ix, d.iy, d.iz + 1);
+  return d;
+}
+
+/// Real-mode grid with one halo layer. Index (x,y,z) in [-1, l?] maps into a
+/// dense (l+2)^3 block.
+class Grid {
+ public:
+  Grid(const Decomposition& d) : d_(d) {
+    const std::size_t n = static_cast<std::size_t>(d.lx + 2) * (d.ly + 2) * (d.lz + 2);
+    cur_.assign(n, 0.0);
+    next_.assign(n, 0.0);
+  }
+
+  double& at(std::vector<double>& a, int x, int y, int z) {
+    const std::size_t sx = static_cast<std::size_t>(d_.lx) + 2;
+    const std::size_t sy = static_cast<std::size_t>(d_.ly) + 2;
+    return a[(static_cast<std::size_t>(z + 1) * sy + (y + 1)) * sx + (x + 1)];
+  }
+  const double& at(const std::vector<double>& a, int x, int y, int z) const {
+    return const_cast<Grid*>(this)->at(const_cast<std::vector<double>&>(a), x, y, z);
+  }
+
+  void init(const HeatParams& p) {
+    // Deterministic initial condition from global coordinates.
+    for (int z = 0; z < d_.lz; ++z) {
+      for (int y = 0; y < d_.ly; ++y) {
+        for (int x = 0; x < d_.lx; ++x) {
+          const int gx = d_.ix * d_.lx + x;
+          const int gy = d_.iy * d_.ly + y;
+          const int gz = d_.iz * d_.lz + z;
+          at(cur_, x, y, z) =
+              std::sin(0.1 * gx) + std::cos(0.13 * gy) + std::sin(0.07 * gz + 1.0);
+        }
+      }
+    }
+    (void)p;
+  }
+
+  void step() {
+    constexpr double kAlpha = 0.1;
+    for (int z = 0; z < d_.lz; ++z) {
+      for (int y = 0; y < d_.ly; ++y) {
+        for (int x = 0; x < d_.lx; ++x) {
+          const double c = at(cur_, x, y, z);
+          const double sum = at(cur_, x - 1, y, z) + at(cur_, x + 1, y, z) +
+                             at(cur_, x, y - 1, z) + at(cur_, x, y + 1, z) +
+                             at(cur_, x, y, z - 1) + at(cur_, x, y, z + 1);
+          at(next_, x, y, z) = c + kAlpha * (sum - 6.0 * c);
+        }
+      }
+    }
+    // Carry the face-halo planes into the buffer about to become current:
+    // halo state must be single-sourced (not alternate between the two
+    // buffers) or a restart from a checkpointed interior could never
+    // reproduce it.
+    for (int dir = 0; dir < 6; ++dir) {
+      iterate_face(dir, /*halo=*/true,
+                   [&](int x, int y, int z) { at(next_, x, y, z) = at(cur_, x, y, z); });
+    }
+    cur_.swap(next_);
+  }
+
+  void pack_face(int dir, std::vector<double>& buf) const {
+    buf.clear();
+    iterate_face(dir, /*halo=*/false,
+                 [&](int x, int y, int z) { buf.push_back(at(cur_, x, y, z)); });
+  }
+
+  void unpack_face(int dir, const std::vector<double>& buf) {
+    std::size_t i = 0;
+    iterate_face(dir, /*halo=*/true, [&](int x, int y, int z) { at(cur_, x, y, z) = buf[i++]; });
+  }
+
+  double checksum() const {
+    double s = 0;
+    for (int z = 0; z < d_.lz; ++z) {
+      for (int y = 0; y < d_.ly; ++y) {
+        for (int x = 0; x < d_.lx; ++x) s += at(cur_, x, y, z);
+      }
+    }
+    return s;
+  }
+
+  /// Interior values, packed (for checkpointing).
+  std::vector<double> interior() const {
+    std::vector<double> out;
+    out.reserve(d_.points());
+    for (int z = 0; z < d_.lz; ++z) {
+      for (int y = 0; y < d_.ly; ++y) {
+        for (int x = 0; x < d_.lx; ++x) out.push_back(at(cur_, x, y, z));
+      }
+    }
+    return out;
+  }
+
+  void restore_interior(const double* data) {
+    std::size_t i = 0;
+    for (int z = 0; z < d_.lz; ++z) {
+      for (int y = 0; y < d_.ly; ++y) {
+        for (int x = 0; x < d_.lx; ++x) at(cur_, x, y, z) = data[i++];
+      }
+    }
+  }
+
+  double* raw() { return cur_.data(); }
+  std::size_t raw_bytes() const { return cur_.size() * sizeof(double); }
+
+ private:
+  template <typename F>
+  void iterate_face(int dir, bool halo, F&& f) const {
+    // Interior face (halo=false) is the boundary plane we send; halo plane
+    // (halo=true) is where the neighbor's data lands.
+    const int axis = dir / 2;
+    const bool low = (dir % 2) == 0;
+    int fx = low ? 0 : d_.lx - 1;
+    int fy = low ? 0 : d_.ly - 1;
+    int fz = low ? 0 : d_.lz - 1;
+    if (halo) {
+      fx = low ? -1 : d_.lx;
+      fy = low ? -1 : d_.ly;
+      fz = low ? -1 : d_.lz;
+    }
+    if (axis == 0) {
+      for (int z = 0; z < d_.lz; ++z)
+        for (int y = 0; y < d_.ly; ++y) f(fx, y, z);
+    } else if (axis == 1) {
+      for (int z = 0; z < d_.lz; ++z)
+        for (int x = 0; x < d_.lx; ++x) f(x, fy, z);
+    } else {
+      for (int y = 0; y < d_.ly; ++y)
+        for (int x = 0; x < d_.lx; ++x) f(x, y, fz);
+    }
+  }
+
+  const Decomposition& d_;
+  std::vector<double> cur_, next_;
+};
+
+void set_phase(const HeatParams& p, int rank, HeatPhase phase) {
+  if (p.telemetry != nullptr) {
+    p.telemetry->last_phase[static_cast<std::size_t>(rank)] = phase;
+  }
+}
+
+/// Halo exchange with the (up to 6) face neighbors. Returns the first error
+/// the underlying MPI operations reported (the error handler of the world
+/// communicator already ran — under kFatal this call aborts instead of
+/// returning).
+Err halo_exchange(Context& ctx, const Decomposition& d, Grid* grid,
+                  std::vector<std::vector<double>>& send_bufs,
+                  std::vector<std::vector<double>>& recv_bufs) {
+  auto& world = ctx.world();
+  std::vector<RequestHandle> handles;
+  handles.reserve(2 * kDirs);
+
+  for (int dir = 0; dir < kDirs; ++dir) {
+    if (d.neighbor[dir] < 0) continue;
+    const std::size_t bytes = d.face_bytes(dir);
+    if (grid != nullptr) {
+      recv_bufs[static_cast<std::size_t>(dir)].assign(bytes / sizeof(double), 0.0);
+      handles.push_back(ctx.irecv(world, d.neighbor[dir], kHaloTagBase + opposite(dir),
+                                  recv_bufs[static_cast<std::size_t>(dir)].data(), bytes));
+    } else {
+      handles.push_back(
+          ctx.irecv_modeled(world, d.neighbor[dir], kHaloTagBase + opposite(dir), bytes));
+    }
+  }
+  for (int dir = 0; dir < kDirs; ++dir) {
+    if (d.neighbor[dir] < 0) continue;
+    const std::size_t bytes = d.face_bytes(dir);
+    if (grid != nullptr) {
+      grid->pack_face(dir, send_bufs[static_cast<std::size_t>(dir)]);
+      handles.push_back(ctx.isend(world, d.neighbor[dir], kHaloTagBase + dir,
+                                  send_bufs[static_cast<std::size_t>(dir)].data(), bytes));
+    } else {
+      handles.push_back(ctx.isend_modeled(world, d.neighbor[dir], kHaloTagBase + dir, bytes));
+    }
+  }
+
+  Err e = ctx.waitall(world, handles, nullptr);
+  if (e == Err::kSuccess && grid != nullptr) {
+    for (int dir = 0; dir < kDirs; ++dir) {
+      if (d.neighbor[dir] < 0) continue;
+      grid->unpack_face(dir, recv_bufs[static_cast<std::size_t>(dir)]);
+    }
+  }
+  return e;
+}
+
+void heat3d_main(Context& ctx, const HeatParams& p, std::vector<HeatReport>* reports) {
+  const int rank = ctx.rank();
+  auto& services = core::services_of(ctx);
+  if (services.checkpoints == nullptr) {
+    throw std::logic_error("heat3d requires a checkpoint store service");
+  }
+  auto& store = *services.checkpoints;
+  const PfsModel& pfs = *services.pfs;
+  const int clients = ctx.size();
+
+  set_phase(p, rank, HeatPhase::kStartup);
+  const Decomposition d = decompose(p, rank, ctx.size());
+  const std::size_t state_bytes = d.points() * sizeof(double);
+
+  std::unique_ptr<Grid> grid;
+  if (p.real_compute) {
+    grid = std::make_unique<Grid>(d);
+    grid->init(p);
+    if (p.register_memory) ctx.register_memory("heat3d.grid", grid->raw(), grid->raw_bytes());
+  }
+  std::vector<std::vector<double>> send_bufs(kDirs), recv_bufs(kDirs);
+
+  // Restart path (paper §V-B): "it automatically loads the last checkpoint".
+  int start_iteration = 1;
+  int restarts_used = 0;
+  std::uint64_t restored_version = 0;
+  if (auto payload = ckpt::read_latest_checkpoint(ctx, store, rank, pfs, clients,
+                                                  &restored_version)) {
+    HeatCkptHeader header{};
+    if (payload->size() < sizeof(header)) throw std::runtime_error("corrupt checkpoint header");
+    std::memcpy(&header, payload->data(), sizeof(header));
+    if (header.magic != HeatCkptHeader{}.magic || header.rank != rank) {
+      throw std::runtime_error("checkpoint mismatch");
+    }
+    start_iteration = header.iteration + 1;
+    restarts_used = 1;
+    if (grid) {
+      if (payload->size() != sizeof(header) + state_bytes) {
+        throw std::runtime_error("checkpoint payload size mismatch");
+      }
+      grid->restore_interior(
+          reinterpret_cast<const double*>(payload->data() + sizeof(header)));
+    }
+    // Stale complete sets older than the one restored are garbage-collected.
+    for (std::uint64_t v : store.versions()) {
+      if (v < restored_version) store.remove_file(v, rank);
+    }
+    // Checkpoints persist interiors only; rebuild the halo layers so the
+    // physics after restart is bit-identical to the uninterrupted run.
+    set_phase(p, rank, HeatPhase::kHalo);
+    if (halo_exchange(ctx, d, grid.get(), send_bufs, recv_bufs) != Err::kSuccess) return;
+  }
+
+  std::uint64_t prev_ckpt_version = restarts_used != 0 ? restored_version : 0;
+  bool have_prev_ckpt = restarts_used != 0;
+
+  for (int it = start_iteration; it <= p.total_iterations; ++it) {
+    // Computation phase — by far the longest (§V-D), so most failures
+    // activate here and are *detected* in the next halo exchange.
+    set_phase(p, rank, HeatPhase::kCompute);
+    if (grid) grid->step();
+    ctx.compute(static_cast<double>(d.points()) * p.work_units_per_point);
+
+    const bool do_halo = p.halo_interval > 0 && it % p.halo_interval == 0;
+    const bool do_ckpt =
+        (p.checkpoint_interval > 0 && it % p.checkpoint_interval == 0) ||
+        it == p.total_iterations;
+
+    if (do_halo) {
+      set_phase(p, rank, HeatPhase::kHalo);
+      if (halo_exchange(ctx, d, grid.get(), send_bufs, recv_bufs) != Err::kSuccess) return;
+    }
+
+    if (do_ckpt) {
+      // Checkpoint phase: write file, then global barrier, then delete the
+      // previous checkpoint ("such that the previous checkpoint can be
+      // deleted safely", §V-B).
+      set_phase(p, rank, HeatPhase::kCheckpoint);
+      HeatCkptHeader header;
+      header.rank = rank;
+      header.iteration = it;
+      header.nx = p.nx;
+      header.ny = p.ny;
+      header.nz = p.nz;
+      std::vector<std::byte> payload(sizeof(header));
+      std::memcpy(payload.data(), &header, sizeof(header));
+      if (grid) {
+        const auto interior = grid->interior();
+        const auto* bytes = reinterpret_cast<const std::byte*>(interior.data());
+        payload.insert(payload.end(), bytes, bytes + state_bytes);
+      }
+      ckpt::write_rank_checkpoint(ctx, store, static_cast<std::uint64_t>(it), payload, pfs,
+                                  clients, sizeof(header) + state_bytes);
+
+      set_phase(p, rank, HeatPhase::kBarrier);
+      if (ctx.barrier(ctx.world()) != Err::kSuccess) return;
+
+      set_phase(p, rank, HeatPhase::kCleanup);
+      if (have_prev_ckpt && prev_ckpt_version != static_cast<std::uint64_t>(it)) {
+        store.remove_file(prev_ckpt_version, rank);
+      }
+      prev_ckpt_version = static_cast<std::uint64_t>(it);
+      have_prev_ckpt = true;
+    }
+  }
+
+  set_phase(p, rank, HeatPhase::kDone);
+  if (reports != nullptr) {
+    auto& rep = reports->at(static_cast<std::size_t>(rank));
+    rep.completed_iterations = p.total_iterations;
+    rep.restarts_used = restarts_used;
+    rep.checksum = grid ? grid->checksum() : 0.0;
+  }
+  ctx.finalize();
+}
+
+}  // namespace
+
+const char* to_string(HeatPhase p) {
+  switch (p) {
+    case HeatPhase::kStartup: return "startup";
+    case HeatPhase::kCompute: return "compute";
+    case HeatPhase::kHalo: return "halo";
+    case HeatPhase::kCheckpoint: return "checkpoint";
+    case HeatPhase::kBarrier: return "barrier";
+    case HeatPhase::kCleanup: return "cleanup";
+    case HeatPhase::kDone: return "done";
+  }
+  return "?";
+}
+
+vmpi::AppMain make_heat3d(HeatParams params, std::vector<HeatReport>* reports) {
+  return [params, reports](Context& ctx) { heat3d_main(ctx, params, reports); };
+}
+
+}  // namespace exasim::apps

@@ -1,0 +1,70 @@
+#include "apps/ring.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "vmpi/context.hpp"
+
+namespace exasim::apps {
+namespace {
+
+constexpr int kRingTag = 7;
+
+void ring_main(vmpi::Context& ctx, const RingParams& p, std::vector<RingReport>* reports) {
+  if (p.payload_bytes < sizeof(std::uint64_t)) {
+    throw std::invalid_argument("ring payload too small");
+  }
+  const int rank = ctx.rank();
+  const int size = ctx.size();
+  const int next = (rank + 1) % size;
+  const int prev = (rank + size - 1) % size;
+  const double t0 = ctx.wtime();
+
+  std::vector<std::byte> buf(p.payload_bytes);
+  std::uint64_t token = 0;
+
+  for (int lap = 0; lap < p.laps; ++lap) {
+    if (rank == 0) {
+      if (lap == 0) token = 1;  // Rank 0 injects the token.
+      std::memcpy(buf.data(), &token, sizeof(token));
+      if (ctx.send(ctx.world(), next, kRingTag, buf.data(), buf.size()) !=
+          vmpi::Err::kSuccess) {
+        return;
+      }
+      if (ctx.recv(ctx.world(), prev, kRingTag, buf.data(), buf.size()) !=
+          vmpi::Err::kSuccess) {
+        return;
+      }
+      std::memcpy(&token, buf.data(), sizeof(token));
+      ++token;  // Rank 0's own increment closes the lap.
+    } else {
+      if (ctx.recv(ctx.world(), prev, kRingTag, buf.data(), buf.size()) !=
+          vmpi::Err::kSuccess) {
+        return;
+      }
+      std::memcpy(&token, buf.data(), sizeof(token));
+      ++token;
+      std::memcpy(buf.data(), &token, sizeof(token));
+      if (p.compute_units_per_hop > 0) ctx.compute(p.compute_units_per_hop);
+      if (ctx.send(ctx.world(), next, kRingTag, buf.data(), buf.size()) !=
+          vmpi::Err::kSuccess) {
+        return;
+      }
+    }
+  }
+
+  if (reports != nullptr) {
+    auto& rep = reports->at(static_cast<std::size_t>(rank));
+    rep.final_token = token;
+    rep.elapsed_seconds = ctx.wtime() - t0;
+  }
+  ctx.finalize();
+}
+
+}  // namespace
+
+vmpi::AppMain make_ring(RingParams params, std::vector<RingReport>* reports) {
+  return [params, reports](vmpi::Context& ctx) { ring_main(ctx, params, reports); };
+}
+
+}  // namespace exasim::apps

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vmpi/process.hpp"
+
+namespace exasim::apps {
+
+/// Simple token-ring application: a counter circulates rank 0 -> 1 -> ... ->
+/// n-1 -> 0 for `laps` laps; every hop increments it. Used by tests and the
+/// quickstart example; exercises blocking p2p, wraparound routing, and
+/// failure detection on explicit-source receives.
+struct RingParams {
+  int laps = 1;
+  std::size_t payload_bytes = 8;  ///< >= 8; the counter rides in front.
+  double compute_units_per_hop = 0.0;
+};
+
+struct RingReport {
+  std::uint64_t final_token = 0;  ///< Valid at rank 0 after completion.
+  double elapsed_seconds = 0;
+};
+
+vmpi::AppMain make_ring(RingParams params, std::vector<RingReport>* reports = nullptr);
+
+}  // namespace exasim::apps

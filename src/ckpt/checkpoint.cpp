@@ -1,0 +1,146 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <stdexcept>
+
+namespace exasim::ckpt {
+
+CheckpointStore::CheckpointStore(int expected_ranks) : expected_ranks_(expected_ranks) {
+  if (expected_ranks <= 0) throw std::invalid_argument("expected_ranks <= 0");
+}
+
+void CheckpointStore::begin(std::uint64_t version, int rank) {
+  if (rank < 0 || rank >= expected_ranks_) throw std::invalid_argument("bad rank");
+  VersionSet& set = versions_[version];
+  auto [it, inserted] = set.files.try_emplace(rank);
+  if (!inserted) {
+    if (it->second.finalized) --set.finalized_count;
+    it->second = File{};
+  }
+}
+
+void CheckpointStore::append(std::uint64_t version, int rank,
+                             std::span<const std::byte> data) {
+  auto vit = versions_.find(version);
+  if (vit == versions_.end()) throw std::logic_error("append before begin");
+  auto fit = vit->second.files.find(rank);
+  if (fit == vit->second.files.end()) throw std::logic_error("append before begin");
+  if (fit->second.finalized) throw std::logic_error("append after finalize");
+  fit->second.data.insert(fit->second.data.end(), data.begin(), data.end());
+}
+
+void CheckpointStore::finalize(std::uint64_t version, int rank) {
+  auto vit = versions_.find(version);
+  if (vit == versions_.end()) throw std::logic_error("finalize before begin");
+  auto fit = vit->second.files.find(rank);
+  if (fit == vit->second.files.end()) throw std::logic_error("finalize before begin");
+  if (!fit->second.finalized) {
+    fit->second.finalized = true;
+    ++vit->second.finalized_count;
+  }
+}
+
+bool CheckpointStore::file_exists(std::uint64_t version, int rank) const {
+  auto vit = versions_.find(version);
+  return vit != versions_.end() && vit->second.files.count(rank) != 0;
+}
+
+bool CheckpointStore::file_finalized(std::uint64_t version, int rank) const {
+  auto vit = versions_.find(version);
+  if (vit == versions_.end()) return false;
+  auto fit = vit->second.files.find(rank);
+  return fit != vit->second.files.end() && fit->second.finalized;
+}
+
+bool CheckpointStore::set_complete(std::uint64_t version) const {
+  auto vit = versions_.find(version);
+  if (vit == versions_.end()) return false;
+  return static_cast<int>(vit->second.files.size()) == expected_ranks_ &&
+         vit->second.finalized_count == expected_ranks_;
+}
+
+std::optional<std::uint64_t> CheckpointStore::latest_complete() const {
+  for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
+    if (set_complete(it->first)) return it->first;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::byte> CheckpointStore::read(std::uint64_t version, int rank) const {
+  auto vit = versions_.find(version);
+  if (vit == versions_.end()) return {};
+  auto fit = vit->second.files.find(rank);
+  if (fit == vit->second.files.end()) return {};
+  return fit->second.data;
+}
+
+void CheckpointStore::remove_file(std::uint64_t version, int rank) {
+  auto vit = versions_.find(version);
+  if (vit == versions_.end()) return;
+  auto fit = vit->second.files.find(rank);
+  if (fit == vit->second.files.end()) return;
+  if (fit->second.finalized) --vit->second.finalized_count;
+  vit->second.files.erase(fit);
+  if (vit->second.files.empty()) versions_.erase(vit);
+}
+
+void CheckpointStore::remove_version(std::uint64_t version) { versions_.erase(version); }
+
+int CheckpointStore::scrub() {
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [version, files] : versions_) {
+    if (!set_complete(version)) doomed.push_back(version);
+  }
+  for (auto v : doomed) versions_.erase(v);
+  return static_cast<int>(doomed.size());
+}
+
+std::vector<std::uint64_t> CheckpointStore::versions() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(versions_.size());
+  for (const auto& [v, files] : versions_) out.push_back(v);
+  return out;
+}
+
+std::size_t CheckpointStore::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [v, set] : versions_) {
+    for (const auto& [r, f] : set.files) total += f.data.size();
+  }
+  return total;
+}
+
+std::size_t CheckpointStore::file_count() const {
+  std::size_t total = 0;
+  for (const auto& [v, set] : versions_) total += set.files.size();
+  return total;
+}
+
+vmpi::Err write_rank_checkpoint(vmpi::Context& ctx, CheckpointStore& store,
+                                std::uint64_t version, std::span<const std::byte> payload,
+                                const PfsModel& pfs, int concurrent_clients,
+                                std::size_t logical_bytes) {
+  const int rank = ctx.rank();
+  if (logical_bytes == 0) logical_bytes = payload.size();
+  store.begin(version, rank);
+  // The write time elapses before the file is finalized: a failure activating
+  // inside elapse() unwinds this fiber and leaves the file corrupted.
+  ctx.elapse(pfs.write_time(logical_bytes, concurrent_clients));
+  store.append(version, rank, payload);
+  store.finalize(version, rank);
+  return vmpi::Err::kSuccess;
+}
+
+std::optional<std::vector<std::byte>> read_latest_checkpoint(vmpi::Context& ctx,
+                                                             CheckpointStore& store, int rank,
+                                                             const PfsModel& pfs,
+                                                             int concurrent_clients,
+                                                             std::uint64_t* version_out) {
+  auto version = store.latest_complete();
+  if (!version) return std::nullopt;
+  auto data = store.read(*version, rank);
+  ctx.elapse(pfs.read_time(data.size(), concurrent_clients));
+  if (version_out != nullptr) *version_out = *version;
+  return data;
+}
+
+}  // namespace exasim::ckpt

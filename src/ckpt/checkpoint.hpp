@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "iomodel/pfs.hpp"
+#include "util/time.hpp"
+#include "vmpi/context.hpp"
+
+namespace exasim::ckpt {
+
+/// Application-level checkpoint storage, simulating the parallel file system
+/// the paper's heat application checkpoints to (§V-B).
+///
+/// A checkpoint *set* is one version: one file per rank. A file is
+/// *corrupted* if it exists but was never finalized ("checkpoint file that
+/// exists, but misses some information"); a set is *incomplete* if some
+/// ranks' files are missing ("missing checkpoint files due to a failure
+/// during checkpointing"). Only sets where every rank's file exists and is
+/// finalized are valid restart candidates.
+///
+/// The store outlives individual simulation runs — it is the persistent
+/// state that survives an abort/restart cycle.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(int expected_ranks);
+
+  int expected_ranks() const { return expected_ranks_; }
+
+  /// Creates rank's file in `version`, unfinalized (overwrites any previous
+  /// attempt by the same rank for this version).
+  void begin(std::uint64_t version, int rank);
+
+  /// Appends payload bytes to rank's file.
+  void append(std::uint64_t version, int rank, std::span<const std::byte> data);
+
+  /// Marks rank's file complete.
+  void finalize(std::uint64_t version, int rank);
+
+  bool file_exists(std::uint64_t version, int rank) const;
+  bool file_finalized(std::uint64_t version, int rank) const;
+
+  /// True if every rank's file exists and is finalized.
+  bool set_complete(std::uint64_t version) const;
+
+  /// Highest version with a complete set, if any.
+  std::optional<std::uint64_t> latest_complete() const;
+
+  /// File contents (valid whether finalized or not; empty if missing).
+  std::vector<std::byte> read(std::uint64_t version, int rank) const;
+
+  /// Deletes one rank's file ("the previous checkpoint can be deleted
+  /// safely" after the post-checkpoint barrier).
+  void remove_file(std::uint64_t version, int rank);
+
+  /// Deletes a whole version.
+  void remove_version(std::uint64_t version);
+
+  /// Deletes every incomplete/corrupted version — the paper's pre-restart
+  /// shell script ("incomplete checkpoints ... are deleted using a shell
+  /// script"). Returns the number of versions removed.
+  int scrub();
+
+  std::vector<std::uint64_t> versions() const;
+  std::size_t total_bytes() const;
+  std::size_t file_count() const;
+
+ private:
+  struct File {
+    std::vector<std::byte> data;
+    bool finalized = false;
+  };
+  /// Per-version bookkeeping. The finalized counter makes set_complete()
+  /// O(1): at restart every one of n ranks asks for the latest complete
+  /// version, and an O(n) scan per ask would make restarts O(n^2).
+  struct VersionSet {
+    std::map<int, File> files;
+    int finalized_count = 0;
+  };
+  int expected_ranks_;
+  std::map<std::uint64_t, VersionSet> versions_;
+};
+
+/// Writes one rank's checkpoint file, charging the PFS model's write time to
+/// the process's virtual clock *before* the file is finalized — so a process
+/// failure during the write leaves a corrupted (unfinalized) file, exactly
+/// the §V-D failure mode.
+///
+/// `concurrent_clients` models all ranks checkpointing together.
+/// `logical_bytes` is the size charged to the PFS model — pass the real
+/// application state size when the stored payload is a small modeled header
+/// (skeleton apps); 0 means "use payload.size()".
+vmpi::Err write_rank_checkpoint(vmpi::Context& ctx, CheckpointStore& store,
+                                std::uint64_t version, std::span<const std::byte> payload,
+                                const PfsModel& pfs, int concurrent_clients,
+                                std::size_t logical_bytes = 0);
+
+/// Reads this rank's file from the latest complete set, charging PFS read
+/// time; returns nullopt when no complete checkpoint exists (cold start).
+std::optional<std::vector<std::byte>> read_latest_checkpoint(vmpi::Context& ctx,
+                                                             CheckpointStore& store, int rank,
+                                                             const PfsModel& pfs,
+                                                             int concurrent_clients,
+                                                             std::uint64_t* version_out = nullptr);
+
+}  // namespace exasim::ckpt

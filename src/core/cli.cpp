@@ -1,0 +1,176 @@
+#include "core/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/log.hpp"
+#include "util/parse.hpp"
+
+namespace exasim::core {
+namespace {
+
+bool parse_double(const std::string& v, double* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stod(v, &pos);
+    return pos == v.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_int(const std::string& v, long long* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stoll(v, &pos);
+    return pos == v.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "options:\n"
+      "  --ranks=N --topology=SPEC --ranks-per-node=N\n"
+      "  --link-latency=DUR --bandwidth=B/s --overhead=DUR\n"
+      "  --eager-threshold=BYTES --failure-timeout=DUR\n"
+      "  --slowdown=X --ns-per-unit=X\n"
+      "  --pfs-bandwidth=B/s --pfs-latency=DUR\n"
+      "  --failures=R@T,R@T   (or env EXASIM_FAILURES)\n"
+      "  --mttf=DUR --distribution=uniform2m|exponential|weibull\n"
+      "  --seed=N --max-restarts=N --stack-bytes=N\n"
+      "  --measured-compute --sim-time-file=PATH --verbose\n";
+}
+
+std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::string* error) {
+  CliOptions opts;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+
+  // Environment schedule first; an explicit --failures= overrides it
+  // (command line wins over environment, like xSim).
+  if (const char* env = std::getenv(kFailureScheduleEnvVar)) {
+    auto specs = parse_failure_schedule(env);
+    if (!specs) return fail(std::string("malformed ") + kFailureScheduleEnvVar);
+    opts.machine.failures = *specs;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      opts.positional.push_back(arg);
+      continue;
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    if (auto eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    }
+
+    long long ll = 0;
+    double d = 0;
+    if (key == "ranks" && parse_int(value, &ll)) {
+      opts.machine.ranks = static_cast<int>(ll);
+    } else if (key == "topology" && !value.empty()) {
+      opts.machine.topology = value;
+    } else if (key == "ranks-per-node" && parse_int(value, &ll)) {
+      opts.machine.ranks_per_node = static_cast<int>(ll);
+    } else if (key == "link-latency") {
+      auto t = parse_duration(value);
+      if (!t) return fail("bad --link-latency");
+      opts.machine.net.link_latency = *t;
+    } else if (key == "bandwidth" && parse_double(value, &d)) {
+      opts.machine.net.bandwidth_bytes_per_sec = d;
+      opts.machine.net.injection_bandwidth_bytes_per_sec = d;
+    } else if (key == "overhead") {
+      auto t = parse_duration(value);
+      if (!t) return fail("bad --overhead");
+      opts.machine.net.per_message_overhead = *t;
+    } else if (key == "eager-threshold" && parse_int(value, &ll)) {
+      opts.machine.net.eager_threshold = static_cast<std::size_t>(ll);
+    } else if (key == "failure-timeout") {
+      auto t = parse_duration(value);
+      if (!t) return fail("bad --failure-timeout");
+      opts.machine.net.failure_timeout = *t;
+    } else if (key == "slowdown" && parse_double(value, &d)) {
+      opts.machine.proc.slowdown = d;
+    } else if (key == "ns-per-unit" && parse_double(value, &d)) {
+      opts.machine.proc.reference_ns_per_unit = d;
+    } else if (key == "pfs-bandwidth" && parse_double(value, &d)) {
+      opts.machine.pfs.aggregate_bandwidth_bytes_per_sec = d;
+    } else if (key == "pfs-latency") {
+      auto t = parse_duration(value);
+      if (!t) return fail("bad --pfs-latency");
+      opts.machine.pfs.metadata_latency = *t;
+    } else if (key == "failures") {
+      auto specs = parse_failure_schedule(value);
+      if (!specs) return fail("bad --failures");
+      opts.machine.failures = *specs;
+    } else if (key == "mttf") {
+      auto t = parse_duration(value);
+      if (!t) return fail("bad --mttf");
+      opts.mttf = *t;
+    } else if (key == "distribution") {
+      if (value == "uniform2m") {
+        opts.distribution = FailureDistribution::kUniform2Mttf;
+      } else if (value == "exponential") {
+        opts.distribution = FailureDistribution::kExponential;
+      } else if (value == "weibull") {
+        opts.distribution = FailureDistribution::kWeibull;
+      } else {
+        return fail("bad --distribution");
+      }
+    } else if (key == "seed" && parse_int(value, &ll)) {
+      opts.seed = static_cast<std::uint64_t>(ll);
+    } else if (key == "max-restarts" && parse_int(value, &ll)) {
+      opts.max_restarts = static_cast<int>(ll);
+    } else if (key == "stack-bytes" && parse_int(value, &ll)) {
+      opts.machine.process.fiber_stack_bytes = static_cast<std::size_t>(ll);
+    } else if (key == "measured-compute") {
+      opts.machine.process.measured_compute = true;
+    } else if (key == "sim-time-file") {
+      opts.sim_time_file = value;
+    } else if (key == "verbose") {
+      opts.verbose = true;
+      Log::set_level(LogLevel::kInfo);
+    } else {
+      return fail("unknown or malformed option: " + arg);
+    }
+  }
+
+  // Unless a topology was given, default to a star big enough for the rank
+  // count (the flat model every rank-pair is 2 hops away in).
+  if (opts.machine.topology == SimConfig{}.topology) {
+    const int nodes =
+        (opts.machine.ranks + opts.machine.ranks_per_node - 1) / opts.machine.ranks_per_node;
+    opts.machine.topology = "star:" + std::to_string(nodes);
+  }
+
+  for (const auto& f : opts.machine.failures) {
+    if (f.rank < 0 || f.rank >= opts.machine.ranks) {
+      return fail("failure schedule rank out of range");
+    }
+  }
+  return opts;
+}
+
+RunnerConfig runner_config_from(const CliOptions& options) {
+  RunnerConfig rc;
+  rc.base = options.machine;
+  rc.first_run_failures = options.machine.failures;
+  rc.base.failures.clear();
+  rc.system_mttf = options.mttf;
+  rc.distribution = options.distribution;
+  rc.seed = options.seed;
+  rc.max_restarts = options.max_restarts;
+  rc.sim_time_file = options.sim_time_file;
+  return rc;
+}
+
+}  // namespace exasim::core

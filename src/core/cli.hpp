@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/runner.hpp"
+
+namespace exasim::core {
+
+/// Command-line / environment configuration of a simulation, xSim-style.
+///
+/// The paper (§IV-B): "xSim additionally offers to pass a simulated MPI
+/// process failure schedule in the form of rank/time pairs on the command
+/// line or via an environment variable on startup. This is the typical
+/// method for injecting failures."
+///
+/// Recognized options (all `--key=value`):
+///   --ranks=N                 --topology=torus:32x32x32
+///   --ranks-per-node=N
+///   --link-latency=1us        --bandwidth=32e9        --overhead=500ns
+///   --eager-threshold=262144  --failure-timeout=100ms
+///   --slowdown=1000           --ns-per-unit=1281
+///   --pfs-bandwidth=0         --pfs-latency=0
+///   --failures=R@T,R@T        (or environment EXASIM_FAILURES)
+///   --mttf=3000s              --distribution=uniform2m|exponential|weibull
+///   --seed=N                  --max-restarts=N
+///   --stack-bytes=N           --measured-compute
+///   --sim-time-file=PATH      --verbose
+struct CliOptions {
+  SimConfig machine;
+  std::optional<SimTime> mttf;
+  FailureDistribution distribution = FailureDistribution::kUniform2Mttf;
+  std::uint64_t seed = 1;
+  int max_restarts = 10000;
+  std::string sim_time_file;
+  bool verbose = false;
+  std::vector<std::string> positional;  ///< Non-option arguments.
+};
+
+/// Parses argv plus the EXASIM_FAILURES environment variable. Returns
+/// nullopt and fills *error on malformed input.
+std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::string* error);
+
+/// The environment variable consulted for a failure schedule (paper §IV-B).
+inline constexpr const char* kFailureScheduleEnvVar = "EXASIM_FAILURES";
+
+/// One-line usage text listing the recognized options.
+std::string cli_usage();
+
+/// Builds a RunnerConfig from parsed options (failures from the schedule go
+/// into the first launch; random failures come from --mttf).
+RunnerConfig runner_config_from(const CliOptions& options);
+
+}  // namespace exasim::core

@@ -1,0 +1,212 @@
+#include "core/machine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "netmodel/topology.hpp"
+#include "util/log.hpp"
+#include "vmpi/context.hpp"
+
+namespace exasim::core {
+
+Machine::Machine(SimConfig config, vmpi::AppMain app)
+    : config_(std::move(config)), app_(std::move(app)) {
+  if (config_.ranks <= 0) throw std::invalid_argument("ranks <= 0");
+  for (const auto& f : config_.failures) {
+    if (f.rank < 0 || f.rank >= config_.ranks) {
+      throw std::invalid_argument("failure schedule rank out of range");
+    }
+  }
+  for (const auto& s : config_.soft_errors) {
+    if (s.rank < 0 || s.rank >= config_.ranks) {
+      throw std::invalid_argument("soft error rank out of range");
+    }
+  }
+
+  if (config_.network) {
+    network_ = config_.network;
+  } else {
+    std::shared_ptr<const Topology> topo = make_topology(config_.topology);
+    const int needed_nodes =
+        (config_.ranks + config_.ranks_per_node - 1) / config_.ranks_per_node;
+    if (topo->node_count() < needed_nodes) {
+      throw std::invalid_argument("topology too small for rank count");
+    }
+    network_ = std::make_shared<NetworkModel>(std::move(topo), config_.net);
+  }
+  fabric_ = std::make_unique<vmpi::Fabric>(network_, config_.ranks_per_node);
+  proc_model_ = std::make_unique<ProcessorModel>(config_.proc);
+  pfs_model_ = std::make_unique<PfsModel>(config_.pfs);
+  if (config_.power) {
+    energy_ = std::make_unique<EnergyLedger>(config_.ranks, *config_.power);
+  }
+  if (config_.trace) {
+    trace_ = std::make_unique<vmpi::MemoryTraceSink>();
+  }
+
+  services_.pfs = pfs_model_.get();
+  services_.energy = energy_.get();
+  services_.run_start_time = config_.initial_time;
+}
+
+Machine::~Machine() = default;
+
+SimResult Machine::run() {
+  // Build one simulated MPI process per rank. The application entry point is
+  // wrapped so every process sees the machine services.
+  processes_.clear();
+  processes_.reserve(static_cast<std::size_t>(config_.ranks));
+  for (int r = 0; r < config_.ranks; ++r) {
+    auto proc = std::make_unique<vmpi::SimProcess>(
+        r, config_.ranks, &engine_, fabric_.get(), proc_model_.get(), this, &registry_, app_,
+        config_.process, config_.initial_time);
+    proc->context().services = &services_;
+    if (energy_) proc->attach_energy(energy_.get());
+    if (trace_) proc->attach_trace(trace_.get());
+    engine_.add_process(r, proc.get());
+    processes_.push_back(std::move(proc));
+  }
+
+  // Inject the failure schedule (paper §IV-B): per-process time of failure +
+  // an activation event so blocked processes fail on time.
+  for (const auto& f : config_.failures) {
+    auto& proc = *processes_[static_cast<std::size_t>(f.rank)];
+    proc.set_time_of_failure(std::min(proc.time_of_failure(), f.time));
+    engine_.schedule(f.time, f.rank, vmpi::kEvFailureActivation, nullptr,
+                     EventPriority::kControl);
+  }
+  for (const auto& s : config_.soft_errors) {
+    processes_[static_cast<std::size_t>(s.rank)]->schedule_bit_flip(s.time, s.bit_index);
+  }
+
+  // Start every process at the (possibly restored) initial virtual time.
+  for (int r = 0; r < config_.ranks; ++r) {
+    engine_.schedule(config_.initial_time, r, vmpi::kEvStart, nullptr);
+  }
+
+  engine_.run();
+
+  // Collect results.
+  SimResult result;
+  RunningStats end_times;
+  for (const auto& proc : processes_) {
+    switch (proc->outcome()) {
+      case vmpi::ProcOutcome::kFinished: ++result.finished_count; break;
+      case vmpi::ProcOutcome::kFailed: ++result.failed_count; break;
+      case vmpi::ProcOutcome::kAborted: ++result.aborted_count; break;
+      case vmpi::ProcOutcome::kRunning: break;  // Deadlocked.
+    }
+    if (proc->outcome() != vmpi::ProcOutcome::kRunning) {
+      end_times.add(to_seconds(proc->end_time()));
+      result.max_end_time = std::max(result.max_end_time, proc->end_time());
+    }
+  }
+  result.min_end_time = sim_seconds(end_times.min());
+  result.avg_end_time_sec = end_times.mean();
+  result.activated_failures = activated_;
+  result.abort_time = abort_time_;
+  result.abort_origin = abort_origin_;
+  result.events_processed = engine_.events_processed();
+  if (energy_) result.total_energy_joules = energy_->total_joules();
+  for (const auto& proc : processes_) {
+    result.total_busy_time += proc->busy_time();
+    result.total_comm_time += proc->comm_time();
+  }
+  const double accounted =
+      static_cast<double>(result.total_busy_time) + static_cast<double>(result.total_comm_time);
+  if (accounted > 0) {
+    result.compute_fraction = static_cast<double>(result.total_busy_time) / accounted;
+  }
+
+  result.deadlocked_ranks = engine_.unterminated();
+  if (!result.deadlocked_ranks.empty()) {
+    result.outcome = SimResult::Outcome::kDeadlock;
+    EXASIM_WARN() << "simulation deadlocked with " << result.deadlocked_ranks.size()
+                  << " blocked processes";
+  } else if (abort_time_.has_value()) {
+    result.outcome = SimResult::Outcome::kAborted;
+  } else if (result.failed_count > 0 && result.finished_count < config_.ranks) {
+    // Failures without an abort (e.g. ULFM recovery did not complete
+    // everywhere) still count as an aborted execution if anyone is missing.
+    result.outcome = result.finished_count + result.failed_count == config_.ranks
+                         ? SimResult::Outcome::kCompleted
+                         : SimResult::Outcome::kAborted;
+  } else {
+    result.outcome = SimResult::Outcome::kCompleted;
+  }
+
+  if (config_.print_stats) {
+    // Shutdown timing statistics: minimum, maximum, and average simulated
+    // MPI process time (paper §IV-D).
+    EXASIM_INFO() << "simulated process times: min=" << end_times.min()
+                  << "s max=" << end_times.max() << "s avg=" << end_times.mean() << "s";
+  }
+  return result;
+}
+
+void Machine::process_failed(vmpi::SimProcess& proc, SimTime when) {
+  // Informational message on the command line (paper §IV-B).
+  EXASIM_INFO() << "simulated MPI process failure: rank " << proc.world_rank() << " at "
+                << format_sim_time(when);
+  engine_.mark_dead(proc.world_rank());
+  activated_.push_back(FailureSpec{proc.world_rank(), when});
+
+  // Simulator-internal broadcast: every simulated process learns the rank
+  // and time of failure (paper §IV-B).
+  for (const auto& p : processes_) {
+    if (p->world_rank() == proc.world_rank()) continue;
+    auto payload = std::make_unique<vmpi::FailureNoticePayload>();
+    payload->failed_rank = proc.world_rank();
+    payload->time_of_failure = when;
+    engine_.schedule(when, p->world_rank(), vmpi::kEvFailureNotice, std::move(payload),
+                     EventPriority::kControl);
+  }
+}
+
+void Machine::abort_called(vmpi::SimProcess& proc, SimTime when) {
+  EXASIM_INFO() << "simulated MPI_Abort: rank " << proc.world_rank() << " at "
+                << format_sim_time(when);
+  if (!abort_time_.has_value() || when < *abort_time_) {
+    abort_time_ = when;
+    abort_origin_ = proc.world_rank();
+  }
+  for (const auto& p : processes_) {
+    if (p->world_rank() == proc.world_rank()) continue;
+    auto payload = std::make_unique<vmpi::AbortNoticePayload>();
+    payload->origin_rank = proc.world_rank();
+    payload->time_of_abort = when;
+    engine_.schedule(when, p->world_rank(), vmpi::kEvAbortNotice, std::move(payload),
+                     EventPriority::kControl);
+  }
+}
+
+void Machine::comm_revoked(vmpi::SimProcess& proc, int comm_id, SimTime when) {
+  for (const auto& p : processes_) {
+    if (p->world_rank() == proc.world_rank()) continue;
+    auto payload = std::make_unique<vmpi::RevokeNoticePayload>();
+    payload->comm_id = comm_id;
+    payload->time = when;
+    engine_.schedule(when, p->world_rank(), vmpi::kEvRevokeNotice, std::move(payload),
+                     EventPriority::kControl);
+  }
+}
+
+void Machine::process_terminated(vmpi::SimProcess& proc) {
+  (void)proc;
+  if (++terminated_count_ == config_.ranks) {
+    // "The simulator terminates after all simulated MPI processes aborted"
+    // (§IV-D) — or finished/failed.
+    engine_.request_stop();
+  }
+}
+
+std::vector<vmpi::Rank> Machine::alive_world_ranks() const {
+  std::vector<vmpi::Rank> alive;
+  alive.reserve(processes_.size());
+  for (const auto& p : processes_) {
+    if (p->outcome() != vmpi::ProcOutcome::kFailed) alive.push_back(p->world_rank());
+  }
+  return alive;
+}
+
+}  // namespace exasim::core

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "iomodel/pfs.hpp"
+#include "metrics/stats.hpp"
+#include "netmodel/network.hpp"
+#include "pdes/engine.hpp"
+#include "powermodel/power.hpp"
+#include "procmodel/processor.hpp"
+#include "util/parse.hpp"
+#include "util/time.hpp"
+#include "vmpi/process.hpp"
+
+namespace exasim::core {
+
+/// One scheduled soft error: a memory bit flip in a simulated process.
+struct SoftErrorSpec {
+  int rank = -1;
+  SimTime time = 0;
+  std::uint64_t bit_index = 0;
+};
+
+/// Full configuration of one simulated machine + one application execution.
+struct SimConfig {
+  int ranks = 1;
+
+  /// Topology spec ("torus:32x32x32", "mesh:4x4x4", "fattree:16x8",
+  /// "star:64"), or leave empty and set `network` directly.
+  std::string topology = "star:1";
+  NetworkParams net;
+  int ranks_per_node = 1;
+  /// Prebuilt network model (e.g. a HierarchicalNetwork); overrides
+  /// topology/net when set.
+  std::shared_ptr<const NetworkModel> network;
+
+  ProcessorParams proc;
+  PfsParams pfs;
+  std::optional<PowerParams> power;
+  vmpi::ProcessConfig process;
+
+  /// Injected MPI process failure schedule (rank/time pairs, absolute
+  /// virtual time; paper §IV-B). Also parsable from a string/environment
+  /// variable via exasim::parse_failure_schedule.
+  std::vector<FailureSpec> failures;
+  std::vector<SoftErrorSpec> soft_errors;
+
+  /// Initial virtual clock for every process — the restart-continuity value
+  /// read back from a SimTimeFile (paper §IV-E).
+  SimTime initial_time = 0;
+
+  /// Print per-process timing statistics at shutdown (paper §IV-D).
+  bool print_stats = false;
+
+  /// Record every MPI-level operation into an in-memory trace (expensive at
+  /// scale; for performance investigation on small/medium machines).
+  bool trace = false;
+};
+
+/// Result of one simulated application execution.
+struct SimResult {
+  enum class Outcome : std::uint8_t { kCompleted, kAborted, kDeadlock };
+
+  Outcome outcome = Outcome::kCompleted;
+
+  /// Simulated time of application exit = max simulated MPI process time —
+  /// exactly what xSim persists for restart continuity (§IV-E).
+  SimTime max_end_time = 0;
+  SimTime min_end_time = 0;
+  double avg_end_time_sec = 0;
+
+  /// Failures that actually activated (rank + *actual* failure time, which
+  /// is >= the scheduled time; §IV-B).
+  std::vector<FailureSpec> activated_failures;
+
+  /// First MPI_Abort, if any.
+  std::optional<SimTime> abort_time;
+  int abort_origin = -1;
+
+  int finished_count = 0;
+  int failed_count = 0;
+  int aborted_count = 0;
+
+  std::vector<LpId> deadlocked_ranks;  ///< Non-empty only for kDeadlock.
+
+  std::uint64_t events_processed = 0;
+  double total_energy_joules = 0;  ///< 0 unless power modeling enabled.
+
+  /// Aggregate performance breakdown: virtual time spent computing vs in
+  /// communication, summed over all processes (always collected).
+  SimTime total_busy_time = 0;
+  SimTime total_comm_time = 0;
+  /// Fraction of total accounted time spent computing (1.0 if no comm).
+  double compute_fraction = 1.0;
+};
+
+/// Services exposed to simulated applications through Context::services.
+struct Services {
+  ckpt::CheckpointStore* checkpoints = nullptr;
+  const PfsModel* pfs = nullptr;
+  EnergyLedger* energy = nullptr;
+  int run_index = 0;          ///< 0 for the first launch, +1 per restart.
+  SimTime run_start_time = 0; ///< Virtual time this launch started at.
+};
+
+inline Services& services_of(vmpi::Context& ctx) {
+  return *static_cast<Services*>(ctx.services);
+}
+
+/// A simulated machine executing one application launch: builds the engine,
+/// models, and one SimProcess per simulated MPI rank; injects the failure
+/// schedule; runs to completion/abort/deadlock; reports timing statistics.
+class Machine final : public vmpi::SystemHooks {
+ public:
+  Machine(SimConfig config, vmpi::AppMain app);
+  ~Machine() override;
+
+  /// Optional external services (persistent checkpoint store etc.).
+  void set_checkpoint_store(ckpt::CheckpointStore* store) { services_.checkpoints = store; }
+  void set_run_index(int idx) { services_.run_index = idx; }
+
+  SimResult run();
+
+  /// Valid after run() when power modeling is enabled.
+  const EnergyLedger* energy() const { return energy_.get(); }
+
+  /// Valid after run() when SimConfig::trace is set.
+  const vmpi::MemoryTraceSink* trace() const { return trace_.get(); }
+
+  /// Per-rank compute/communication breakdown (valid after run()).
+  SimTime rank_busy_time(int rank) const { return processes_.at(rank)->busy_time(); }
+  SimTime rank_comm_time(int rank) const { return processes_.at(rank)->comm_time(); }
+
+  // -- SystemHooks -------------------------------------------------------
+  void process_failed(vmpi::SimProcess& proc, SimTime when) override;
+  void abort_called(vmpi::SimProcess& proc, SimTime when) override;
+  void comm_revoked(vmpi::SimProcess& proc, int comm_id, SimTime when) override;
+  void process_terminated(vmpi::SimProcess& proc) override;
+  std::vector<vmpi::Rank> alive_world_ranks() const override;
+
+ private:
+  SimConfig config_;
+  vmpi::AppMain app_;
+  Services services_;
+
+  Engine engine_;
+  vmpi::CommRegistry registry_;
+  std::shared_ptr<const NetworkModel> network_;
+  std::unique_ptr<vmpi::Fabric> fabric_;
+  std::unique_ptr<ProcessorModel> proc_model_;
+  std::unique_ptr<PfsModel> pfs_model_;
+  std::unique_ptr<EnergyLedger> energy_;
+  std::unique_ptr<vmpi::MemoryTraceSink> trace_;
+  std::vector<std::unique_ptr<vmpi::SimProcess>> processes_;
+
+  std::vector<FailureSpec> activated_;
+  std::optional<SimTime> abort_time_;
+  int abort_origin_ = -1;
+  int terminated_count_ = 0;
+};
+
+}  // namespace exasim::core

@@ -1,0 +1,82 @@
+#include "core/runner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/simtimefile.hpp"
+#include "util/log.hpp"
+
+namespace exasim::core {
+
+ResilientRunner::ResilientRunner(RunnerConfig config, vmpi::AppMain app)
+    : config_(std::move(config)), app_(std::move(app)), store_(config_.base.ranks) {
+  if (!config_.base.failures.empty() || config_.base.initial_time != 0) {
+    throw std::invalid_argument(
+        "RunnerConfig::base.failures/initial_time are managed by the runner");
+  }
+}
+
+RunnerResult ResilientRunner::run() {
+  RunnerResult result;
+  std::optional<ReliabilityModel> reliability;
+  if (config_.system_mttf) {
+    reliability.emplace(config_.distribution, *config_.system_mttf, config_.base.ranks,
+                        config_.seed);
+  }
+  std::optional<SimTimeFile> time_file;
+  if (!config_.sim_time_file.empty()) {
+    time_file.emplace(config_.sim_time_file);
+    time_file->reset();
+  }
+
+  SimTime accumulated = 0;
+  for (int launch = 0; launch <= config_.max_restarts; ++launch) {
+    SimConfig cfg = config_.base;
+    cfg.initial_time = accumulated;
+
+    // Random failure draw for this launch (paper §V-C: rank uniform, time
+    // uniform within 2*MTTF, applied to each run separately).
+    if (reliability) {
+      FailureSpec f = reliability->draw();
+      f.time += accumulated;  // Relative to launch start.
+      cfg.failures.push_back(f);
+    }
+    if (launch == 0) {
+      for (FailureSpec f : config_.first_run_failures) {
+        f.time += accumulated;
+        cfg.failures.push_back(f);
+      }
+    }
+
+    Machine machine(std::move(cfg), app_);
+    machine.set_checkpoint_store(&store_);
+    machine.set_run_index(launch);
+    SimResult run = machine.run();
+    accumulated = run.max_end_time;
+    if (time_file) time_file->save(accumulated);
+    result.run_results.push_back(run);
+    ++result.launches;
+
+    if (run.outcome == SimResult::Outcome::kCompleted) {
+      result.completed = true;
+      break;
+    }
+    if (run.outcome == SimResult::Outcome::kDeadlock) {
+      EXASIM_ERROR() << "launch " << launch << " deadlocked; stopping experiment";
+      break;
+    }
+    // Aborted: count the failure/restart cycle, scrub incomplete checkpoint
+    // sets (the paper's pre-restart shell script), and relaunch with
+    // continuous virtual time.
+    if (!run.activated_failures.empty()) ++result.failures;
+    store_.scrub();
+    accumulated += config_.restart_overhead;
+  }
+
+  result.total_time = accumulated;
+  const int denominator = result.failures + 1;
+  result.app_mttf_seconds = to_seconds(result.total_time) / denominator;
+  return result;
+}
+
+}  // namespace exasim::core

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace exasim::core {
+
+/// Persistence of the simulated exit time across simulator restarts
+/// (paper §IV-E): "xSim optionally writes out the simulated time of the
+/// application exit (maximum simulated MPI process time) to a file. This
+/// file can be read in upon restart to initialize the clock of all simulated
+/// MPI processes with this time."
+///
+/// The in-process ResilientRunner keeps the value in memory; this file form
+/// supports the paper's original operational mode where the simulator
+/// process itself is restarted (e.g. by a shell script).
+class SimTimeFile {
+ public:
+  explicit SimTimeFile(std::string path) : path_(std::move(path)) {}
+
+  /// Writes the exit time; returns false on I/O failure.
+  bool save(SimTime exit_time) const;
+
+  /// Reads the stored time; nullopt if the file is missing or malformed
+  /// (cold start).
+  std::optional<SimTime> load() const;
+
+  /// Deletes the file (fresh experiment).
+  void reset() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace exasim::core

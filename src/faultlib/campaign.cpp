@@ -1,0 +1,89 @@
+#include "faultlib/campaign.hpp"
+
+#include <stdexcept>
+
+namespace exasim::faultlib {
+namespace {
+
+/// Draws a bit index within the configured injection surface.
+std::uint64_t draw_bit(const CampaignConfig& config, const MiniVM& vm, Rng& rng) {
+  const std::uint64_t reg_bits = static_cast<std::uint64_t>(MiniVM::kRegisters) * 64;
+  const std::uint64_t pc_bits = 64;
+  const std::uint64_t mem_bits = static_cast<std::uint64_t>(vm.memory().size()) * 8;
+  switch (config.target) {
+    case InjectTarget::kRegisters:
+      return rng.next_below(reg_bits);
+    case InjectTarget::kRegistersAndPc:
+      return rng.next_below(reg_bits + pc_bits);
+    case InjectTarget::kMemory:
+      return reg_bits + pc_bits + rng.next_below(mem_bits);
+    case InjectTarget::kAll:
+      return rng.next_below(reg_bits + pc_bits + mem_bits);
+  }
+  throw std::invalid_argument("bad inject target");
+}
+
+}  // namespace
+
+const char* to_string(InjectTarget t) {
+  switch (t) {
+    case InjectTarget::kRegisters: return "registers";
+    case InjectTarget::kRegistersAndPc: return "registers+pc";
+    case InjectTarget::kMemory: return "memory";
+    case InjectTarget::kAll: return "all";
+  }
+  return "?";
+}
+
+VictimRecord run_single_victim(const CampaignConfig& config, Rng& rng) {
+  MiniVM vm = make_victim_vm(config.victim, config.memory_words);
+  VictimRecord record;
+
+  // Warm the victim up so injections land in steady state.
+  vm.run(config.steps_between_injections);
+
+  while (record.injections < config.max_injections_per_victim) {
+    // Injector: one random bit flip into the configured surface.
+    vm.flip_bit(draw_bit(config, vm, rng));
+    ++record.injections;
+
+    // Victim continues; detector watches for abnormal exit. A normal halt
+    // cannot happen — victims loop forever — so any stop is a failure.
+    const VmState state = vm.run(config.steps_between_injections);
+    if (state != VmState::kRunning) {
+      record.failed = true;
+      record.final_state = state;
+      record.steps_survived = vm.steps_executed();
+      return record;
+    }
+  }
+  record.failed = false;
+  record.final_state = VmState::kRunning;
+  record.steps_survived = vm.steps_executed();
+  return record;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  if (config.victims <= 0) throw std::invalid_argument("victims <= 0");
+  CampaignResult result;
+  result.victims = config.victims;
+  Rng rng(config.seed);
+
+  for (int v = 0; v < config.victims; ++v) {
+    Rng victim_rng = rng.split();  // Independent per-victim stream.
+    VictimRecord record = run_single_victim(config, victim_rng);
+    result.total_injections += static_cast<std::uint64_t>(record.injections);
+    if (record.failed) {
+      ++result.failed_victims;
+      result.injections_to_failure.add(static_cast<double>(record.injections));
+      result.failure_modes.add(to_string(record.final_state));
+    } else {
+      ++result.survivors;
+      result.failure_modes.add("survived");
+    }
+    result.records.push_back(record);
+  }
+  return result;
+}
+
+}  // namespace exasim::faultlib

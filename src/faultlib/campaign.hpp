@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "faultlib/programs.hpp"
+#include "metrics/stats.hpp"
+#include "util/rng.hpp"
+
+namespace exasim::faultlib {
+
+/// Which architectural state the injector flips bits in. Finject's
+/// ptrace-based injector targeted "the core image and registers of a victim
+/// process"; kRegistersAndPc mirrors its register experiments (Table I).
+enum class InjectTarget : std::uint8_t {
+  kRegisters,       ///< General-purpose registers only.
+  kRegistersAndPc,  ///< Registers + program counter (ptrace GETREGS surface).
+  kMemory,          ///< Victim memory image only.
+  kAll,             ///< Registers + PC + memory.
+};
+
+const char* to_string(InjectTarget t);
+
+/// Fault-injection campaign configuration (the Finject experiment of the
+/// paper's Table I: 100 victims, register bit flips until victim failure,
+/// at most 100 injections per victim).
+struct CampaignConfig {
+  VictimKind victim = VictimKind::kChecksum;
+  std::size_t memory_words = 64;
+  int victims = 100;
+  int max_injections_per_victim = 100;  ///< Finject's "arbitrary maximum".
+  std::uint64_t steps_between_injections = 2000;
+  InjectTarget target = InjectTarget::kRegistersAndPc;
+  std::uint64_t seed = 0xF1A7;
+};
+
+/// Per-victim record: the detector's report on the victim's exit.
+struct VictimRecord {
+  bool failed = false;
+  int injections = 0;           ///< Injections performed into this victim.
+  VmState final_state = VmState::kRunning;
+  std::uint64_t steps_survived = 0;
+};
+
+/// Campaign summary — the analyzer role: counts injections and detections.
+struct CampaignResult {
+  SampleStats injections_to_failure;  ///< Over failed victims only.
+  LabelCounter failure_modes;         ///< Crash-state census.
+  int victims = 0;
+  int failed_victims = 0;
+  int survivors = 0;                  ///< Reached the injection cap alive.
+  std::uint64_t total_injections = 0;
+  std::vector<VictimRecord> records;
+};
+
+/// Runs the campaign: for each victim, alternate "run N instructions" /
+/// "inject one random bit flip" until the detector observes an abnormal exit
+/// or the injection cap is reached. Deterministic for a given config.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+/// One victim instance (exposed for tests).
+VictimRecord run_single_victim(const CampaignConfig& config, Rng& rng);
+
+}  // namespace exasim::faultlib

@@ -1,0 +1,134 @@
+#include "faultlib/minivm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace exasim::faultlib {
+
+std::string to_string(VmState s) {
+  switch (s) {
+    case VmState::kRunning: return "running";
+    case VmState::kHalted: return "halted";
+    case VmState::kBadPc: return "bad-pc";
+    case VmState::kBadOpcode: return "bad-opcode";
+    case VmState::kBadAccess: return "bad-access";
+    case VmState::kDivByZero: return "div-by-zero";
+  }
+  return "?";
+}
+
+MiniVM::MiniVM(std::vector<Instr> program, std::size_t memory_bytes)
+    : prog_(std::move(program)), mem_(memory_bytes, 0), regs_(kRegisters, 0) {
+  if (prog_.empty()) throw std::invalid_argument("empty program");
+}
+
+VmState MiniVM::step() {
+  if (state_ != VmState::kRunning) return state_;
+  if (pc_ >= prog_.size()) {
+    state_ = VmState::kBadPc;
+    return state_;
+  }
+  const Instr& in = prog_[pc_];
+  ++steps_;
+  ++pc_;
+
+  auto reg_ok = [&](std::uint8_t r) { return r < kRegisters; };
+  if (!reg_ok(in.a) || !reg_ok(in.b) || !reg_ok(in.c)) {
+    state_ = VmState::kBadOpcode;
+    return state_;
+  }
+  auto& ra = regs_[in.a];
+  const std::uint64_t rb = regs_[in.b];
+  const std::uint64_t rc = regs_[in.c];
+
+  auto mem_addr = [&](std::uint64_t base) -> std::int64_t {
+    const std::uint64_t addr = base + static_cast<std::uint64_t>(in.imm);
+    if (addr % 8 != 0 || addr + 8 > mem_.size()) return -1;
+    return static_cast<std::int64_t>(addr);
+  };
+
+  switch (in.op) {
+    case Op::kHalt:
+      state_ = VmState::kHalted;
+      --pc_;
+      break;
+    case Op::kLoadImm: ra = static_cast<std::uint64_t>(in.imm); break;
+    case Op::kMov: ra = rb; break;
+    case Op::kAdd: ra = rb + rc; break;
+    case Op::kSub: ra = rb - rc; break;
+    case Op::kMul: ra = rb * rc; break;
+    case Op::kDiv:
+      if (rc == 0) {
+        state_ = VmState::kDivByZero;
+      } else {
+        ra = rb / rc;
+      }
+      break;
+    case Op::kAnd: ra = rb & rc; break;
+    case Op::kOr: ra = rb | rc; break;
+    case Op::kXor: ra = rb ^ rc; break;
+    case Op::kShl: ra = rb << (rc & 63); break;
+    case Op::kShr: ra = rb >> (rc & 63); break;
+    case Op::kLoad: {
+      const std::int64_t addr = mem_addr(rb);
+      if (addr < 0) {
+        state_ = VmState::kBadAccess;
+      } else {
+        std::memcpy(&ra, mem_.data() + addr, 8);
+      }
+      break;
+    }
+    case Op::kStore: {
+      const std::int64_t addr = mem_addr(rb);
+      if (addr < 0) {
+        state_ = VmState::kBadAccess;
+      } else {
+        std::memcpy(mem_.data() + addr, &ra, 8);
+      }
+      break;
+    }
+    case Op::kJmp: pc_ = static_cast<std::uint64_t>(in.imm); break;
+    case Op::kJz:
+      if (ra == 0) pc_ = static_cast<std::uint64_t>(in.imm);
+      break;
+    case Op::kJnz:
+      if (ra != 0) pc_ = static_cast<std::uint64_t>(in.imm);
+      break;
+    case Op::kJlt:
+      if (ra < rb) pc_ = static_cast<std::uint64_t>(in.imm);
+      break;
+    case Op::kAddImm: ra = rb + static_cast<std::uint64_t>(in.imm); break;
+    default:
+      state_ = VmState::kBadOpcode;
+      break;
+  }
+  return state_;
+}
+
+VmState MiniVM::run(std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps && state_ == VmState::kRunning; ++i) step();
+  return state_;
+}
+
+std::uint64_t MiniVM::state_bits() const {
+  return static_cast<std::uint64_t>(kRegisters) * 64 + 64 +
+         static_cast<std::uint64_t>(mem_.size()) * 8;
+}
+
+void MiniVM::flip_bit(std::uint64_t bit_index) {
+  bit_index %= state_bits();
+  const std::uint64_t reg_bits = static_cast<std::uint64_t>(kRegisters) * 64;
+  if (bit_index < reg_bits) {
+    regs_[bit_index / 64] ^= 1ull << (bit_index % 64);
+    return;
+  }
+  bit_index -= reg_bits;
+  if (bit_index < 64) {
+    pc_ ^= 1ull << bit_index;
+    return;
+  }
+  bit_index -= 64;
+  mem_[bit_index / 8] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
+}
+
+}  // namespace exasim::faultlib

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exasim::faultlib {
+
+/// Register-machine opcode set. Deliberately small but "real": arithmetic,
+/// logic, memory, and control flow — enough that random register/PC/memory
+/// bit flips produce the full spectrum of outcomes a ptrace-based injector
+/// sees on a native victim (crash, hang, silent data corruption, masked).
+enum class Op : std::uint8_t {
+  kHalt = 0,
+  kLoadImm,   // r[a] = imm
+  kMov,       // r[a] = r[b]
+  kAdd,       // r[a] = r[b] + r[c]
+  kSub,       // r[a] = r[b] - r[c]
+  kMul,       // r[a] = r[b] * r[c]
+  kDiv,       // r[a] = r[b] / r[c]; r[c] == 0 -> crash
+  kAnd,       // r[a] = r[b] & r[c]
+  kOr,        // r[a] = r[b] | r[c]
+  kXor,       // r[a] = r[b] ^ r[c]
+  kShl,       // r[a] = r[b] << (r[c] & 63)
+  kShr,       // r[a] = r[b] >> (r[c] & 63)
+  kLoad,      // r[a] = mem64[r[b] + imm]; misaligned/oob -> crash
+  kStore,     // mem64[r[b] + imm] = r[a]
+  kJmp,       // pc = imm
+  kJz,        // if (r[a] == 0) pc = imm
+  kJnz,       // if (r[a] != 0) pc = imm
+  kJlt,       // if (r[a] < r[b]) pc = imm
+  kAddImm,    // r[a] = r[b] + imm
+};
+
+struct Instr {
+  Op op = Op::kHalt;
+  std::uint8_t a = 0, b = 0, c = 0;
+  std::int64_t imm = 0;
+};
+
+/// Why a VM stopped.
+enum class VmState : std::uint8_t {
+  kRunning = 0,
+  kHalted,        ///< Executed kHalt.
+  kBadPc,         ///< PC outside the program.
+  kBadOpcode,     ///< Corrupted instruction stream.
+  kBadAccess,     ///< Out-of-bounds / misaligned memory access.
+  kDivByZero,
+};
+
+std::string to_string(VmState s);
+
+/// The victim: a tiny deterministic register VM with a byte-addressable
+/// memory and word (8-byte) loads/stores.
+///
+/// 64 x 64-bit architectural registers: victim programs live in the low
+/// handful, the rest stay cold — mirroring a real ptrace(2)-reachable
+/// register surface (GPRs + flags + segments + x87/SSE state, ~90 x 64 bits
+/// on x86-64) where most injected register bits are dead at injection time.
+/// The live/dead ratio is what sets the mean injections-to-failure of a
+/// campaign; 64 registers is conservative relative to a real process.
+class MiniVM {
+ public:
+  static constexpr int kRegisters = 64;
+
+  MiniVM(std::vector<Instr> program, std::size_t memory_bytes);
+
+  /// Executes up to `max_steps` instructions; returns the state afterwards
+  /// (kRunning if the budget ran out — the hang-detection path).
+  VmState run(std::uint64_t max_steps);
+
+  /// Executes exactly one instruction.
+  VmState step();
+
+  VmState state() const { return state_; }
+  std::uint64_t steps_executed() const { return steps_; }
+
+  std::uint64_t reg(int i) const { return regs_.at(static_cast<std::size_t>(i)); }
+  void set_reg(int i, std::uint64_t v) { regs_.at(static_cast<std::size_t>(i)) = v; }
+  std::uint64_t pc() const { return pc_; }
+  void set_pc(std::uint64_t pc) { pc_ = pc; }
+
+  std::vector<std::uint8_t>& memory() { return mem_; }
+  const std::vector<std::uint8_t>& memory() const { return mem_; }
+  const std::vector<Instr>& program() const { return prog_; }
+
+  /// Fault-injection surface: flips one bit in the architectural state.
+  /// Register file: 16*64 bits; then 64 PC bits; then memory bits.
+  void flip_bit(std::uint64_t bit_index);
+  std::uint64_t state_bits() const;
+
+ private:
+  std::vector<Instr> prog_;
+  std::vector<std::uint8_t> mem_;
+  std::vector<std::uint64_t> regs_;
+  std::uint64_t pc_ = 0;
+  std::uint64_t steps_ = 0;
+  VmState state_ = VmState::kRunning;
+};
+
+}  // namespace exasim::faultlib

@@ -1,0 +1,138 @@
+#include "faultlib/programs.hpp"
+
+#include <stdexcept>
+
+namespace exasim::faultlib {
+namespace {
+
+/// Minimal assembler: emit instructions, record label positions, patch
+/// forward jumps afterwards. Jump targets are instruction indices.
+class Asm {
+ public:
+  int here() const { return static_cast<int>(code_.size()); }
+
+  int emit(Op op, int a = 0, int b = 0, int c = 0, std::int64_t imm = 0) {
+    code_.push_back(Instr{op, static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                          static_cast<std::uint8_t>(c), imm});
+    return here() - 1;
+  }
+
+  void patch(int at, std::int64_t imm) { code_.at(static_cast<std::size_t>(at)).imm = imm; }
+
+  std::vector<Instr> take() { return std::move(code_); }
+
+ private:
+  std::vector<Instr> code_;
+};
+
+std::vector<Instr> checksum_program(std::size_t words) {
+  // r0 digest, r1 byte offset, r2 limit, r3 loaded word, r4 = 8,
+  // r5 = mixing prime, r6 = 0 (store base).
+  const auto limit = static_cast<std::int64_t>(words * 8);
+  Asm a;
+  a.emit(Op::kLoadImm, 4, 0, 0, 8);
+  a.emit(Op::kLoadImm, 5, 0, 0, static_cast<std::int64_t>(0x9E3779B97F4A7C15ull));
+  a.emit(Op::kLoadImm, 6, 0, 0, 0);
+  const int outer = a.here();
+  a.emit(Op::kLoadImm, 0, 0, 0, 0);
+  a.emit(Op::kLoadImm, 1, 0, 0, 0);
+  a.emit(Op::kLoadImm, 2, 0, 0, limit);
+  const int loop = a.here();
+  a.emit(Op::kLoad, 3, 1, 0, 0);       // r3 = mem[r1]
+  a.emit(Op::kXor, 0, 0, 3, 0);        // digest ^= r3
+  a.emit(Op::kMul, 0, 0, 5, 0);        // digest *= prime
+  a.emit(Op::kAdd, 1, 1, 4, 0);        // offset += 8
+  a.emit(Op::kJlt, 1, 2, 0, loop);     // while offset < limit
+  a.emit(Op::kStore, 0, 6, 0, limit - 8);  // write digest into the last word
+  a.emit(Op::kJmp, 0, 0, 0, outer);    // forever
+  return a.take();
+}
+
+std::vector<Instr> sort_program(std::size_t words) {
+  // r15 = 8, r4/r6 = LCG constants, r3 = LCG state, r1 byte offset,
+  // r2 limit, r7 swap flag, r8/r9 compared words.
+  const auto limit = static_cast<std::int64_t>(words * 8);
+  Asm a;
+  a.emit(Op::kLoadImm, 15, 0, 0, 8);
+  a.emit(Op::kLoadImm, 4, 0, 0, static_cast<std::int64_t>(6364136223846793005ull));
+  a.emit(Op::kLoadImm, 6, 0, 0, static_cast<std::int64_t>(1442695040888963407ull));
+  a.emit(Op::kLoadImm, 3, 0, 0, 42);
+  const int outer = a.here();
+  // Fill memory with LCG values.
+  a.emit(Op::kLoadImm, 1, 0, 0, 0);
+  a.emit(Op::kLoadImm, 2, 0, 0, limit);
+  const int fill = a.here();
+  a.emit(Op::kMul, 3, 3, 4, 0);
+  a.emit(Op::kAdd, 3, 3, 6, 0);
+  a.emit(Op::kStore, 3, 1, 0, 0);
+  a.emit(Op::kAdd, 1, 1, 15, 0);
+  a.emit(Op::kJlt, 1, 2, 0, fill);
+  // Bubble-sort passes until no swap.
+  const int pass = a.here();
+  a.emit(Op::kLoadImm, 7, 0, 0, 0);    // swapped = 0
+  a.emit(Op::kLoadImm, 1, 0, 0, 0);
+  a.emit(Op::kLoadImm, 2, 0, 0, limit - 8);
+  const int inner = a.here();
+  a.emit(Op::kLoad, 8, 1, 0, 0);       // r8 = mem[r1]
+  a.emit(Op::kLoad, 9, 1, 0, 8);       // r9 = mem[r1+8]
+  const int jswap = a.emit(Op::kJlt, 9, 8, 0, 0);  // if r9 < r8 -> swap
+  const int jnext = a.emit(Op::kJmp, 0, 0, 0, 0);  // -> next
+  const int swap = a.here();
+  a.patch(jswap, swap);
+  a.emit(Op::kStore, 9, 1, 0, 0);
+  a.emit(Op::kStore, 8, 1, 0, 8);
+  a.emit(Op::kLoadImm, 7, 0, 0, 1);    // swapped = 1
+  const int next = a.here();
+  a.patch(jnext, next);
+  a.emit(Op::kAdd, 1, 1, 15, 0);
+  a.emit(Op::kJlt, 1, 2, 0, inner);
+  a.emit(Op::kJnz, 7, 0, 0, pass);     // another pass if swapped
+  a.emit(Op::kJmp, 0, 0, 0, outer);    // refill & resort forever
+  return a.take();
+}
+
+std::vector<Instr> counter_program() {
+  // r0 counter, r1 = 1, r2 = 0 (store base).
+  Asm a;
+  a.emit(Op::kLoadImm, 0, 0, 0, 0);
+  a.emit(Op::kLoadImm, 1, 0, 0, 1);
+  a.emit(Op::kLoadImm, 2, 0, 0, 0);
+  const int loop = a.here();
+  a.emit(Op::kAdd, 0, 0, 1, 0);
+  a.emit(Op::kStore, 0, 2, 0, 0);
+  a.emit(Op::kJmp, 0, 0, 0, loop);
+  return a.take();
+}
+
+}  // namespace
+
+const char* to_string(VictimKind k) {
+  switch (k) {
+    case VictimKind::kChecksum: return "checksum";
+    case VictimKind::kSort: return "sort";
+    case VictimKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+std::vector<Instr> build_victim(VictimKind kind, std::size_t memory_words) {
+  if (memory_words < 2) throw std::invalid_argument("victim needs >= 2 memory words");
+  switch (kind) {
+    case VictimKind::kChecksum: return checksum_program(memory_words);
+    case VictimKind::kSort: return sort_program(memory_words);
+    case VictimKind::kCounter: return counter_program();
+  }
+  throw std::invalid_argument("bad victim kind");
+}
+
+MiniVM make_victim_vm(VictimKind kind, std::size_t memory_words) {
+  MiniVM vm(build_victim(kind, memory_words), memory_words * 8);
+  // Deterministic nonzero initial memory so checksum work is meaningful.
+  auto& mem = vm.memory();
+  for (std::size_t i = 0; i < mem.size(); ++i) {
+    mem[i] = static_cast<std::uint8_t>((i * 131 + 17) & 0xff);
+  }
+  return vm;
+}
+
+}  // namespace exasim::faultlib

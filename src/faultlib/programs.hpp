@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "faultlib/minivm.hpp"
+
+namespace exasim::faultlib {
+
+/// Victim workloads for injection campaigns. All run forever (outer loop), so
+/// a campaign can keep injecting until the victim fails — mirroring Finject's
+/// setup where injection into a live victim continues until abnormal exit.
+enum class VictimKind : std::uint8_t {
+  /// Rolling XOR/multiply checksum sweep over memory; writes the digest back.
+  /// Data-flow heavy: register flips quickly reach address registers.
+  kChecksum,
+  /// LCG-fill then bubble-sort memory, repeatedly. Control-flow heavy:
+  /// branches on corrupted data change paths before crashing.
+  kSort,
+  /// Tight increment/store loop. Minimal state: most data flips are masked,
+  /// PC/address flips are fatal — the "resilient" end of the spectrum.
+  kCounter,
+};
+
+const char* to_string(VictimKind k);
+
+/// Builds the victim program. `memory_words` is the number of 8-byte words
+/// the matching MiniVM must provide (pass memory_bytes = memory_words * 8).
+std::vector<Instr> build_victim(VictimKind kind, std::size_t memory_words);
+
+/// Convenience: VM pre-loaded with the victim program and correctly sized
+/// memory.
+MiniVM make_victim_vm(VictimKind kind, std::size_t memory_words);
+
+}  // namespace exasim::faultlib

@@ -1,0 +1,238 @@
+#include "fiber/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#endif
+
+namespace exasim {
+
+// ---------------------------------------------------------------------------
+// Context switching
+//
+// On x86-64 we use a minimal hand-rolled switch (callee-saved registers +
+// stack pointer, ~20 ns). glibc's swapcontext costs ~0.5 us because it
+// saves/restores the signal mask with two rt_sigprocmask system calls per
+// switch — at millions of simulated-process context switches per run that
+// dominates the whole simulation. Simulated processes never touch the signal
+// mask or change the FP environment, so the cheap switch is sufficient.
+// Other architectures fall back to ucontext.
+// ---------------------------------------------------------------------------
+
+#if defined(__x86_64__)
+
+struct Fiber::Impl {
+  void* self_sp = nullptr;    ///< Fiber's saved stack pointer while suspended.
+  void* caller_sp = nullptr;  ///< Resumer's saved stack pointer while fiber runs.
+};
+
+extern "C" void exasim_ctx_switch(void** save_sp, void* load_sp);
+
+// System V AMD64: save the six callee-saved GPRs + return address on the
+// current stack, publish rsp, adopt the new stack, restore, return.
+asm(R"(
+.text
+.globl exasim_ctx_switch
+.type exasim_ctx_switch, @function
+.align 16
+exasim_ctx_switch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size exasim_ctx_switch, .-exasim_ctx_switch
+)");
+
+#else  // Portable fallback.
+
+struct Fiber::Impl {
+  ucontext_t self{};
+  ucontext_t caller{};
+};
+
+#endif
+
+namespace {
+
+// Per-thread pointer to the running fiber, so yield() can find its way back
+// and the entry trampoline can find its Fiber.
+thread_local Fiber* t_current = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+}  // namespace
+
+#if defined(__x86_64__)
+
+namespace {
+
+/// First function every fiber executes (entered via `ret` from the switch).
+/// Must never return: when the body finishes, control switches back to the
+/// resumer permanently.
+[[noreturn]] void fiber_entry() {
+  Fiber* self = t_current;
+  self->run_body_and_exit();
+}
+
+}  // namespace
+
+void Fiber::run_body_and_exit() {
+  body_();
+  finished_ = true;
+  t_current = nullptr;
+  void* dummy = nullptr;
+  exasim_ctx_switch(&dummy, impl_->caller_sp);
+  std::abort();  // Unreachable: a finished fiber is never resumed.
+}
+
+Fiber::Fiber(Body body, std::size_t stack_bytes)
+    : impl_(std::make_unique<Impl>()), body_(std::move(body)) {
+  const std::size_t ps = page_size();
+  if (stack_bytes < 16 * 1024) stack_bytes = 16 * 1024;
+  stack_bytes_ = (stack_bytes + ps - 1) / ps * ps;
+
+  stack_ = ::mmap(nullptr, stack_bytes_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (stack_ == MAP_FAILED) {
+    stack_ = nullptr;
+    throw std::bad_alloc();
+  }
+
+  // Craft the initial stack so the first switch `ret`s into fiber_entry with
+  // the ABI-required alignment: the return-address slot sits on a 16-byte
+  // boundary, with six zeroed callee-saved slots below it.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_) + stack_bytes_;
+  std::uintptr_t ret_slot = (top - 64) & ~std::uintptr_t{15};
+  auto* slots = reinterpret_cast<void**>(ret_slot);
+  *slots = reinterpret_cast<void*>(&fiber_entry);
+  for (int i = 1; i <= 6; ++i) *(slots - i) = nullptr;  // rbp,rbx,r12-r15.
+  impl_->self_sp = slots - 6;
+}
+
+void Fiber::resume() {
+  if (finished_) throw std::logic_error("resume() on finished fiber");
+  if (t_current != nullptr) throw std::logic_error("nested fiber resume on one thread");
+  started_ = true;
+  t_current = this;
+  exasim_ctx_switch(&impl_->caller_sp, impl_->self_sp);
+  // Either the fiber yielded (t_current reset in yield) or finished
+  // (t_current reset in run_body_and_exit).
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current;
+  if (self == nullptr) throw std::logic_error("Fiber::yield outside fiber");
+  t_current = nullptr;
+  exasim_ctx_switch(&self->impl_->self_sp, self->impl_->caller_sp);
+  // Resumed again.
+}
+
+#else  // ucontext fallback
+
+void Fiber::run_body_and_exit() { std::abort(); }  // Unused on this path.
+
+namespace {
+
+void trampoline(unsigned hi, unsigned lo);
+
+}  // namespace
+
+Fiber::Fiber(Body body, std::size_t stack_bytes)
+    : impl_(std::make_unique<Impl>()), body_(std::move(body)) {
+  const std::size_t ps = page_size();
+  if (stack_bytes < 16 * 1024) stack_bytes = 16 * 1024;
+  stack_bytes_ = (stack_bytes + ps - 1) / ps * ps;
+
+  stack_ = ::mmap(nullptr, stack_bytes_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (stack_ == MAP_FAILED) {
+    stack_ = nullptr;
+    throw std::bad_alloc();
+  }
+
+  if (::getcontext(&impl_->self) != 0) {
+    ::munmap(stack_, stack_bytes_);
+    stack_ = nullptr;
+    throw std::runtime_error("getcontext failed");
+  }
+  impl_->self.uc_stack.ss_sp = stack_;
+  impl_->self.uc_stack.ss_size = stack_bytes_;
+  impl_->self.uc_link = &impl_->caller;
+
+  // makecontext only passes ints; split the this-pointer into two 32-bit
+  // halves (the portable ucontext idiom).
+  auto ptr = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&impl_->self, reinterpret_cast<void (*)()>(&trampoline), 2,
+                static_cast<unsigned>(ptr >> 32), static_cast<unsigned>(ptr & 0xffffffffu));
+}
+
+namespace {
+
+void trampoline(unsigned hi, unsigned lo) {
+  auto ptr = (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  auto* self = reinterpret_cast<Fiber*>(ptr);
+  self->ucontext_body();
+  // Returning lets ucontext switch to uc_link (the caller context).
+}
+
+}  // namespace
+
+void Fiber::resume() {
+  if (finished_) throw std::logic_error("resume() on finished fiber");
+  if (t_current != nullptr) throw std::logic_error("nested fiber resume on one thread");
+  started_ = true;
+  t_current = this;
+  if (::swapcontext(&impl_->caller, &impl_->self) != 0) {
+    t_current = nullptr;
+    throw std::runtime_error("swapcontext failed");
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current;
+  if (self == nullptr) throw std::logic_error("Fiber::yield outside fiber");
+  t_current = nullptr;
+  if (::swapcontext(&self->impl_->self, &self->impl_->caller) != 0) {
+    throw std::runtime_error("swapcontext failed");
+  }
+}
+
+#endif
+
+void Fiber::ucontext_body() {
+  body_();
+  finished_ = true;
+  t_current = nullptr;
+}
+
+Fiber::~Fiber() {
+  // Destroying a started-but-unfinished fiber abandons its stack frame; the
+  // stack memory itself is reclaimed here. Simulated process teardown always
+  // drives fibers to completion (or kills them via an unwind exception), so
+  // this is a safety net, not the normal path.
+  if (stack_ != nullptr) ::munmap(stack_, stack_bytes_);
+}
+
+bool Fiber::in_fiber() { return t_current != nullptr; }
+
+}  // namespace exasim

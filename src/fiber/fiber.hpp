@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace exasim {
+
+/// Cooperative user-space thread (xSim-style: "each simulated MPI rank has
+/// its own full thread context — CPU registers, stack, heap, and global
+/// variables" — we provide registers + stack; heap/globals are shared, which
+/// is sufficient because simulated processes keep their state in per-process
+/// objects).
+///
+/// Built on ucontext. Stacks are allocated with mmap(MAP_ANONYMOUS) and are
+/// only *lazily* committed by the kernel, so tens of thousands of fibers with
+/// generous virtual stacks stay cheap in physical memory (32,768 ranks x
+/// 128 KiB virtual is 4 GiB virtual but typically < 300 MiB resident).
+///
+/// A fiber runs until it calls Fiber::yield() (from inside the fiber) or its
+/// body returns. resume() switches into the fiber and returns when the fiber
+/// yields or finishes. Exceptions escaping the body terminate the process by
+/// design — simulated processes catch their own control-flow exceptions.
+///
+/// On x86-64 the context switch is a hand-rolled callee-saved-register swap
+/// (~20 ns); elsewhere it falls back to ucontext (whose glibc implementation
+/// pays two rt_sigprocmask system calls per switch).
+class Fiber {
+ public:
+  using Body = std::function<void()>;
+
+  /// stack_bytes is rounded up to the page size; minimum 16 KiB.
+  explicit Fiber(Body body, std::size_t stack_bytes = 128 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switches into the fiber. Must not be called from inside any fiber
+  /// belonging to the same thread, and not after finished().
+  void resume();
+
+  /// Yields from inside the currently running fiber back to its resumer.
+  static void yield();
+
+  /// True if a fiber is currently running on this thread.
+  static bool in_fiber();
+
+  bool finished() const { return finished_; }
+  bool started() const { return started_; }
+
+  /// Virtual stack bytes reserved for this fiber.
+  std::size_t stack_bytes() const { return stack_bytes_; }
+
+  /// Internal entry shims (public only for the per-platform trampolines).
+  [[noreturn]] void run_body_and_exit();
+  void ucontext_body();
+
+ private:
+  struct Impl;
+
+  std::unique_ptr<Impl> impl_;
+  Body body_;
+  void* stack_ = nullptr;
+  std::size_t stack_bytes_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace exasim

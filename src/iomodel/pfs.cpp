@@ -1,0 +1,44 @@
+#include "iomodel/pfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace exasim {
+
+PfsModel::PfsModel(PfsParams params) : params_(params) {
+  if (params_.aggregate_bandwidth_bytes_per_sec < 0 ||
+      params_.per_client_bandwidth_bytes_per_sec < 0) {
+    throw std::invalid_argument("negative bandwidth");
+  }
+}
+
+bool PfsModel::is_free() const {
+  return params_.metadata_latency == 0 && params_.aggregate_bandwidth_bytes_per_sec == 0 &&
+         params_.per_client_bandwidth_bytes_per_sec == 0;
+}
+
+SimTime PfsModel::transfer_time(std::size_t bytes, int concurrent_clients) const {
+  if (concurrent_clients < 1) throw std::invalid_argument("clients < 1");
+  if (bytes == 0) return 0;
+
+  double bw = 0;
+  if (params_.aggregate_bandwidth_bytes_per_sec > 0) {
+    bw = params_.aggregate_bandwidth_bytes_per_sec / concurrent_clients;
+  }
+  if (params_.per_client_bandwidth_bytes_per_sec > 0) {
+    bw = bw > 0 ? std::min(bw, params_.per_client_bandwidth_bytes_per_sec)
+                : params_.per_client_bandwidth_bytes_per_sec;
+  }
+  if (bw <= 0) return 0;  // Free I/O: bandwidth unmodeled.
+  return sim_seconds(static_cast<double>(bytes) / bw);
+}
+
+SimTime PfsModel::write_time(std::size_t bytes, int concurrent_clients) const {
+  return params_.metadata_latency + transfer_time(bytes, concurrent_clients);
+}
+
+SimTime PfsModel::read_time(std::size_t bytes, int concurrent_clients) const {
+  return params_.metadata_latency + transfer_time(bytes, concurrent_clients);
+}
+
+}  // namespace exasim

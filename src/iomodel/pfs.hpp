@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/time.hpp"
+
+namespace exasim {
+
+/// Parallel file system cost model (paper future-work item 4; the paper's
+/// experiments set checkpoint I/O overhead to zero because "xSim's file
+/// system model is a work in progress" — our default parameters reproduce
+/// that, and benches can turn real costs on).
+///
+/// Per-client effective bandwidth is min(per_client, aggregate / clients);
+/// every operation additionally pays one metadata round trip.
+struct PfsParams {
+  SimTime metadata_latency = 0;                 ///< Open/create/close round trip.
+  double aggregate_bandwidth_bytes_per_sec = 0; ///< 0 = free I/O (paper default).
+  double per_client_bandwidth_bytes_per_sec = 0;
+};
+
+class PfsModel {
+ public:
+  explicit PfsModel(PfsParams params);
+
+  const PfsParams& params() const { return params_; }
+
+  /// True when the model charges no time at all (the paper's configuration).
+  bool is_free() const;
+
+  /// Time for one client to write `bytes` while `concurrent_clients` clients
+  /// (including itself) stripe into the same file system.
+  SimTime write_time(std::size_t bytes, int concurrent_clients) const;
+
+  /// Reads share the same bandwidth model.
+  SimTime read_time(std::size_t bytes, int concurrent_clients) const;
+
+  /// Metadata-only operation (delete, stat).
+  SimTime metadata_time() const { return params_.metadata_latency; }
+
+ private:
+  SimTime transfer_time(std::size_t bytes, int concurrent_clients) const;
+
+  PfsParams params_;
+};
+
+}  // namespace exasim

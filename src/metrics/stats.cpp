@@ -1,0 +1,115 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace exasim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::min() const { return n_ ? min_ : 0.0; }
+double RunningStats::max() const { return n_ ? max_ : 0.0; }
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sample_variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::sample_stddev() const { return std::sqrt(sample_variance()); }
+
+void SampleStats::add(double x) {
+  running_.add(x);
+  samples_.push_back(x);
+}
+
+double SampleStats::min() const { return running_.min(); }
+double SampleStats::max() const { return running_.max(); }
+double SampleStats::mean() const { return running_.mean(); }
+double SampleStats::stddev() const { return running_.sample_stddev(); }
+
+double SampleStats::median() const { return percentile(50.0); }
+
+double SampleStats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double SampleStats::mode() const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  double best = sorted.front();
+  std::size_t best_count = 0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    if (j - i > best_count) {
+      best_count = j - i;
+      best = sorted[i];
+    }
+    i = j;
+  }
+  return best;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo) || bins == 0) throw std::invalid_argument("bad histogram bounds");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::int64_t>(frac * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+void LabelCounter::add(const std::string& label, std::uint64_t n) { counts_[label] += n; }
+
+std::uint64_t LabelCounter::count(const std::string& label) const {
+  auto it = counts_.find(label);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t LabelCounter::total() const {
+  std::uint64_t t = 0;
+  for (const auto& [k, v] : counts_) t += v;
+  return t;
+}
+
+}  // namespace exasim

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exasim {
+
+/// Streaming min/max/mean/stddev over doubles (Welford). O(1) memory; used
+/// for the simulator's per-process timing statistics printed at shutdown
+/// (paper §IV-D: minimum, maximum, average).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Population variance/stddev (what the Finject table reports).
+  double variance() const;
+  double stddev() const;
+  /// Sample (n-1) variants.
+  double sample_variance() const;
+  double sample_stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0, max_ = 0, mean_ = 0, m2_ = 0, sum_ = 0;
+};
+
+/// Retains all samples to also provide median and mode — the full statistic
+/// set of the paper's Table I (min/max/mean/median/mode/stddev).
+class SampleStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;         ///< sample stddev (n-1), matching Table I.
+  double median() const;
+  /// Most frequent value; ties broken toward the smallest value.
+  double mode() const;
+  double percentile(double p) const;  ///< p in [0,100], linear interpolation.
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  RunningStats running_;
+  std::vector<double> samples_;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples clamp to
+/// the edge bins. Used by failure-mode census benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Counter keyed by string label — the failure-mode census of §V-D.
+class LabelCounter {
+ public:
+  void add(const std::string& label, std::uint64_t n = 1);
+  std::uint64_t count(const std::string& label) const;
+  std::uint64_t total() const;
+  const std::map<std::string, std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace exasim

@@ -1,0 +1,88 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace exasim {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "");
+      os << std::string(widths[c] - row[c].size(), ' ') << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TablePrinter::print(std::FILE* out) const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), out);
+  std::fflush(out);
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("CsvWriter row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << row[c];
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_string();
+  return static_cast<bool>(f);
+}
+
+}  // namespace exasim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace exasim {
+
+/// Plain-text table printer used by every bench to print paper-style rows.
+///
+/// Columns are right-aligned; a header separator is emitted; `to_string()`
+/// gives the full rendering for logging or file capture.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+  void print(std::FILE* out = stdout) const;
+
+  /// Convenience cell formatters.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV emission for downstream plotting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+  /// Writes to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace exasim

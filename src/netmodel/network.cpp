@@ -1,0 +1,87 @@
+#include "netmodel/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace exasim {
+namespace {
+
+SimTime bytes_over_bandwidth(std::size_t bytes, double bytes_per_sec) {
+  if (bytes == 0) return 0;
+  if (bytes_per_sec <= 0.0) throw std::invalid_argument("non-positive bandwidth");
+  return sim_seconds(static_cast<double>(bytes) / bytes_per_sec);
+}
+
+}  // namespace
+
+NetworkModel::NetworkModel(std::shared_ptr<const Topology> topology, NetworkParams params)
+    : topology_(std::move(topology)), params_(params) {
+  if (!topology_) throw std::invalid_argument("null topology");
+}
+
+SimTime NetworkModel::delivery_time(int src, int dst, std::size_t bytes) const {
+  const int hops = topology_->hop_count(src, dst);
+  return params_.per_message_overhead +
+         static_cast<SimTime>(hops) * params_.link_latency +
+         bytes_over_bandwidth(bytes, params_.bandwidth_bytes_per_sec);
+}
+
+SimTime NetworkModel::sender_occupancy(std::size_t bytes) const {
+  return params_.per_message_overhead +
+         bytes_over_bandwidth(bytes, params_.injection_bandwidth_bytes_per_sec);
+}
+
+SimTime NetworkModel::failure_timeout(int src, int dst) const {
+  (void)src;
+  (void)dst;
+  return params_.failure_timeout;
+}
+
+HierarchicalNetwork::HierarchicalNetwork(std::shared_ptr<const Topology> system_topology,
+                                         NetworkParams system, NetworkParams on_node,
+                                         NetworkParams on_chip, int ranks_per_chip,
+                                         int chips_per_node)
+    : NetworkModel(std::move(system_topology), system),
+      on_node_(on_node),
+      on_chip_(on_chip),
+      ranks_per_chip_(ranks_per_chip),
+      ranks_per_node_(ranks_per_chip * chips_per_node) {
+  if (ranks_per_chip <= 0 || chips_per_node <= 0) {
+    throw std::invalid_argument("non-positive hierarchy factor");
+  }
+}
+
+HierarchicalNetwork::Level HierarchicalNetwork::level_for(int src_rank, int dst_rank) const {
+  if (src_rank / ranks_per_node_ != dst_rank / ranks_per_node_) return Level::kSystem;
+  if (src_rank / ranks_per_chip_ != dst_rank / ranks_per_chip_) return Level::kOnNode;
+  return Level::kOnChip;
+}
+
+const NetworkParams& HierarchicalNetwork::params_for(Level level) const {
+  switch (level) {
+    case Level::kOnChip: return on_chip_;
+    case Level::kOnNode: return on_node_;
+    case Level::kSystem: return params_;
+  }
+  throw std::logic_error("bad level");
+}
+
+SimTime HierarchicalNetwork::delivery_time_ranks(int src_rank, int dst_rank,
+                                                 std::size_t bytes) const {
+  const Level level = level_for(src_rank, dst_rank);
+  const NetworkParams& p = params_for(level);
+  int hops = 1;
+  if (level == Level::kSystem) {
+    hops = topology_->hop_count(node_of_rank(src_rank), node_of_rank(dst_rank));
+  } else if (src_rank == dst_rank) {
+    hops = 0;
+  }
+  return p.per_message_overhead + static_cast<SimTime>(hops) * p.link_latency +
+         (bytes == 0 ? 0 : sim_seconds(static_cast<double>(bytes) / p.bandwidth_bytes_per_sec));
+}
+
+SimTime HierarchicalNetwork::failure_timeout(int src, int dst) const {
+  return params_for(level_for(src, dst)).failure_timeout;
+}
+
+}  // namespace exasim

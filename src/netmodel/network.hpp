@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "netmodel/topology.hpp"
+#include "util/time.hpp"
+
+namespace exasim {
+
+/// Message transfer protocol selected by payload size (paper §V-C: eager
+/// threshold 256 kB; larger payloads use the rendezvous protocol).
+enum class Protocol { kEager, kRendezvous };
+
+/// LogGP-style link/NIC parameters for one network level.
+struct NetworkParams {
+  SimTime link_latency = sim_us(1);            ///< L: per-hop wire latency.
+  double bandwidth_bytes_per_sec = 32e9;       ///< Per-link bandwidth (32 GB/s, §V-C).
+  SimTime per_message_overhead = sim_ns(500);  ///< o: software send/recv overhead.
+  double injection_bandwidth_bytes_per_sec = 32e9;  ///< NIC serialization at the sender.
+  std::size_t eager_threshold = 256 * 1024;    ///< Bytes; above this, rendezvous.
+  SimTime failure_timeout = sim_ms(100);       ///< Communication timeout used for
+                                               ///< failure detection (paper §IV-C).
+};
+
+/// Single-level network model over a topology.
+///
+/// For a payload of B bytes over h hops the one-way delivery time is
+///   o + h*L + B / bandwidth
+/// and the sender's NIC is occupied for
+///   o + B / injection_bandwidth
+/// (charged to the sender's virtual clock — this is what serializes linear
+/// collectives at the root). Control messages (RTS/CTS) use B = 0.
+class NetworkModel {
+ public:
+  NetworkModel(std::shared_ptr<const Topology> topology, NetworkParams params);
+
+  const Topology& topology() const { return *topology_; }
+  const NetworkParams& params() const { return params_; }
+
+  Protocol protocol_for(std::size_t bytes) const {
+    return bytes <= params_.eager_threshold ? Protocol::kEager : Protocol::kRendezvous;
+  }
+
+  /// One-way in-flight time for `bytes` from node src to node dst.
+  SimTime delivery_time(int src, int dst, std::size_t bytes) const;
+
+  /// Time the sender's virtual clock is charged to push `bytes` into the NIC.
+  SimTime sender_occupancy(std::size_t bytes) const;
+
+  /// Receiver-side software overhead charged at match time.
+  SimTime receiver_overhead() const { return params_.per_message_overhead; }
+
+  /// Failure-detection timeout for the (src, dst) pair.
+  virtual SimTime failure_timeout(int src, int dst) const;
+
+  virtual ~NetworkModel() = default;
+
+ protected:
+  std::shared_ptr<const Topology> topology_;
+  NetworkParams params_;
+};
+
+/// Hierarchical network: on-chip / on-node / system levels, each with its own
+/// parameters and failure-detection timeout (paper §IV-C: "each simulated
+/// network, such as the on-chip, on-node, and system-wide network, has its
+/// own network communication timeout").
+///
+/// Ranks are mapped to nodes/chips by `ranks_per_chip` and `chips_per_node`;
+/// the system level routes between nodes over the given topology (node id =
+/// rank / ranks_per_node). With ranks_per_node == 1 this degenerates to the
+/// paper's experiment configuration (one MPI rank per node, MPI+X assumed).
+class HierarchicalNetwork final : public NetworkModel {
+ public:
+  HierarchicalNetwork(std::shared_ptr<const Topology> system_topology,
+                      NetworkParams system, NetworkParams on_node, NetworkParams on_chip,
+                      int ranks_per_chip, int chips_per_node);
+
+  enum class Level { kOnChip, kOnNode, kSystem };
+
+  Level level_for(int src_rank, int dst_rank) const;
+  const NetworkParams& params_for(Level level) const;
+
+  int node_of_rank(int rank) const { return rank / ranks_per_node_; }
+  int ranks_per_node() const { return ranks_per_node_; }
+
+  SimTime delivery_time_ranks(int src_rank, int dst_rank, std::size_t bytes) const;
+  SimTime failure_timeout(int src, int dst) const override;
+
+ private:
+  NetworkParams on_node_;
+  NetworkParams on_chip_;
+  int ranks_per_chip_;
+  int ranks_per_node_;
+};
+
+}  // namespace exasim

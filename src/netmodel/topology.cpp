@@ -1,0 +1,175 @@
+#include "netmodel/topology.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace exasim {
+namespace {
+
+void check_dims(int nx, int ny, int nz) {
+  if (nx <= 0 || ny <= 0 || nz <= 0) throw std::invalid_argument("non-positive dimension");
+}
+
+int ring_distance(int a, int b, int n) {
+  int d = std::abs(a - b);
+  return std::min(d, n - d);
+}
+
+int mod(int v, int n) {
+  int r = v % n;
+  return r < 0 ? r + n : r;
+}
+
+}  // namespace
+
+Torus3D::Torus3D(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+  check_dims(nx, ny, nz);
+}
+
+Coord3 Torus3D::coord_of(int node) const {
+  return Coord3{node % nx_, (node / nx_) % ny_, node / (nx_ * ny_)};
+}
+
+int Torus3D::node_of(Coord3 c) const {
+  return mod(c.x, nx_) + mod(c.y, ny_) * nx_ + mod(c.z, nz_) * nx_ * ny_;
+}
+
+int Torus3D::hop_count(int src, int dst) const {
+  const Coord3 a = coord_of(src), b = coord_of(dst);
+  return ring_distance(a.x, b.x, nx_) + ring_distance(a.y, b.y, ny_) +
+         ring_distance(a.z, b.z, nz_);
+}
+
+int Torus3D::diameter() const { return nx_ / 2 + ny_ / 2 + nz_ / 2; }
+
+std::string Torus3D::name() const {
+  std::ostringstream os;
+  os << "torus:" << nx_ << 'x' << ny_ << 'x' << nz_;
+  return os.str();
+}
+
+std::array<int, 6> Torus3D::face_neighbors(int node) const {
+  const Coord3 c = coord_of(node);
+  return {node_of({c.x - 1, c.y, c.z}), node_of({c.x + 1, c.y, c.z}),
+          node_of({c.x, c.y - 1, c.z}), node_of({c.x, c.y + 1, c.z}),
+          node_of({c.x, c.y, c.z - 1}), node_of({c.x, c.y, c.z + 1})};
+}
+
+Mesh3D::Mesh3D(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+  check_dims(nx, ny, nz);
+}
+
+Coord3 Mesh3D::coord_of(int node) const {
+  return Coord3{node % nx_, (node / nx_) % ny_, node / (nx_ * ny_)};
+}
+
+int Mesh3D::node_of(Coord3 c) const { return c.x + c.y * nx_ + c.z * nx_ * ny_; }
+
+int Mesh3D::hop_count(int src, int dst) const {
+  const Coord3 a = coord_of(src), b = coord_of(dst);
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y) + std::abs(a.z - b.z);
+}
+
+int Mesh3D::diameter() const { return (nx_ - 1) + (ny_ - 1) + (nz_ - 1); }
+
+std::string Mesh3D::name() const {
+  std::ostringstream os;
+  os << "mesh:" << nx_ << 'x' << ny_ << 'x' << nz_;
+  return os.str();
+}
+
+FatTree::FatTree(int radix, int leaf_switches) : radix_(radix), leaves_(leaf_switches) {
+  if (radix <= 0 || leaf_switches <= 0) throw std::invalid_argument("non-positive dimension");
+}
+
+int FatTree::hop_count(int src, int dst) const {
+  if (src == dst) return 0;
+  return (src / radix_ == dst / radix_) ? 2 : 4;
+}
+
+std::string FatTree::name() const {
+  std::ostringstream os;
+  os << "fattree:" << radix_ << 'x' << leaves_;
+  return os.str();
+}
+
+Dragonfly::Dragonfly(int groups, int routers_per_group, int nodes_per_router)
+    : groups_(groups), routers_(routers_per_group), nodes_(nodes_per_router) {
+  if (groups <= 0 || routers_per_group <= 0 || nodes_per_router <= 0) {
+    throw std::invalid_argument("non-positive dimension");
+  }
+}
+
+int Dragonfly::hop_count(int src, int dst) const {
+  if (src == dst) return 0;
+  if (router_of(src) == router_of(dst)) return 2;  // Up, down: same router.
+  if (group_of(src) == group_of(dst)) return 3;    // Up, local link, down.
+  // Up, (maybe) local to the global-link router, global, (maybe) local, down.
+  // With all-to-all global links we charge the canonical minimal path of 5.
+  return 5;
+}
+
+std::string Dragonfly::name() const {
+  std::ostringstream os;
+  os << "dragonfly:" << groups_ << 'x' << routers_ << 'x' << nodes_;
+  return os.str();
+}
+
+Star::Star(int nodes) : nodes_(nodes) {
+  if (nodes <= 0) throw std::invalid_argument("non-positive dimension");
+}
+
+std::string Star::name() const {
+  std::ostringstream os;
+  os << "star:" << nodes_;
+  return os.str();
+}
+
+std::unique_ptr<Topology> make_topology(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) throw std::invalid_argument("topology spec missing ':'");
+  const std::string kind = spec.substr(0, colon);
+  const std::string dims = spec.substr(colon + 1);
+
+  auto parse_xyz = [&](int expected) {
+    std::vector<int> out;
+    std::size_t start = 0;
+    while (start <= dims.size()) {
+      auto x = dims.find('x', start);
+      std::string piece = dims.substr(start, x == std::string::npos ? x : x - start);
+      if (piece.empty()) throw std::invalid_argument("bad topology dims: " + spec);
+      out.push_back(std::stoi(piece));
+      if (x == std::string::npos) break;
+      start = x + 1;
+    }
+    if (static_cast<int>(out.size()) != expected) {
+      throw std::invalid_argument("bad topology dims: " + spec);
+    }
+    return out;
+  };
+
+  if (kind == "torus") {
+    auto d = parse_xyz(3);
+    return std::make_unique<Torus3D>(d[0], d[1], d[2]);
+  }
+  if (kind == "mesh") {
+    auto d = parse_xyz(3);
+    return std::make_unique<Mesh3D>(d[0], d[1], d[2]);
+  }
+  if (kind == "fattree") {
+    auto d = parse_xyz(2);
+    return std::make_unique<FatTree>(d[0], d[1]);
+  }
+  if (kind == "star") {
+    auto d = parse_xyz(1);
+    return std::make_unique<Star>(d[0]);
+  }
+  if (kind == "dragonfly") {
+    auto d = parse_xyz(3);
+    return std::make_unique<Dragonfly>(d[0], d[1], d[2]);
+  }
+  throw std::invalid_argument("unknown topology kind: " + kind);
+}
+
+}  // namespace exasim

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace exasim {
+
+/// Integer coordinates in a 3-D grid topology.
+struct Coord3 {
+  int x = 0, y = 0, z = 0;
+  friend bool operator==(const Coord3&, const Coord3&) = default;
+};
+
+/// Abstract interconnect topology over `node_count()` compute nodes.
+/// The simulator only needs hop counts (the latency model multiplies per-hop
+/// link latency), not full paths; concrete topologies use their natural
+/// minimal routing (dimension-ordered for tori/meshes, up-down for fat trees).
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual int node_count() const = 0;
+
+  /// Number of links traversed from src to dst under minimal routing.
+  /// hop_count(a, a) == 0 for all a.
+  virtual int hop_count(int src, int dst) const = 0;
+
+  /// Largest hop count over all pairs (the network diameter).
+  virtual int diameter() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// k x l x m torus with wrap-around links and dimension-ordered routing —
+/// the paper's simulated system is a 32x32x32 3-D wrapped torus (§V-C).
+class Torus3D final : public Topology {
+ public:
+  Torus3D(int nx, int ny, int nz);
+
+  int node_count() const override { return nx_ * ny_ * nz_; }
+  int hop_count(int src, int dst) const override;
+  int diameter() const override;
+  std::string name() const override;
+
+  Coord3 coord_of(int node) const;
+  int node_of(Coord3 c) const;  ///< coordinates taken modulo the dimensions.
+
+  /// The six face neighbors (x±1, y±1, z±1) of a node, in deterministic
+  /// order (-x, +x, -y, +y, -z, +z) — the halo-exchange partner set.
+  std::array<int, 6> face_neighbors(int node) const;
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+
+ private:
+  int nx_, ny_, nz_;
+};
+
+/// k x l x m mesh (no wrap links).
+class Mesh3D final : public Topology {
+ public:
+  Mesh3D(int nx, int ny, int nz);
+
+  int node_count() const override { return nx_ * ny_ * nz_; }
+  int hop_count(int src, int dst) const override;
+  int diameter() const override;
+  std::string name() const override;
+
+  Coord3 coord_of(int node) const;
+  int node_of(Coord3 c) const;
+
+ private:
+  int nx_, ny_, nz_;
+};
+
+/// Two-level k-ary fat tree: `radix` nodes per leaf switch, leaf switches
+/// under a common spine. Same-switch pairs are 2 hops (up, down); cross-
+/// switch pairs are 4 hops (up, up, down, down).
+class FatTree final : public Topology {
+ public:
+  FatTree(int radix, int leaf_switches);
+
+  int node_count() const override { return radix_ * leaves_; }
+  int hop_count(int src, int dst) const override;
+  int diameter() const override { return node_count() > radix_ ? 4 : 2; }
+  std::string name() const override;
+
+ private:
+  int radix_, leaves_;
+};
+
+/// Dragonfly (simplified canonical form): `groups` groups of `routers_per_group`
+/// routers, `nodes_per_router` nodes each. Minimal routing: up to the local
+/// router (1 hop), optionally across the group (1 hop), one global link
+/// (1 hop), across the destination group (1 hop), down (1 hop). All-to-all
+/// global links between groups are assumed.
+class Dragonfly final : public Topology {
+ public:
+  Dragonfly(int groups, int routers_per_group, int nodes_per_router);
+
+  int node_count() const override { return groups_ * routers_ * nodes_; }
+  int hop_count(int src, int dst) const override;
+  int diameter() const override { return 5; }
+  std::string name() const override;
+
+  int group_of(int node) const { return node / (routers_ * nodes_); }
+  int router_of(int node) const { return node / nodes_; }  ///< Global router id.
+
+ private:
+  int groups_, routers_, nodes_;
+};
+
+/// Star: every pair communicates through one central switch (2 hops).
+class Star final : public Topology {
+ public:
+  explicit Star(int nodes);
+
+  int node_count() const override { return nodes_; }
+  int hop_count(int src, int dst) const override { return src == dst ? 0 : 2; }
+  int diameter() const override { return nodes_ > 1 ? 2 : 0; }
+  std::string name() const override;
+
+ private:
+  int nodes_;
+};
+
+/// Factory helper: "torus:32x32x32", "mesh:8x8x8", "fattree:16x8", "star:64".
+std::unique_ptr<Topology> make_topology(const std::string& spec);
+
+}  // namespace exasim

@@ -1,0 +1,84 @@
+#include "pdes/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace exasim {
+
+void Engine::add_process(LpId id, LogicalProcess* lp) {
+  if (id < 0) throw std::invalid_argument("negative LP id");
+  if (static_cast<std::size_t>(id) >= processes_.size()) {
+    processes_.resize(static_cast<std::size_t>(id) + 1, nullptr);
+  }
+  if (processes_[static_cast<std::size_t>(id)] != nullptr) {
+    throw std::invalid_argument("duplicate LP id");
+  }
+  processes_[static_cast<std::size_t>(id)] = lp;
+}
+
+std::uint64_t Engine::schedule(SimTime time, LpId target, int kind,
+                               std::unique_ptr<EventPayload> payload,
+                               EventPriority priority) {
+  const std::uint64_t seq = next_seq_++;
+  Event ev;
+  ev.time = time;
+  ev.priority = priority;
+  ev.seq = seq;
+  ev.target = target;
+  ev.kind = kind;
+  ev.payload = std::move(payload);
+  queue_.push(std::move(ev));
+  return seq;
+}
+
+void Engine::mark_dead(LpId id) { dead_.insert(id); }
+
+void Engine::run() {
+  stop_requested_ = false;
+  for (;;) {
+    while (!queue_.empty() && !stop_requested_) {
+      // priority_queue::top() is const; the event is moved out and popped —
+      // safe because nothing observes the moved-from copy inside the queue.
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      if (dead_.count(ev.target) != 0) {
+        ++events_dropped_dead_;
+        continue;
+      }
+      if (ev.target < 0 || static_cast<std::size_t>(ev.target) >= processes_.size() ||
+          processes_[static_cast<std::size_t>(ev.target)] == nullptr) {
+        throw std::logic_error("event for unknown LP");
+      }
+      now_ = ev.time;
+      ++events_processed_;
+      processes_[static_cast<std::size_t>(ev.target)]->on_event(*this, std::move(ev));
+    }
+    if (stop_requested_) return;
+
+    // Quiescence: give stalled LPs a chance to make progress (release failed
+    // ANY_SOURCE waits etc.). If nobody progresses, stop — unterminated()
+    // then reports the deadlocked set.
+    bool progressed = false;
+    for (std::size_t id = 0; id < processes_.size(); ++id) {
+      LogicalProcess* lp = processes_[id];
+      if (lp == nullptr || lp->terminated() || dead_.count(static_cast<LpId>(id)) != 0) {
+        continue;
+      }
+      if (lp->on_stall(*this)) progressed = true;
+    }
+    if (!progressed && queue_.empty()) return;
+  }
+}
+
+std::vector<LpId> Engine::unterminated() const {
+  std::vector<LpId> out;
+  for (std::size_t id = 0; id < processes_.size(); ++id) {
+    LogicalProcess* lp = processes_[id];
+    if (lp != nullptr && !lp->terminated() && dead_.count(static_cast<LpId>(id)) == 0) {
+      out.push_back(static_cast<LpId>(id));
+    }
+  }
+  return out;
+}
+
+}  // namespace exasim

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "pdes/event.hpp"
+#include "util/time.hpp"
+
+namespace exasim {
+
+class Engine;
+
+/// A logical process driven by the engine. The simulated MPI layer implements
+/// one LP per simulated MPI process; the LP reacts to message arrivals,
+/// simulator-internal notifications, and timer wakeups.
+class LogicalProcess {
+ public:
+  virtual ~LogicalProcess() = default;
+
+  /// Delivers an event. The LP may advance its local state, switch into its
+  /// application fiber, and schedule further events on the engine.
+  virtual void on_event(Engine& engine, Event&& ev) = 0;
+
+  /// Invoked when the event queue drains while this LP has not terminated —
+  /// the conservative-PDES deadlock-detection hook ("synchronization
+  /// mechanism", paper §IV-C). Return true if the LP made progress (scheduled
+  /// new events or terminated); returning false from every stalled LP ends
+  /// the run with those LPs reported as deadlocked.
+  virtual bool on_stall(Engine& engine) { (void)engine; return false; }
+
+  /// True once the LP needs no more events (finished, failed, or aborted).
+  virtual bool terminated() const = 0;
+};
+
+/// Sequential conservative discrete-event engine.
+///
+/// Events execute in deterministic (time, priority, seq) order. This is the
+/// single-native-process degenerate case of xSim's PDES: all simulated
+/// processes are sequentialized and interleaved on one native process using a
+/// schedule based on message receive time stamps (paper §IV-A).
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers an LP. Ids must be dense [0, n) for process LPs; the engine
+  /// does not own the LP.
+  void add_process(LpId id, LogicalProcess* lp);
+
+  /// Schedules an event; returns its sequence number.
+  std::uint64_t schedule(SimTime time, LpId target, int kind,
+                         std::unique_ptr<EventPayload> payload,
+                         EventPriority priority = EventPriority::kMessage);
+
+  /// Marks an LP dead: all pending and future events targeted at it are
+  /// dropped at delivery ("all messages directed to this simulated MPI
+  /// process are deleted", paper §IV-B).
+  void mark_dead(LpId id);
+  bool is_dead(LpId id) const { return dead_.count(id) != 0; }
+
+  /// Runs until the queue drains and no stalled LP makes progress.
+  void run();
+
+  /// Requests run() to stop after the current event (used once every
+  /// simulated process has aborted and the simulator shuts down).
+  void request_stop() { stop_requested_ = true; }
+
+  /// Time of the most recently delivered event.
+  SimTime now() const { return now_; }
+
+  /// LPs that had not terminated when run() returned (deadlock diagnostics).
+  std::vector<LpId> unterminated() const;
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+  std::uint64_t events_dropped_dead() const { return events_dropped_dead_; }
+
+ private:
+  struct QueueOrder {
+    // std::priority_queue is a max-heap; invert EventOrder.
+    bool operator()(const Event& a, const Event& b) const { return EventOrder{}(b, a); }
+  };
+
+  std::vector<LogicalProcess*> processes_;
+  std::priority_queue<Event, std::vector<Event>, QueueOrder> queue_;
+  std::unordered_set<LpId> dead_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t events_dropped_dead_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace exasim

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/time.hpp"
+
+namespace exasim {
+
+/// Identifies a logical process (LP). For the simulated MPI layer, LP id ==
+/// simulated MPI rank. Negative ids are reserved for engine-internal LPs.
+using LpId = std::int32_t;
+
+/// Event delivery class at equal timestamps. Control events (simulator-
+/// internal failure/abort notifications) sort before regular messages so a
+/// process learns of a peer's death before it would match a message that was
+/// in flight at the same instant.
+enum class EventPriority : std::uint8_t {
+  kControl = 0,
+  kMessage = 1,
+  kTimer = 2,
+};
+
+/// Base class for event payloads. Layers above the engine (the simulated MPI
+/// layer, timers) derive their own payload types and dispatch on Event::kind.
+struct EventPayload {
+  virtual ~EventPayload() = default;
+};
+
+/// A scheduled simulation event. Ordering is (time, priority, seq): seq is a
+/// globally monotonic sequence number, which makes the simulation
+/// deterministic (paper §V-E requires repeatable experiments).
+struct Event {
+  SimTime time = 0;
+  EventPriority priority = EventPriority::kMessage;
+  std::uint64_t seq = 0;
+  LpId target = 0;
+  int kind = 0;
+  std::unique_ptr<EventPayload> payload;
+};
+
+struct EventOrder {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq < b.seq;
+  }
+};
+
+}  // namespace exasim

@@ -1,0 +1,32 @@
+#include "powermodel/power.hpp"
+
+#include <stdexcept>
+
+namespace exasim {
+
+EnergyLedger::EnergyLedger(int ranks, PowerParams params) : params_(params) {
+  if (ranks <= 0) throw std::invalid_argument("ranks <= 0");
+  per_rank_.resize(static_cast<std::size_t>(ranks));
+}
+
+void EnergyLedger::add_busy(int rank, SimTime dt) { per_rank_.at(rank).busy += dt; }
+void EnergyLedger::add_comm(int rank, SimTime dt) { per_rank_.at(rank).comm += dt; }
+void EnergyLedger::add_idle(int rank, SimTime dt) { per_rank_.at(rank).idle += dt; }
+void EnergyLedger::add_traffic(int rank, std::uint64_t bytes) {
+  per_rank_.at(rank).bytes += bytes;
+}
+
+double EnergyLedger::rank_joules(int rank) const {
+  const PerRank& r = per_rank_.at(rank);
+  return to_seconds(r.busy) * params_.busy_watts + to_seconds(r.comm) * params_.comm_watts +
+         to_seconds(r.idle) * params_.idle_watts +
+         static_cast<double>(r.bytes) * params_.joules_per_byte;
+}
+
+double EnergyLedger::total_joules() const {
+  double total = 0;
+  for (int r = 0; r < ranks(); ++r) total += rank_joules(r);
+  return total;
+}
+
+}  // namespace exasim

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace exasim {
+
+/// Per-node power states (paper future-work item 5: "developing power
+/// consumption models"). Simple state-based model: each simulated node draws
+/// a state-dependent wattage; network traffic adds a per-byte energy cost.
+struct PowerParams {
+  double busy_watts = 100.0;     ///< Node computing.
+  double comm_watts = 60.0;      ///< Node blocked in communication.
+  double idle_watts = 40.0;      ///< Node idle (e.g. after early finish).
+  double joules_per_byte = 1e-9; ///< NIC energy per byte moved.
+};
+
+/// Accumulates per-rank busy/comm/idle durations and traffic, and converts
+/// them to energy. Attached optionally to a simulation; the vmpi layer feeds
+/// it as virtual clocks advance.
+class EnergyLedger {
+ public:
+  EnergyLedger(int ranks, PowerParams params);
+
+  void add_busy(int rank, SimTime dt);
+  void add_comm(int rank, SimTime dt);
+  void add_idle(int rank, SimTime dt);
+  void add_traffic(int rank, std::uint64_t bytes);
+
+  /// Energy consumed by one rank's node, in joules.
+  double rank_joules(int rank) const;
+
+  /// Whole-system energy in joules.
+  double total_joules() const;
+
+  SimTime busy_time(int rank) const { return per_rank_.at(rank).busy; }
+  SimTime comm_time(int rank) const { return per_rank_.at(rank).comm; }
+  SimTime idle_time(int rank) const { return per_rank_.at(rank).idle; }
+  std::uint64_t traffic_bytes(int rank) const { return per_rank_.at(rank).bytes; }
+  int ranks() const { return static_cast<int>(per_rank_.size()); }
+  const PowerParams& params() const { return params_; }
+
+ private:
+  struct PerRank {
+    SimTime busy = 0, comm = 0, idle = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<PerRank> per_rank_;
+  PowerParams params_;
+};
+
+}  // namespace exasim

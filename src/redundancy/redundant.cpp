@@ -1,0 +1,138 @@
+#include "redundancy/redundant.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace exasim::redundancy {
+namespace {
+
+/// Internal tags for the detection/correction protocol (application tags are
+/// >= 0; vmpi collectives use their own negative space far from this one).
+constexpr int kCorrectionTag = 1 << 20;
+
+}  // namespace
+
+std::uint64_t message_hash(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+RedundantContext::RedundantContext(vmpi::Context& ctx, RedundancyConfig config)
+    : ctx_(ctx), config_(config) {
+  if (config_.replication < 1) throw std::invalid_argument("replication < 1");
+  if (ctx.size() % config_.replication != 0) {
+    throw std::invalid_argument("world size not divisible by replication degree");
+  }
+  if (config_.correct && config_.replication < 3) {
+    // Correction requires a majority; silently degrade to detection, like
+    // redMPI running in dual-redundancy mode.
+    config_.correct = false;
+  }
+  app_size_ = ctx.size() / config_.replication;
+  // Plane-major layout: replica r of app rank a is world rank r*app_size + a.
+  replica_ = ctx.rank() / app_size_;
+  app_rank_ = ctx.rank() % app_size_;
+
+  // Plane communicator: all app ranks of my replica, ordered by app rank.
+  plane_ = ctx_.comm_split(ctx_.world(), /*color=*/replica_, /*key=*/app_rank_);
+  // Replica-group communicator: all replicas of my app rank, plane-ordered.
+  group_ = ctx_.comm_split(ctx_.world(), /*color=*/config_.replication + app_rank_,
+                           /*key=*/replica_);
+  if (plane_ == nullptr || group_ == nullptr) {
+    throw std::logic_error("redundancy communicator setup failed");
+  }
+}
+
+vmpi::Err RedundantContext::send(int dest, int tag, const void* data, std::size_t bytes) {
+  return ctx_.send(*plane_, dest, tag, data, bytes);
+}
+
+vmpi::Err RedundantContext::recv(int src, int tag, void* buffer, std::size_t bytes,
+                                 vmpi::MsgStatus* status) {
+  vmpi::Err e = ctx_.recv(*plane_, src, tag, buffer, bytes, status);
+  if (e != vmpi::Err::kSuccess) return e;
+  ++stats_.messages;
+  if (!config_.detect || config_.replication < 2) return e;
+  return compare_and_correct(buffer, bytes);
+}
+
+vmpi::Err RedundantContext::barrier() { return ctx_.barrier(*plane_); }
+
+vmpi::Err RedundantContext::allreduce(vmpi::ReduceOp op, vmpi::Dtype dtype, const void* in,
+                                      void* out, std::size_t count) {
+  vmpi::Err e = ctx_.allreduce(*plane_, op, dtype, in, out, count);
+  if (e != vmpi::Err::kSuccess) return e;
+  ++stats_.messages;
+  if (!config_.detect || config_.replication < 2) return e;
+  return compare_and_correct(out, count * vmpi::dtype_size(dtype));
+}
+
+vmpi::Err RedundantContext::compare_and_correct(void* buffer, std::size_t bytes) {
+  // redMPI's online detection: the replicas of this app rank compare hashes
+  // of the data each one received. Replica 0 gathers and redistributes the
+  // hash vector; every replica then derives the same verdict locally.
+  const std::uint64_t mine = message_hash(buffer, bytes);
+  const int r = config_.replication;
+
+  std::vector<std::uint64_t> hashes(static_cast<std::size_t>(r), 0);
+  vmpi::Err e = ctx_.gather(*group_, 0, &mine, sizeof mine, hashes.data());
+  if (e != vmpi::Err::kSuccess) return e;
+  e = ctx_.bcast(*group_, 0, hashes.data(), hashes.size() * sizeof(std::uint64_t));
+  if (e != vmpi::Err::kSuccess) return e;
+
+  bool any_divergence = false;
+  for (int i = 1; i < r; ++i) {
+    if (hashes[static_cast<std::size_t>(i)] != hashes[0]) any_divergence = true;
+  }
+  if (!any_divergence) return vmpi::Err::kSuccess;
+  ++stats_.divergences;
+
+  // Majority vote (strict majority required, like triple-redundant redMPI).
+  std::uint64_t majority = 0;
+  int best_count = 0;
+  for (int i = 0; i < r; ++i) {
+    int count = 0;
+    for (int j = 0; j < r; ++j) count += hashes[j] == hashes[i] ? 1 : 0;
+    if (count > best_count) {
+      best_count = count;
+      majority = hashes[static_cast<std::size_t>(i)];
+    }
+  }
+  if (best_count <= r / 2) majority = 0;
+
+  if (majority == 0 || !config_.correct) {
+    // Detected but not corrected (dual redundancy, correction disabled, or
+    // a no-majority split).
+    ++stats_.uncorrectable;
+    return vmpi::Err::kSuccess;
+  }
+
+  // Correction: the lowest majority-holding replica re-sends the payload to
+  // each diverged replica. All group members derive the same plan.
+  int source = -1;
+  for (int i = 0; i < r; ++i) {
+    if (hashes[static_cast<std::size_t>(i)] == majority) {
+      source = i;
+      break;
+    }
+  }
+  for (int i = 0; i < r; ++i) {
+    if (hashes[static_cast<std::size_t>(i)] == majority) continue;
+    if (group_->my_rank == source) {
+      e = ctx_.send(*group_, i, kCorrectionTag, buffer, bytes);
+    } else if (group_->my_rank == i) {
+      e = ctx_.recv(*group_, source, kCorrectionTag, buffer, bytes);
+      if (e == vmpi::Err::kSuccess) ++stats_.corrected;
+    }
+    if (e != vmpi::Err::kSuccess) return e;
+  }
+  return vmpi::Err::kSuccess;
+}
+
+}  // namespace exasim::redundancy

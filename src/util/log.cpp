@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace exasim {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::set_level(LogLevel lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  std::fprintf(stderr, "[exasim %s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace exasim

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace exasim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal leveled logger writing to stderr.
+///
+/// The simulator prints informational messages about failures and aborts on
+/// the command line (paper §IV-B/§IV-D); tests lower the level to kOff.
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+  static void write(LogLevel lvl, const std::string& msg);
+
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Log::write(lvl_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define EXASIM_LOG(lvl)                       \
+  if (!::exasim::Log::enabled(lvl)) {         \
+  } else                                      \
+    ::exasim::detail::LogLine(lvl)
+
+#define EXASIM_DEBUG() EXASIM_LOG(::exasim::LogLevel::kDebug)
+#define EXASIM_INFO() EXASIM_LOG(::exasim::LogLevel::kInfo)
+#define EXASIM_WARN() EXASIM_LOG(::exasim::LogLevel::kWarn)
+#define EXASIM_ERROR() EXASIM_LOG(::exasim::LogLevel::kError)
+
+}  // namespace exasim

@@ -1,0 +1,189 @@
+#include "util/parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace exasim {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::string format_sim_time(SimTime t) {
+  char buf[64];
+  if (t >= sim_sec(1)) {
+    std::snprintf(buf, sizeof buf, "%.3f s", to_seconds(t));
+  } else if (t >= sim_ms(1)) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", static_cast<double>(t) / 1e6);
+  } else if (t >= sim_us(1)) {
+    std::snprintf(buf, sizeof buf, "%.3f us", static_cast<double>(t) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu ns", static_cast<unsigned long long>(t));
+  }
+  return buf;
+}
+
+std::optional<SimTime> parse_duration(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+
+  // Find the split between the numeric part and the unit suffix.
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.' ||
+          text[i] == '+' || text[i] == 'e' || text[i] == 'E' ||
+          (text[i] == '-' && i > 0 && (text[i - 1] == 'e' || text[i - 1] == 'E')))) {
+    ++i;
+  }
+  std::string num(text.substr(0, i));
+  std::string_view unit = trim(text.substr(i));
+  if (num.empty()) return std::nullopt;
+
+  double value = 0.0;
+  try {
+    std::size_t pos = 0;
+    value = std::stod(num, &pos);
+    if (pos != num.size()) return std::nullopt;
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (value < 0.0 || !std::isfinite(value)) return std::nullopt;
+
+  double scale;
+  if (unit.empty() || unit == "s" || unit == "sec") {
+    scale = 1e9;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "m" || unit == "min") {
+    scale = 60e9;
+  } else if (unit == "h") {
+    scale = 3600e9;
+  } else {
+    return std::nullopt;
+  }
+  return static_cast<SimTime>(value * scale + 0.5);
+}
+
+std::vector<std::string> split_trimmed(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      std::string_view piece = trim(text.substr(start, i - start));
+      if (!piece.empty()) out.emplace_back(piece);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<FailureSpec>> parse_failure_schedule(std::string_view text) {
+  // Accept both ',' and ';' as pair separators.
+  std::string normalized(text);
+  for (auto& c : normalized) {
+    if (c == ';') c = ',';
+  }
+
+  std::vector<FailureSpec> specs;
+  for (const auto& piece : split_trimmed(normalized, ',')) {
+    auto at = piece.find('@');
+    if (at == std::string::npos) return std::nullopt;
+    std::string_view rank_str = trim(std::string_view(piece).substr(0, at));
+    std::string_view time_str = trim(std::string_view(piece).substr(at + 1));
+
+    int rank = -1;
+    auto [p, ec] = std::from_chars(rank_str.data(), rank_str.data() + rank_str.size(), rank);
+    if (ec != std::errc() || p != rank_str.data() + rank_str.size() || rank < 0) {
+      return std::nullopt;
+    }
+    auto t = parse_duration(time_str);
+    if (!t) return std::nullopt;
+    specs.push_back(FailureSpec{rank, *t});
+  }
+  return specs;
+}
+
+std::string format_failure_schedule(const std::vector<FailureSpec>& specs) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i) os << ',';
+    os << specs[i].rank << '@' << to_seconds(specs[i].time) << 's';
+  }
+  return os.str();
+}
+
+std::optional<ParamMap> ParamMap::parse(std::string_view text) {
+  ParamMap map;
+  for (const auto& piece : split_trimmed(text, ',')) {
+    auto eq = piece.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    std::string key(trim(std::string_view(piece).substr(0, eq)));
+    std::string value(trim(std::string_view(piece).substr(eq + 1)));
+    if (key.empty()) return std::nullopt;
+    map.set(std::move(key), std::move(value));
+  }
+  return map;
+}
+
+bool ParamMap::contains(const std::string& key) const {
+  return get(key).has_value();
+}
+
+std::optional<std::string> ParamMap::get(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> ParamMap::get_int(const std::string& key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  std::int64_t out = 0;
+  auto [p, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc() || p != v->data() + v->size()) return std::nullopt;
+  return out;
+}
+
+std::optional<double> ParamMap::get_double(const std::string& key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    double out = std::stod(*v, &pos);
+    if (pos != v->size()) return std::nullopt;
+    return out;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<SimTime> ParamMap::get_duration(const std::string& key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  return parse_duration(*v);
+}
+
+void ParamMap::set(std::string key, std::string value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+}  // namespace exasim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace exasim {
+
+/// One scheduled process failure: MPI rank and earliest virtual failure time.
+struct FailureSpec {
+  int rank = -1;
+  SimTime time = kSimTimeNever;
+
+  friend bool operator==(const FailureSpec&, const FailureSpec&) = default;
+};
+
+/// Parses a duration with unit suffix: "12ns", "3us", "4ms", "5s", "1.5s".
+/// A bare number is interpreted as seconds (the paper gives MTTFs in seconds).
+std::optional<SimTime> parse_duration(std::string_view text);
+
+/// Parses a failure schedule of the form "rank@time[,rank@time...]"
+/// (also accepts ';' separators), e.g. "12@3000s,77@1.5s".
+/// Returns std::nullopt on malformed input.
+std::optional<std::vector<FailureSpec>> parse_failure_schedule(std::string_view text);
+
+/// Renders a schedule back to its canonical "rank@time" form.
+std::string format_failure_schedule(const std::vector<FailureSpec>& specs);
+
+/// Splits `text` on `sep`, trimming ASCII whitespace from each piece and
+/// dropping empty pieces.
+std::vector<std::string> split_trimmed(std::string_view text, char sep);
+
+/// Simple "key=value" bag used for experiment configuration strings.
+class ParamMap {
+ public:
+  /// Parses "a=1,b=2.5,c=torus"; returns nullopt on malformed pairs.
+  static std::optional<ParamMap> parse(std::string_view text);
+
+  bool contains(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+  std::optional<std::int64_t> get_int(const std::string& key) const;
+  std::optional<double> get_double(const std::string& key) const;
+  std::optional<SimTime> get_duration(const std::string& key) const;
+
+  void set(std::string key, std::string value);
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace exasim

@@ -1,0 +1,66 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace exasim {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; guard next_double() == 0.
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::weibull(double shape, double scale) {
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace exasim

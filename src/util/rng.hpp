@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace exasim {
+
+/// SplitMix64 — used to seed Xoshiro and for cheap hash-style mixing.
+/// Reference: Sebastiano Vigna, public domain.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Xoshiro256** — fast, high-quality, deterministic across platforms.
+///
+/// The simulator must be bit-reproducible (paper §V-E: "the experiments are
+/// repeatable as the simulator and the application are deterministic"), so we
+/// avoid std::mt19937's distribution objects whose results are
+/// implementation-defined and implement explicit draw methods instead.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Unbiased (rejection sampling).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Weibull with shape k and scale lambda (both > 0).
+  double weibull(double shape, double scale);
+
+  /// Splits off an independent stream (for per-rank / per-run streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace exasim

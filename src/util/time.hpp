@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace exasim {
+
+/// Simulated (virtual) time in nanoseconds since simulation epoch.
+///
+/// A plain integer type keeps event-queue comparisons cheap and makes the
+/// simulation bit-deterministic. 2^64 ns ~ 584 years, far beyond any run.
+using SimTime = std::uint64_t;
+
+/// Signed difference of two SimTime values.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+inline constexpr SimTime sim_ns(std::uint64_t v) { return v; }
+inline constexpr SimTime sim_us(std::uint64_t v) { return v * 1000ull; }
+inline constexpr SimTime sim_ms(std::uint64_t v) { return v * 1000'000ull; }
+inline constexpr SimTime sim_sec(std::uint64_t v) { return v * 1000'000'000ull; }
+
+/// Converts a floating-point second count to SimTime, rounding to nearest ns.
+inline constexpr SimTime sim_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9 + 0.5);
+}
+
+inline constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+inline constexpr double to_micros(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+/// Renders a SimTime as a human-readable string ("12.345 s", "87 us", ...).
+std::string format_sim_time(SimTime t);
+
+}  // namespace exasim

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "vmpi/types.hpp"
+
+namespace exasim::vmpi {
+
+class Context;
+struct Comm;
+
+/// User-defined error handler (paper §IV-D: "xSim does support other error
+/// handlers, such as MPI_ERRORS_RETURN and user-defined error handlers").
+using UserErrorHandler = std::function<void(Context&, Comm&, Err)>;
+
+/// A communicator as seen by one simulated process.
+///
+/// Membership is either *identity* (comm rank == world rank, used for
+/// MPI_COMM_WORLD and its dups — O(1) storage, critical with tens of
+/// thousands of simulated processes each holding their own communicator
+/// objects) or an explicit ordered list of world ranks (splits/shrinks).
+struct Comm {
+  int id = 0;
+  Rank my_rank = -1;          ///< This process's rank within the communicator.
+  ErrorHandlerKind handler = ErrorHandlerKind::kFatal;
+  UserErrorHandler user_handler;
+  bool revoked = false;       ///< ULFM: set by Comm_revoke.
+  std::uint64_t coll_seq = 0; ///< Per-communicator collective sequence number.
+  std::uint64_t split_seq = 0;///< Per-communicator dup/split/shrink counter.
+  /// ULFM recovery operations (shrink/agree) sequence their internal tags
+  /// separately from coll_seq: after a failed collective, survivors'
+  /// coll_seq values can legitimately diverge (some completed more phases
+  /// than others before the error), but every survivor performs the same
+  /// ordered sequence of recovery operations.
+  std::uint64_t recovery_seq = 0;
+
+  /// Sets identity membership over world ranks [0, n).
+  void set_identity_members(int n) {
+    identity_size_ = n;
+    members_.clear();
+  }
+
+  /// Sets explicit membership (world ranks in communicator order).
+  void set_members(std::vector<Rank> members) {
+    identity_size_ = -1;
+    members_ = std::move(members);
+  }
+
+  int size() const {
+    return identity_size_ >= 0 ? identity_size_ : static_cast<int>(members_.size());
+  }
+
+  /// World rank of communicator rank r; r must be in [0, size()).
+  Rank world_of(Rank r) const {
+    return identity_size_ >= 0 ? r : members_.at(static_cast<std::size_t>(r));
+  }
+
+  /// Communicator rank of a world rank, or -1 if not a member.
+  Rank rank_of_world(Rank world) const;
+
+  /// Materializes the member list (world ranks in communicator order).
+  std::vector<Rank> members_snapshot() const;
+
+ private:
+  int identity_size_ = -1;      ///< >= 0: identity membership of that size.
+  std::vector<Rank> members_;   ///< Explicit membership when identity_size_ < 0.
+};
+
+/// Machine-global registry that hands out communicator ids.
+///
+/// Communicator creation (dup/split/shrink) is collective: every member calls
+/// it in the same order, so the tuple (parent id, per-parent sequence number,
+/// color) is identical at every member and maps to one new id. The registry
+/// is shared simulator state — analogous to xSim keeping simulator-internal
+/// bookkeeping outside the simulated processes.
+class CommRegistry {
+ public:
+  static constexpr int kWorldId = 0;
+
+  /// Returns the id for this (parent, seq, color) tuple, allocating on first
+  /// use. Deterministic: ids are assigned in first-request order, which is
+  /// itself deterministic under the engine's deterministic event order.
+  int id_for(int parent_id, std::uint64_t split_seq, int color);
+
+ private:
+  std::map<std::tuple<int, std::uint64_t, int>, int> ids_;
+  int next_id_ = 1;
+};
+
+}  // namespace exasim::vmpi

@@ -1,0 +1,31 @@
+#include "vmpi/fabric.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace exasim::vmpi {
+
+Fabric::Fabric(std::shared_ptr<const NetworkModel> model, int ranks_per_node)
+    : model_(std::move(model)), ranks_per_node_(ranks_per_node) {
+  if (!model_) throw std::invalid_argument("null network model");
+  if (ranks_per_node_ <= 0) throw std::invalid_argument("ranks_per_node <= 0");
+  hier_ = dynamic_cast<const HierarchicalNetwork*>(model_.get());
+}
+
+SimTime Fabric::delivery(int src_rank, int dst_rank, std::size_t bytes) const {
+  if (hier_ != nullptr) return hier_->delivery_time_ranks(src_rank, dst_rank, bytes);
+  return model_->delivery_time(node_of(src_rank), node_of(dst_rank), bytes);
+}
+
+SimTime Fabric::occupancy(std::size_t bytes) const { return model_->sender_occupancy(bytes); }
+
+SimTime Fabric::receiver_overhead() const { return model_->receiver_overhead(); }
+
+SimTime Fabric::failure_timeout(int src_rank, int dst_rank) const {
+  if (hier_ != nullptr) return hier_->failure_timeout(src_rank, dst_rank);
+  return model_->failure_timeout(node_of(src_rank), node_of(dst_rank));
+}
+
+Protocol Fabric::protocol_for(std::size_t bytes) const { return model_->protocol_for(bytes); }
+
+}  // namespace exasim::vmpi

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "netmodel/network.hpp"
+#include "util/time.hpp"
+
+namespace exasim::vmpi {
+
+/// Rank-addressed view of the network model used by the simulated MPI layer.
+///
+/// Adapts either a flat NetworkModel (ranks map to nodes 1:1 or blocked by
+/// ranks_per_node) or a HierarchicalNetwork (per-level latency/bandwidth and
+/// failure-detection timeouts, paper §IV-C).
+class Fabric {
+ public:
+  /// ranks_per_node > 1 places consecutive ranks on the same node; intra-node
+  /// messages then traverse zero system hops (flat model) or the on-node /
+  /// on-chip level (hierarchical model).
+  Fabric(std::shared_ptr<const NetworkModel> model, int ranks_per_node = 1);
+
+  /// One-way in-flight time for `bytes` between two ranks.
+  SimTime delivery(int src_rank, int dst_rank, std::size_t bytes) const;
+
+  /// Sender-side virtual-clock charge for injecting `bytes`.
+  SimTime occupancy(std::size_t bytes) const;
+
+  /// Receiver-side software overhead charged at match time.
+  SimTime receiver_overhead() const;
+
+  /// Failure-detection communication timeout for the pair (paper §IV-C).
+  SimTime failure_timeout(int src_rank, int dst_rank) const;
+
+  /// Protocol for a payload size (eager below threshold, else rendezvous).
+  Protocol protocol_for(std::size_t bytes) const;
+
+  int node_of(int rank) const { return rank / ranks_per_node_; }
+  const NetworkModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<const NetworkModel> model_;
+  const HierarchicalNetwork* hier_ = nullptr;  ///< Non-null if model is hierarchical.
+  int ranks_per_node_ = 1;
+};
+
+}  // namespace exasim::vmpi

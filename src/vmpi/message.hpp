@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pdes/event.hpp"
+#include "util/time.hpp"
+#include "vmpi/types.hpp"
+
+namespace exasim::vmpi {
+
+/// Event kinds used by the simulated MPI layer on the PDES engine.
+enum EvKind : int {
+  kEvStart = 1,         ///< Begin executing the process fiber.
+  kEvMsgArrival,        ///< Eager payload or rendezvous RTS arrival.
+  kEvCtsArrival,        ///< Rendezvous clear-to-send back at the sender.
+  kEvDataArrival,       ///< Rendezvous bulk data arrival at the receiver.
+  kEvFailureActivation, ///< Scheduled process failure reaches its time.
+  kEvFailureNotice,     ///< Simulator-internal broadcast: a process failed.
+  kEvAbortNotice,       ///< Simulator-internal broadcast: MPI_Abort happened.
+  kEvErrorWakeup,       ///< Timed release of a request blocked on a dead peer.
+  kEvRevokeNotice,      ///< ULFM: communicator revoked.
+};
+
+/// Match envelope. Matching is on (comm_id, src comm rank, tag), with
+/// kAnySource / kAnyTag wildcards on the posted-receive side.
+struct Envelope {
+  int comm_id = 0;
+  Rank src_comm_rank = 0;   ///< Sender's rank within the communicator.
+  Rank src_world_rank = 0;  ///< Sender's world rank (routing, failure checks).
+  int tag = 0;
+  std::size_t bytes = 0;    ///< Logical payload size (drives the network model).
+  bool rendezvous = false;  ///< True: this is an RTS; payload arrives separately.
+  std::uint64_t rdv_id = 0; ///< Rendezvous transaction id (sender-unique).
+};
+
+/// Eager payload / rendezvous RTS.
+struct MsgPayload final : EventPayload {
+  Envelope env;
+  std::vector<std::byte> data;  ///< May be empty for size-only (modeled) sends.
+};
+
+struct CtsPayload final : EventPayload {
+  std::uint64_t rdv_id = 0;
+};
+
+struct DataPayload final : EventPayload {
+  std::uint64_t rdv_id = 0;
+  std::vector<std::byte> data;
+  std::size_t bytes = 0;
+};
+
+struct FailureNoticePayload final : EventPayload {
+  Rank failed_rank = -1;
+  SimTime time_of_failure = 0;
+};
+
+struct AbortNoticePayload final : EventPayload {
+  Rank origin_rank = -1;
+  SimTime time_of_abort = 0;
+};
+
+struct ErrorWakeupPayload final : EventPayload {
+  std::uint64_t request_serial = 0;
+  Err error = Err::kProcFailed;
+  SimTime error_time = 0;  ///< Virtual time at which the request fails.
+};
+
+struct RevokeNoticePayload final : EventPayload {
+  int comm_id = 0;
+  SimTime time = 0;
+};
+
+/// A message sitting in a process's unexpected queue (arrived before a
+/// matching receive was posted). `arrival_seq` totally orders arrivals so
+/// that ANY_SOURCE matching across per-source queues stays deterministic.
+struct UnexpectedMsg {
+  Envelope env;
+  std::vector<std::byte> data;
+  SimTime arrival_time = 0;
+  std::uint64_t arrival_seq = 0;
+};
+
+}  // namespace exasim::vmpi

@@ -1,0 +1,327 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fiber/fiber.hpp"
+#include "pdes/engine.hpp"
+#include "powermodel/power.hpp"
+#include "procmodel/processor.hpp"
+#include "util/time.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/fabric.hpp"
+#include "vmpi/message.hpp"
+#include "vmpi/request.hpp"
+#include "vmpi/trace.hpp"
+#include "vmpi/types.hpp"
+
+namespace exasim::vmpi {
+
+class Context;
+class SimProcess;
+
+/// Control-flow signals used to unwind the application fiber on process
+/// failure / abort. Deliberately NOT derived from std::exception so that
+/// application-level `catch (const std::exception&)` blocks cannot swallow
+/// them; applications must not use `catch (...)` without rethrowing.
+struct ProcessFailedSignal {};
+struct ProcessAbortSignal {};
+
+/// Machine-level services the per-process layer calls out to. Implemented by
+/// core::Machine; this interface keeps vmpi below core in the layering.
+class SystemHooks {
+ public:
+  virtual ~SystemHooks() = default;
+
+  /// Called once when a process fails at `when` (actual failure time).
+  /// Responsible for the simulator-internal notification broadcast, marking
+  /// the LP dead, and the informational message (paper §IV-B).
+  virtual void process_failed(SimProcess& proc, SimTime when) = 0;
+
+  /// Called once when a process invokes MPI_Abort at `when` (paper §IV-D).
+  virtual void abort_called(SimProcess& proc, SimTime when) = 0;
+
+  /// ULFM: broadcast a communicator revocation (paper §VI).
+  virtual void comm_revoked(SimProcess& proc, int comm_id, SimTime when) = 0;
+
+  /// Called whenever a process reaches a terminal state.
+  virtual void process_terminated(SimProcess& proc) = 0;
+
+  /// Global list of world ranks not (yet) failed — the simulator-internal
+  /// membership shortcut used by MPI_Comm_shrink (documented in DESIGN.md).
+  virtual std::vector<Rank> alive_world_ranks() const = 0;
+};
+
+/// Collective algorithm family used by the simulated MPI library. The paper
+/// configures linear algorithms (§V-C); binomial trees are the co-design
+/// alternative the ablation benches compare against.
+enum class CollectiveAlgo : std::uint8_t { kLinear, kBinomialTree };
+
+/// Per-process configuration shared by the whole simulated machine.
+struct ProcessConfig {
+  std::size_t fiber_stack_bytes = 128 * 1024;
+  bool measured_compute = false;  ///< Also fold scaled native fiber CPU time
+                                  ///< into the virtual clock (xSim's mode).
+  CollectiveAlgo collective_algo = CollectiveAlgo::kLinear;  ///< Paper default.
+};
+
+/// Application entry point. Runs on the process's fiber with plain
+/// blocking-style calls on the Context — the analog of a native MPI main().
+using AppMain = std::function<void(Context&)>;
+
+/// One simulated MPI process: a PDES logical process owning an application
+/// fiber, a virtual clock, message matching state, and failure/abort state
+/// (paper §IV-A/§IV-B).
+class SimProcess final : public LogicalProcess {
+ public:
+  SimProcess(Rank world_rank, int world_size, Engine* engine, const Fabric* fabric,
+             const ProcessorModel* proc_model, SystemHooks* hooks, CommRegistry* registry,
+             AppMain app, ProcessConfig config, SimTime initial_clock);
+  ~SimProcess() override;
+
+  SimProcess(const SimProcess&) = delete;
+  SimProcess& operator=(const SimProcess&) = delete;
+
+  // -- LogicalProcess ---------------------------------------------------
+  void on_event(Engine& engine, Event&& ev) override;
+  bool on_stall(Engine& engine) override;
+  bool terminated() const override { return outcome_ != ProcOutcome::kRunning; }
+
+  // -- Identity / state --------------------------------------------------
+  Rank world_rank() const { return world_rank_; }
+  int world_size() const { return world_size_; }
+  SimTime clock() const { return clock_; }
+  ProcOutcome outcome() const { return outcome_; }
+  /// Final virtual time (valid once terminated).
+  SimTime end_time() const { return end_time_; }
+  Comm& world_comm() { return *comms_.front(); }
+
+  // -- Failure injection (paper §IV-B) ------------------------------------
+  /// Sets the earliest virtual time at which this process fails. Called by
+  /// the machine at startup from the failure schedule; also reachable from
+  /// the application via Context::inject_failure (the "simulator-internal
+  /// function" of §IV-B). kSimTimeNever = never fail.
+  void set_time_of_failure(SimTime t) { time_of_failure_ = t; }
+  SimTime time_of_failure() const { return time_of_failure_; }
+
+  /// Failed peers this process has been notified about (paper §IV-B: "each
+  /// simulated MPI process maintains its own list of failed simulated MPI
+  /// processes and their corresponding time of failure").
+  const std::map<Rank, SimTime>& failed_peers() const { return failed_peers_; }
+
+  /// Optional energy accounting (attached by the machine).
+  void attach_energy(EnergyLedger* ledger) { energy_ = ledger; }
+
+  /// Optional MPI-operation tracing (attached by the machine).
+  void attach_trace(TraceSink* sink) { trace_ = sink; }
+  TraceSink* trace() { return trace_; }
+
+  /// Always-on performance accounting: virtual time spent computing vs in
+  /// communication (blocked or transferring) — the performance-investigation
+  /// numbers xSim exists to produce.
+  SimTime busy_time() const { return busy_time_; }
+  SimTime comm_time() const { return comm_time_; }
+
+  // -- Internal API used by Context (the simulated MPI implementation) ----
+  // These run on the application fiber and may block (yield) or unwind via
+  // ProcessFailedSignal / ProcessAbortSignal.
+
+  /// Advances the virtual clock by dt, then applies failure/abort activation
+  /// (paper §IV-B: failure activates when "the simulated MPI process is
+  /// executing, updates its simulated process clock, and the clock reaches or
+  /// goes beyond the ... time of failure").
+  void advance_clock(SimTime dt, bool busy = true);
+  /// Raises the clock to at least t (no-op if already past).
+  void raise_clock_to(SimTime t, bool busy = false);
+
+  /// Measured-compute mode (xSim's native path): folds the host CPU time the
+  /// application fiber consumed since the last control point into the
+  /// virtual clock, scaled by the processor model. No-op unless
+  /// ProcessConfig::measured_compute is set.
+  void fold_native_time();
+
+  /// allow_revoked lets ULFM recovery operations (shrink/agree) communicate
+  /// on a revoked communicator; ordinary traffic completes with kRevoked.
+  RequestHandle post_send(Comm& comm, Rank dest, int tag, const void* data, std::size_t bytes,
+                          bool allow_revoked = false);
+  RequestHandle post_recv(Comm& comm, Rank src, int tag, void* buffer, std::size_t capacity,
+                          bool allow_revoked = false);
+
+  /// Blocks until every request is terminal; fills statuses (parallel array).
+  /// Returns the first non-success error, Err::kSuccess otherwise. Completed
+  /// requests are released.
+  Err wait_all(const std::vector<RequestHandle>& handles, std::vector<MsgStatus>* statuses);
+
+  /// Nonblocking completion check; releases the request when done.
+  bool test(RequestHandle h, MsgStatus* status, Err* err);
+
+  /// Blocking probe: waits until a matching message is available without
+  /// receiving it. Fails like a receive if the source dies.
+  Err probe(Comm& comm, Rank src, int tag, MsgStatus* status);
+
+  /// Immediately fails this process at the current clock ("calling this
+  /// simulator-internal function" — §IV-B). Does not return.
+  [[noreturn]] void fail_now();
+
+  /// MPI_Abort: prints, broadcasts the abort notification, unwinds.
+  [[noreturn]] void abort_now();
+
+  /// Applies the communicator's error handler to a non-success error from a
+  /// completed operation: kFatal aborts (does not return), kUser invokes the
+  /// user handler then returns e, kReturn returns e.
+  Err apply_error_handler(Comm& comm, Err e);
+
+  void mark_finalized() { finalized_ = true; }
+  bool finalized() const { return finalized_; }
+
+  // Communicator management (called by Context).
+  Comm* comm_dup(Comm& parent);
+  Comm* comm_shrink(Comm& parent);
+  void comm_revoke(Comm& comm);
+  /// Applies a revoke notice locally (called via hooks broadcast); pending
+  /// operations on the communicator complete with kRevoked at `when`.
+  void apply_revoke(int comm_id, SimTime when);
+
+  const Fabric& fabric() const { return *fabric_; }
+  const ProcessConfig& config() const { return config_; }
+  const ProcessorModel& proc_model() const { return *proc_model_; }
+  Engine& engine() { return *engine_; }
+  CommRegistry& registry() { return *registry_; }
+  Context& context() { return *context_; }
+
+  /// ULFM acknowledgement state (MPI_Comm_failure_ack / get_acked).
+  void failure_ack(Comm& comm);
+  std::vector<Rank> failure_get_acked(Comm& comm) const;
+
+  /// Simulator-global alive set used by shrink/agree membership agreement.
+  std::vector<Rank> alive_world_ranks_for_shrink() const {
+    return hooks_->alive_world_ranks();
+  }
+
+  // -- Soft-error injection (paper §VI future-work item 1) -----------------
+  // xSim added "tracking of dynamic memory allocation of simulated MPI
+  // processes ... the last piece needed to develop a soft error injector".
+  // Applications register their state buffers; scheduled bit flips apply at
+  // the first clock update at/after their time — same activation semantics
+  // as process failures.
+
+  /// Registers (or re-registers) a named application memory region.
+  void register_memory(const std::string& name, void* ptr, std::size_t bytes);
+  void unregister_memory(const std::string& name);
+  std::size_t registered_bytes() const;
+
+  /// Schedules a single bit flip at virtual time t. bit_index selects the
+  /// target bit across all registered regions (modulo total bits at
+  /// activation). Returns false if no memory could ever be registered —
+  /// flips with no registered memory at activation are dropped and counted.
+  void schedule_bit_flip(SimTime t, std::uint64_t bit_index);
+  std::uint64_t bit_flips_applied() const { return flips_applied_; }
+  std::uint64_t bit_flips_dropped() const { return flips_dropped_; }
+
+ private:
+  friend class Context;
+
+  // Fiber body & scheduling.
+  void fiber_body();
+  void run_fiber();
+  void block_until(const std::function<bool()>& ready);
+
+  // Event handlers.
+  void handle_msg_arrival(MsgPayload& p, SimTime t);
+  void handle_cts(CtsPayload& p, SimTime t);
+  void handle_data(DataPayload& p, SimTime t);
+  void handle_failure_activation(SimTime t);
+  void handle_failure_notice(FailureNoticePayload& p, SimTime t);
+  void handle_abort_notice(AbortNoticePayload& p, SimTime t);
+  void handle_error_wakeup(ErrorWakeupPayload& p);
+
+  // Matching engine.
+  Request* find_request(std::uint64_t serial);
+  bool match(const Envelope& env, const Request& r) const;
+  void complete_recv_from_msg(Request& r, const Envelope& env, std::vector<std::byte>&& data,
+                              SimTime arrival);
+  void start_rendezvous_recv(Request& r, const Envelope& env, SimTime arrival);
+  bool try_match_posted(const Envelope& env, std::vector<std::byte>&& data, SimTime arrival);
+  bool try_match_unexpected(Request& r);
+  void release_request(std::uint64_t serial);
+  void record_trace(const Request& r);
+
+  // Failure/abort plumbing.
+  void check_signals();  ///< Throws Failed/Abort signals if activation is due.
+  void schedule_error_wakeup(Request& r, SimTime t_fail, Rank peer_world);
+  void fail_requests_on_notice(Rank failed_rank, SimTime t_fail);
+  void terminate(ProcOutcome outcome, SimTime when);
+
+  Comm* new_comm(int id, std::vector<Rank> members, const Comm& inherit_from);
+
+  // Identity & wiring.
+  Rank world_rank_;
+  int world_size_;
+  Engine* engine_;
+  const Fabric* fabric_;
+  const ProcessorModel* proc_model_;
+  SystemHooks* hooks_;
+  CommRegistry* registry_;
+  AppMain app_;
+  ProcessConfig config_;
+  EnergyLedger* energy_ = nullptr;
+  TraceSink* trace_ = nullptr;
+  SimTime busy_time_ = 0;
+  SimTime comm_time_ = 0;
+
+  // Execution state.
+  std::unique_ptr<Fiber> fiber_;
+  std::unique_ptr<Context> context_;
+  SimTime clock_ = 0;
+  ProcOutcome outcome_ = ProcOutcome::kRunning;
+  SimTime end_time_ = 0;
+  bool started_ = false;
+  bool finalized_ = false;
+  bool in_fiber_ = false;
+  std::uint64_t last_native_ns_ = 0;  ///< Measured-compute snapshot.
+
+  // Failure/abort state.
+  SimTime time_of_failure_ = kSimTimeNever;
+  SimTime pending_abort_ = kSimTimeNever;
+  /// Set by engine-side handlers to unwind a blocked fiber at a given time.
+  SimTime forced_failure_ = kSimTimeNever;
+  SimTime forced_abort_ = kSimTimeNever;
+  std::map<Rank, SimTime> failed_peers_;
+  std::map<int, std::vector<Rank>> acked_failures_;  ///< ULFM ack state per comm.
+
+  // Soft-error state.
+  struct MemRegion {
+    std::string name;
+    void* ptr;
+    std::size_t bytes;
+  };
+  struct PendingFlip {
+    SimTime time;
+    std::uint64_t bit_index;
+  };
+  void apply_due_bit_flips();
+  std::vector<MemRegion> mem_regions_;
+  std::vector<PendingFlip> pending_flips_;  ///< Sorted by time.
+  std::uint64_t flips_applied_ = 0;
+  std::uint64_t flips_dropped_ = 0;
+
+  // Messaging state. The unexpected queue is indexed by (comm id, source
+  // comm rank): a linear-algorithm collective at large scale floods the root
+  // with tens of thousands of unexpected messages, and a flat queue would
+  // make its sequential receives O(n^2).
+  std::map<std::pair<int, Rank>, std::deque<UnexpectedMsg>> unexpected_;
+  std::uint64_t next_arrival_seq_ = 1;
+  std::vector<std::unique_ptr<Request>> requests_;
+  std::uint64_t next_serial_ = 1;
+  std::uint64_t next_rdv_ = 1;
+
+  // Communicators (index 0 = world).
+  std::vector<std::unique_ptr<Comm>> comms_;
+};
+
+}  // namespace exasim::vmpi

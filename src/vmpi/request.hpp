@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+#include "vmpi/types.hpp"
+
+namespace exasim::vmpi {
+
+/// Nonblocking operation state. Owned by the process; applications hold
+/// opaque handles (serial numbers) via the Context API.
+struct Request {
+  enum class Kind : std::uint8_t { kSend, kRecv };
+  enum class Stage : std::uint8_t {
+    kPosted,        ///< Recv: unmatched. Send: eager in flight / RTS sent.
+    kAwaitingCts,   ///< Rendezvous send waiting for clear-to-send.
+    kAwaitingData,  ///< Rendezvous recv matched RTS, waiting for bulk data.
+    kDone,          ///< Terminal: complete_time and error are valid.
+  };
+
+  std::uint64_t serial = 0;
+  Kind kind = Kind::kRecv;
+  Stage stage = Stage::kPosted;
+
+  int comm_id = 0;
+  Rank peer_comm_rank = kAnySource;  ///< Dest (send) or source (recv; may be kAnySource).
+  Rank peer_world_rank = -1;         ///< Resolved world rank; -1 for kAnySource until match.
+  int tag = kAnyTag;
+  std::size_t bytes = 0;             ///< Send size / recv capacity.
+
+  /// Receive destination; nullptr for modeled (size-only) transfers.
+  void* recv_buffer = nullptr;
+
+  /// Send payload (captured at post time); empty for modeled sends.
+  std::vector<std::byte> send_data;
+
+  std::uint64_t rdv_id = 0;          ///< Rendezvous transaction, if any.
+  SimTime post_time = 0;
+
+  /// Terminal state.
+  SimTime complete_time = 0;
+  MsgStatus status;
+
+  /// Guards against scheduling duplicate timeout releases for one request.
+  bool error_wakeup_scheduled = false;
+
+  /// ULFM recovery traffic (shrink/agree) is not failed by a revoke notice.
+  bool survives_revoke = false;
+
+  bool done() const { return stage == Stage::kDone; }
+};
+
+/// Opaque request handle returned to applications.
+struct RequestHandle {
+  std::uint64_t serial = 0;
+  bool valid() const { return serial != 0; }
+};
+
+}  // namespace exasim::vmpi

@@ -1,0 +1,52 @@
+#include "vmpi/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace exasim::vmpi {
+
+const char* to_string(TraceRecord::Op op) {
+  switch (op) {
+    case TraceRecord::Op::kSend: return "send";
+    case TraceRecord::Op::kRecv: return "recv";
+    case TraceRecord::Op::kMarker: return "marker";
+  }
+  return "?";
+}
+
+std::string MemoryTraceSink::render() const {
+  std::vector<const TraceRecord*> sorted;
+  sorted.reserve(records_.size());
+  for (const auto& r : records_) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(), [](const TraceRecord* a, const TraceRecord* b) {
+    if (a->start != b->start) return a->start < b->start;
+    return a->rank < b->rank;
+  });
+
+  std::ostringstream os;
+  char buf[192];
+  for (const TraceRecord* r : sorted) {
+    if (r->op == TraceRecord::Op::kMarker) {
+      std::snprintf(buf, sizeof buf, "%.3f %.3f rank=%d marker=%s\n", to_micros(r->start),
+                    to_micros(r->end), r->rank, r->marker.c_str());
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "%.3f %.3f rank=%d op=%s peer=%d tag=%d bytes=%zu err=%s\n",
+                    to_micros(r->start), to_micros(r->end), r->rank, to_string(r->op),
+                    r->peer, r->tag, r->bytes, vmpi::to_string(r->error).c_str());
+    }
+    os << buf;
+  }
+  return os.str();
+}
+
+bool MemoryTraceSink::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << render();
+  return static_cast<bool>(f);
+}
+
+}  // namespace exasim::vmpi

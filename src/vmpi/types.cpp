@@ -1,0 +1,89 @@
+#include "vmpi/types.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace exasim::vmpi {
+
+std::string to_string(Err e) {
+  switch (e) {
+    case Err::kSuccess: return "SUCCESS";
+    case Err::kProcFailed: return "ERR_PROC_FAILED";
+    case Err::kRevoked: return "ERR_REVOKED";
+    case Err::kTruncate: return "ERR_TRUNCATE";
+    case Err::kInvalidArg: return "ERR_INVALID_ARG";
+    case Err::kPending: return "ERR_PENDING";
+  }
+  return "?";
+}
+
+std::string to_string(ProcOutcome o) {
+  switch (o) {
+    case ProcOutcome::kRunning: return "running";
+    case ProcOutcome::kFinished: return "finished";
+    case ProcOutcome::kFailed: return "failed";
+    case ProcOutcome::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+std::size_t dtype_size(Dtype d) {
+  switch (d) {
+    case Dtype::kI32: return 4;
+    case Dtype::kI64: return 8;
+    case Dtype::kU64: return 8;
+    case Dtype::kF64: return 8;
+    case Dtype::kByte: return 1;
+  }
+  return 0;
+}
+
+namespace {
+
+template <typename T>
+void combine_typed(ReduceOp op, T* acc, const T* in, std::size_t count) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = static_cast<T>(acc[i] + in[i]);
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = std::min(acc[i], in[i]);
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = std::max(acc[i], in[i]);
+      break;
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = static_cast<T>(acc[i] * in[i]);
+      break;
+  }
+}
+
+}  // namespace
+
+void reduce_combine(ReduceOp op, Dtype dtype, void* acc, const void* in, std::size_t count) {
+  switch (dtype) {
+    case Dtype::kI32:
+      combine_typed(op, static_cast<std::int32_t*>(acc), static_cast<const std::int32_t*>(in),
+                    count);
+      return;
+    case Dtype::kI64:
+      combine_typed(op, static_cast<std::int64_t*>(acc), static_cast<const std::int64_t*>(in),
+                    count);
+      return;
+    case Dtype::kU64:
+      combine_typed(op, static_cast<std::uint64_t*>(acc), static_cast<const std::uint64_t*>(in),
+                    count);
+      return;
+    case Dtype::kF64:
+      combine_typed(op, static_cast<double*>(acc), static_cast<const double*>(in), count);
+      return;
+    case Dtype::kByte:
+      combine_typed(op, static_cast<std::uint8_t*>(acc), static_cast<const std::uint8_t*>(in),
+                    count);
+      return;
+  }
+  throw std::invalid_argument("bad dtype");
+}
+
+}  // namespace exasim::vmpi

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace exasim::vmpi {
+
+/// Simulated MPI rank (within MPI_COMM_WORLD unless stated otherwise).
+using Rank = int;
+
+inline constexpr Rank kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Error classes surfaced to the simulated application. Mirrors the subset of
+/// MPI error semantics the paper exercises, plus the ULFM extension codes
+/// (paper §VI: MPI_ERR_PROC_FAILED, MPI_Comm_revoke, MPI_Comm_shrink).
+enum class Err : std::uint8_t {
+  kSuccess = 0,
+  kProcFailed,   ///< ULFM MPI_ERR_PROC_FAILED: a peer process failed.
+  kRevoked,      ///< ULFM MPI_ERR_REVOKED: the communicator was revoked.
+  kTruncate,     ///< Receive buffer smaller than the incoming message.
+  kInvalidArg,   ///< Malformed call (bad rank/tag/comm).
+  kPending,      ///< Internal: request not complete (never returned by wait).
+};
+
+std::string to_string(Err e);
+
+/// Error handler attached to a communicator (paper §IV-D: supports
+/// MPI_ERRORS_ARE_FATAL (default), MPI_ERRORS_RETURN, and user handlers).
+enum class ErrorHandlerKind : std::uint8_t { kFatal, kReturn, kUser };
+
+/// Receive/operation status returned by waits and receives.
+struct MsgStatus {
+  Rank source = kAnySource;   ///< Communicator rank of the sender.
+  int tag = kAnyTag;
+  std::size_t bytes = 0;      ///< Logical payload size.
+  Err error = Err::kSuccess;
+};
+
+/// Element types for reductions.
+enum class Dtype : std::uint8_t { kI32, kI64, kU64, kF64, kByte };
+
+std::size_t dtype_size(Dtype d);
+
+/// Reduction operations (applied element-wise on matching Dtype buffers).
+enum class ReduceOp : std::uint8_t { kSum, kMin, kMax, kProd };
+
+/// In-place combine: acc[i] = op(acc[i], in[i]) for `count` elements.
+void reduce_combine(ReduceOp op, Dtype dtype, void* acc, const void* in, std::size_t count);
+
+/// Why a simulated process stopped executing.
+enum class ProcOutcome : std::uint8_t {
+  kRunning = 0,
+  kFinished,  ///< Returned from app main after Finalize.
+  kFailed,    ///< Injected (or self-inflicted) process failure.
+  kAborted,   ///< Terminated by MPI_Abort (own or remote).
+};
+
+std::string to_string(ProcOutcome o);
+
+}  // namespace exasim::vmpi

@@ -1,0 +1,213 @@
+// ckpt: checkpoint store state machine (complete/incomplete/corrupted),
+// scrub, and the failure-during-write corruption path (paper §V-B/§V-D).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ckpt/checkpoint.hpp"
+#include "sim_test_util.hpp"
+#include "vmpi/context.hpp"
+
+namespace exasim {
+namespace {
+
+using ckpt::CheckpointStore;
+using test::run_app;
+using test::tiny_config;
+using vmpi::Context;
+
+test::QuietLogs quiet;
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> out(std::strlen(s));
+  std::memcpy(out.data(), s, out.size());
+  return out;
+}
+
+TEST(CheckpointStore, CompleteSetLifecycle) {
+  CheckpointStore store(2);
+  for (int r = 0; r < 2; ++r) {
+    store.begin(1, r);
+    store.append(1, r, bytes_of("data"));
+    store.finalize(1, r);
+  }
+  EXPECT_TRUE(store.set_complete(1));
+  EXPECT_EQ(store.latest_complete(), 1u);
+  EXPECT_EQ(store.read(1, 0), bytes_of("data"));
+  EXPECT_EQ(store.file_count(), 2u);
+  EXPECT_EQ(store.total_bytes(), 8u);
+}
+
+TEST(CheckpointStore, MissingFileMakesSetIncomplete) {
+  CheckpointStore store(3);
+  for (int r = 0; r < 2; ++r) {  // Rank 2 never wrote.
+    store.begin(5, r);
+    store.finalize(5, r);
+  }
+  EXPECT_FALSE(store.set_complete(5));
+  EXPECT_FALSE(store.latest_complete().has_value());
+}
+
+TEST(CheckpointStore, UnfinalizedFileIsCorrupted) {
+  // "Checkpoint file that exists, but misses some information" (§V-B).
+  CheckpointStore store(1);
+  store.begin(2, 0);
+  store.append(2, 0, bytes_of("partial"));
+  EXPECT_TRUE(store.file_exists(2, 0));
+  EXPECT_FALSE(store.file_finalized(2, 0));
+  EXPECT_FALSE(store.set_complete(2));
+}
+
+TEST(CheckpointStore, LatestCompleteSkipsNewerBrokenSets) {
+  CheckpointStore store(1);
+  store.begin(1, 0);
+  store.finalize(1, 0);
+  store.begin(2, 0);  // Newer but corrupted.
+  EXPECT_EQ(store.latest_complete(), 1u);
+}
+
+TEST(CheckpointStore, ScrubRemovesOnlyBrokenSets) {
+  // The paper's pre-restart shell script.
+  CheckpointStore store(2);
+  store.begin(1, 0);
+  store.finalize(1, 0);
+  store.begin(1, 1);
+  store.finalize(1, 1);
+  store.begin(2, 0);  // Incomplete: rank 1 missing, rank 0 unfinalized.
+  EXPECT_EQ(store.scrub(), 1);
+  EXPECT_TRUE(store.set_complete(1));
+  EXPECT_FALSE(store.file_exists(2, 0));
+  EXPECT_EQ(store.scrub(), 0);
+}
+
+TEST(CheckpointStore, RemoveFileAndVersion) {
+  CheckpointStore store(2);
+  store.begin(1, 0);
+  store.finalize(1, 0);
+  store.begin(1, 1);
+  store.finalize(1, 1);
+  store.remove_file(1, 0);
+  EXPECT_FALSE(store.file_exists(1, 0));
+  EXPECT_TRUE(store.file_exists(1, 1));
+  store.remove_version(1);
+  EXPECT_TRUE(store.versions().empty());
+}
+
+TEST(CheckpointStore, BeginOverwritesPreviousAttempt) {
+  CheckpointStore store(1);
+  store.begin(1, 0);
+  store.append(1, 0, bytes_of("old"));
+  store.begin(1, 0);  // Restart of the same version.
+  store.append(1, 0, bytes_of("new"));
+  store.finalize(1, 0);
+  EXPECT_EQ(store.read(1, 0), bytes_of("new"));
+}
+
+TEST(CheckpointStore, ApiMisuseThrows) {
+  CheckpointStore store(1);
+  EXPECT_THROW(store.append(1, 0, bytes_of("x")), std::logic_error);
+  EXPECT_THROW(store.finalize(1, 0), std::logic_error);
+  EXPECT_THROW(store.begin(1, 5), std::invalid_argument);
+  EXPECT_THROW(CheckpointStore(0), std::invalid_argument);
+}
+
+TEST(CheckpointWriter, ChargesPfsTimeBeforeFinalize) {
+  CheckpointStore store(1);
+  PfsParams pp;
+  pp.per_client_bandwidth_bytes_per_sec = 1e6;  // 1 MB/s.
+  PfsModel pfs(pp);
+  SimTime before = 0, after = 0;
+  auto app = [&](Context& ctx) {
+    auto payload = bytes_of("0123456789");
+    before = ctx.now();
+    ckpt::write_rank_checkpoint(ctx, store, 1, payload, pfs, 1);
+    after = ctx.now();
+    ctx.finalize();
+  };
+  run_app(tiny_config(1), app);
+  EXPECT_EQ(after - before, sim_us(10));  // 10 B at 1 MB/s.
+  EXPECT_TRUE(store.set_complete(1));
+}
+
+TEST(CheckpointWriter, LogicalBytesOverrideChargesFullSize) {
+  CheckpointStore store(1);
+  PfsParams pp;
+  pp.per_client_bandwidth_bytes_per_sec = 1e6;
+  PfsModel pfs(pp);
+  SimTime delta = 0;
+  auto app = [&](Context& ctx) {
+    auto payload = bytes_of("hdr");  // 3 bytes stored...
+    const SimTime t0 = ctx.now();
+    ckpt::write_rank_checkpoint(ctx, store, 1, payload, pfs, 1, /*logical_bytes=*/1'000'000);
+    delta = ctx.now() - t0;  // ...but one logical second charged.
+    ctx.finalize();
+  };
+  run_app(tiny_config(1), app);
+  EXPECT_EQ(delta, sim_sec(1));
+  EXPECT_EQ(store.read(1, 0).size(), 3u);
+}
+
+TEST(CheckpointWriter, FailureDuringWriteLeavesCorruptedFile) {
+  // The §V-D failure mode: a process failure during the checkpoint phase
+  // leaves a file that exists but was never finalized.
+  CheckpointStore store(2);
+  PfsParams pp;
+  pp.per_client_bandwidth_bytes_per_sec = 1e3;  // Slow: 1 KB/s.
+  PfsModel pfs(pp);
+  auto cfg = tiny_config(2);
+  cfg.failures = {FailureSpec{0, sim_ms(500)}};  // Mid-write (write takes 1 s).
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<std::byte> payload(1000);
+      ckpt::write_rank_checkpoint(ctx, store, 7, payload, pfs, 1);
+    }
+    ctx.finalize();
+  };
+  auto r = run_app(cfg, app);
+  EXPECT_EQ(r.failed_count, 1);
+  EXPECT_TRUE(store.file_exists(7, 0));        // Created...
+  EXPECT_FALSE(store.file_finalized(7, 0));    // ...but corrupted.
+  EXPECT_FALSE(store.set_complete(7));
+  EXPECT_EQ(store.scrub(), 1);                 // The shell script removes it.
+}
+
+TEST(CheckpointReader, ReadsLatestAndChargesTime) {
+  CheckpointStore store(1);
+  store.begin(3, 0);
+  store.append(3, 0, bytes_of("abcdefghij"));
+  store.finalize(3, 0);
+  PfsParams pp;
+  pp.per_client_bandwidth_bytes_per_sec = 1e6;
+  PfsModel pfs(pp);
+  std::vector<std::byte> got;
+  SimTime delta = 0;
+  std::uint64_t version = 0;
+  auto app = [&](Context& ctx) {
+    const SimTime t0 = ctx.now();
+    auto data = ckpt::read_latest_checkpoint(ctx, store, 0, pfs, 1, &version);
+    delta = ctx.now() - t0;
+    ASSERT_TRUE(data.has_value());
+    got = *data;
+    ctx.finalize();
+  };
+  run_app(tiny_config(1), app);
+  EXPECT_EQ(got, bytes_of("abcdefghij"));
+  EXPECT_EQ(version, 3u);
+  EXPECT_EQ(delta, sim_us(10));
+}
+
+TEST(CheckpointReader, ColdStartReturnsNothing) {
+  CheckpointStore store(1);
+  PfsModel pfs{PfsParams{}};
+  bool empty = false;
+  auto app = [&](Context& ctx) {
+    empty = !ckpt::read_latest_checkpoint(ctx, store, 0, pfs, 1).has_value();
+    ctx.finalize();
+  };
+  run_app(tiny_config(1), app);
+  EXPECT_TRUE(empty);
+}
+
+}  // namespace
+}  // namespace exasim

@@ -1,0 +1,144 @@
+// core::cli — xSim-style command-line / environment configuration,
+// including the paper's failure-schedule environment variable (§IV-B).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/cli.hpp"
+
+namespace exasim {
+namespace {
+
+using core::CliOptions;
+using core::parse_cli;
+
+std::optional<CliOptions> parse(std::initializer_list<const char*> args,
+                                std::string* error = nullptr) {
+  std::vector<const char*> argv{"exasim_run"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  std::string local;
+  return parse_cli(static_cast<int>(argv.size()), argv.data(),
+                   error != nullptr ? error : &local);
+}
+
+struct EnvGuard {
+  explicit EnvGuard(const char* value) {
+    if (value != nullptr) {
+      ::setenv(core::kFailureScheduleEnvVar, value, 1);
+    } else {
+      ::unsetenv(core::kFailureScheduleEnvVar);
+    }
+  }
+  ~EnvGuard() { ::unsetenv(core::kFailureScheduleEnvVar); }
+};
+
+TEST(Cli, DefaultsAreSane) {
+  EnvGuard env(nullptr);
+  auto opts = parse({});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->machine.ranks, 1);
+  EXPECT_TRUE(opts->machine.failures.empty());
+  EXPECT_FALSE(opts->mttf.has_value());
+}
+
+TEST(Cli, ParsesMachineOptions) {
+  EnvGuard env(nullptr);
+  auto opts = parse({"--ranks=4096", "--topology=torus:16x16x16", "--link-latency=2us",
+                     "--bandwidth=32e9", "--eager-threshold=262144",
+                     "--failure-timeout=100ms", "--slowdown=1000", "--ns-per-unit=1281",
+                     "--stack-bytes=65536"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->machine.ranks, 4096);
+  EXPECT_EQ(opts->machine.topology, "torus:16x16x16");
+  EXPECT_EQ(opts->machine.net.link_latency, sim_us(2));
+  EXPECT_DOUBLE_EQ(opts->machine.net.bandwidth_bytes_per_sec, 32e9);
+  EXPECT_EQ(opts->machine.net.eager_threshold, 262144u);
+  EXPECT_EQ(opts->machine.net.failure_timeout, sim_ms(100));
+  EXPECT_DOUBLE_EQ(opts->machine.proc.slowdown, 1000.0);
+  EXPECT_EQ(opts->machine.process.fiber_stack_bytes, 65536u);
+}
+
+TEST(Cli, ParsesFailureScheduleOption) {
+  EnvGuard env(nullptr);
+  auto opts = parse({"--ranks=100", "--failures=12@3s,77@1.5s"});
+  ASSERT_TRUE(opts.has_value());
+  ASSERT_EQ(opts->machine.failures.size(), 2u);
+  EXPECT_EQ(opts->machine.failures[0], (FailureSpec{12, sim_sec(3)}));
+  EXPECT_EQ(opts->machine.failures[1], (FailureSpec{77, sim_seconds(1.5)}));
+}
+
+TEST(Cli, ReadsScheduleFromEnvironment) {
+  // Paper §IV-B: schedule "via an environment variable on startup".
+  EnvGuard env("3@250ms");
+  auto opts = parse({"--ranks=8"});
+  ASSERT_TRUE(opts.has_value());
+  ASSERT_EQ(opts->machine.failures.size(), 1u);
+  EXPECT_EQ(opts->machine.failures[0], (FailureSpec{3, sim_ms(250)}));
+}
+
+TEST(Cli, CommandLineOverridesEnvironment) {
+  EnvGuard env("3@250ms");
+  auto opts = parse({"--ranks=8", "--failures=1@1s"});
+  ASSERT_TRUE(opts.has_value());
+  ASSERT_EQ(opts->machine.failures.size(), 1u);
+  EXPECT_EQ(opts->machine.failures[0].rank, 1);
+}
+
+TEST(Cli, ValidatesScheduleRanks) {
+  EnvGuard env(nullptr);
+  std::string error;
+  EXPECT_FALSE(parse({"--ranks=4", "--failures=9@1s"}, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(Cli, ParsesExperimentOptions) {
+  EnvGuard env(nullptr);
+  auto opts = parse({"--mttf=3000s", "--distribution=exponential", "--seed=77",
+                     "--max-restarts=5", "--sim-time-file=/tmp/t.txt"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->mttf, sim_sec(3000));
+  EXPECT_EQ(opts->distribution, core::FailureDistribution::kExponential);
+  EXPECT_EQ(opts->seed, 77u);
+  EXPECT_EQ(opts->max_restarts, 5);
+  EXPECT_EQ(opts->sim_time_file, "/tmp/t.txt");
+}
+
+TEST(Cli, RejectsMalformedOptions) {
+  EnvGuard env(nullptr);
+  for (auto bad : {"--ranks=abc", "--mttf=xyz", "--distribution=bogus", "--unknown=1",
+                   "--failures=nope"}) {
+    std::string error;
+    EXPECT_FALSE(parse({bad}, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Cli, RejectsMalformedEnvironment) {
+  EnvGuard env("garbage");
+  std::string error;
+  EXPECT_FALSE(parse({}, &error).has_value());
+}
+
+TEST(Cli, CollectsPositionalArguments) {
+  EnvGuard env(nullptr);
+  auto opts = parse({"heat3d", "--ranks=8"});
+  ASSERT_TRUE(opts.has_value());
+  ASSERT_EQ(opts->positional.size(), 1u);
+  EXPECT_EQ(opts->positional[0], "heat3d");
+}
+
+TEST(Cli, RunnerConfigMovesScheduleToFirstLaunch) {
+  EnvGuard env(nullptr);
+  auto opts = parse({"--ranks=16", "--failures=2@1s", "--mttf=100s", "--seed=5"});
+  ASSERT_TRUE(opts.has_value());
+  core::RunnerConfig rc = core::runner_config_from(*opts);
+  EXPECT_TRUE(rc.base.failures.empty());
+  ASSERT_EQ(rc.first_run_failures.size(), 1u);
+  EXPECT_EQ(rc.first_run_failures[0].rank, 2);
+  EXPECT_EQ(rc.system_mttf, sim_sec(100));
+  EXPECT_EQ(rc.seed, 5u);
+}
+
+}  // namespace
+}  // namespace exasim

@@ -1,0 +1,236 @@
+// ckpt::IncrementalCheckpointer — delta detection, chain reconstruction,
+// full-every policy, PFS cost proportional to written bytes, and broken-chain
+// fallback.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ckpt/incremental.hpp"
+#include "sim_test_util.hpp"
+#include "vmpi/context.hpp"
+
+namespace exasim {
+namespace {
+
+using ckpt::CheckpointStore;
+using ckpt::IncrementalCheckpointer;
+using ckpt::IncrementalPolicy;
+using test::run_app;
+using test::tiny_config;
+using vmpi::Context;
+
+test::QuietLogs quiet;
+
+std::vector<std::byte> make_state(std::size_t bytes, unsigned seed) {
+  std::vector<std::byte> out(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out[i] = static_cast<std::byte>((i * 31 + seed * 17) & 0xff);
+  }
+  return out;
+}
+
+/// Runs `body` inside a 1-rank simulation.
+template <typename F>
+void in_sim(F&& body) {
+  auto app = [&](Context& ctx) {
+    body(ctx);
+    ctx.finalize();
+  };
+  ASSERT_EQ(run_app(tiny_config(1), app).outcome, core::SimResult::Outcome::kCompleted);
+}
+
+TEST(Incremental, FullThenDeltaRoundTrip) {
+  in_sim([&](Context& ctx) {
+    CheckpointStore store(1);
+    PfsModel pfs{PfsParams{}};
+    IncrementalPolicy policy;
+    policy.block_bytes = 64;
+    IncrementalCheckpointer inc(policy);
+
+    auto v1 = make_state(1000, 1);
+    inc.write(ctx, store, 1, v1, pfs, 1);
+    auto v2 = v1;
+    v2[130] = std::byte{0xAA};  // One block changes.
+    inc.write(ctx, store, 2, v2, pfs, 1);
+
+    std::uint64_t version = 0;
+    auto got = IncrementalCheckpointer::read_latest(ctx, store, 0, pfs, 1, &version);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(version, 2u);
+    EXPECT_EQ(*got, v2);
+  });
+}
+
+TEST(Incremental, DeltaStoresOnlyChangedBlocks) {
+  in_sim([&](Context& ctx) {
+    CheckpointStore store(1);
+    PfsModel pfs{PfsParams{}};
+    IncrementalPolicy policy;
+    policy.block_bytes = 128;
+    IncrementalCheckpointer inc(policy);
+
+    auto v1 = make_state(4096, 2);  // 32 blocks.
+    inc.write(ctx, store, 1, v1, pfs, 1);
+    auto v2 = v1;
+    v2[0] = std::byte{1};     // Block 0.
+    v2[4000] = std::byte{2};  // Block 31.
+    inc.write(ctx, store, 2, v2, pfs, 1);
+
+    EXPECT_GT(inc.bytes_written_full(), 4096u);
+    // Delta: header + 2 records of ~136 bytes each.
+    EXPECT_LT(inc.bytes_written_delta(), 500u);
+    EXPECT_GT(inc.bytes_written_delta(), 2 * 128u);
+  });
+}
+
+TEST(Incremental, UnchangedStateWritesEmptyDelta) {
+  in_sim([&](Context& ctx) {
+    CheckpointStore store(1);
+    PfsModel pfs{PfsParams{}};
+    IncrementalCheckpointer inc(IncrementalPolicy{});
+    auto v = make_state(5000, 3);
+    inc.write(ctx, store, 1, v, pfs, 1);
+    inc.write(ctx, store, 2, v, pfs, 1);
+    EXPECT_LT(inc.bytes_written_delta(), 100u);  // Header only.
+    auto got = IncrementalCheckpointer::read_latest(ctx, store, 0, pfs, 1);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+  });
+}
+
+TEST(Incremental, FullEveryPolicyBoundsChains) {
+  in_sim([&](Context& ctx) {
+    CheckpointStore store(1);
+    PfsModel pfs{PfsParams{}};
+    IncrementalPolicy policy;
+    policy.block_bytes = 64;
+    policy.full_every = 3;
+    IncrementalCheckpointer inc(policy);
+
+    auto state = make_state(512, 4);
+    for (std::uint64_t v = 1; v <= 7; ++v) {
+      state[static_cast<std::size_t>(v * 13 % state.size())] ^= std::byte{0xFF};
+      inc.write(ctx, store, v, state, pfs, 1);
+    }
+    // Versions 1, 4, 7 are full -> retention floor is 7.
+    EXPECT_EQ(inc.retention_floor(), 7u);
+    auto got = IncrementalCheckpointer::read_latest(ctx, store, 0, pfs, 1);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, state);
+  });
+}
+
+TEST(Incremental, LongChainReconstructsExactly) {
+  in_sim([&](Context& ctx) {
+    CheckpointStore store(1);
+    PfsModel pfs{PfsParams{}};
+    IncrementalPolicy policy;
+    policy.block_bytes = 32;
+    policy.full_every = 100;  // One full, many deltas.
+    IncrementalCheckpointer inc(policy);
+
+    auto state = make_state(1024, 5);
+    for (std::uint64_t v = 1; v <= 20; ++v) {
+      for (int k = 0; k < 5; ++k) {
+        state[static_cast<std::size_t>((v * 97 + k * 41) % state.size())] ^= std::byte{0x3C};
+      }
+      inc.write(ctx, store, v, state, pfs, 1);
+    }
+    std::uint64_t version = 0;
+    auto got = IncrementalCheckpointer::read_latest(ctx, store, 0, pfs, 1, &version);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(version, 20u);
+    EXPECT_EQ(*got, state);
+  });
+}
+
+TEST(Incremental, BrokenChainFallsBackToOlderRestorePoint) {
+  in_sim([&](Context& ctx) {
+    CheckpointStore store(1);
+    PfsModel pfs{PfsParams{}};
+    IncrementalPolicy policy;
+    policy.block_bytes = 64;
+    policy.full_every = 2;  // Fulls at 1, 3, 5; deltas at 2, 4.
+    IncrementalCheckpointer inc(policy);
+
+    std::vector<std::vector<std::byte>> states;
+    auto state = make_state(256, 6);
+    for (std::uint64_t v = 1; v <= 4; ++v) {
+      state[static_cast<std::size_t>(v * 7 % state.size())] ^= std::byte{0x55};
+      inc.write(ctx, store, v, state, pfs, 1);
+      states.push_back(state);
+    }
+    // Destroy version 3 (the full that delta 4 depends on).
+    store.remove_version(3);
+    std::uint64_t version = 0;
+    auto got = IncrementalCheckpointer::read_latest(ctx, store, 0, pfs, 1, &version);
+    ASSERT_TRUE(got.has_value());
+    // Version 4's chain is broken -> fall back to version 2 (full 1 + delta 2).
+    EXPECT_EQ(version, 2u);
+    EXPECT_EQ(*got, states[1]);
+  });
+}
+
+TEST(Incremental, PfsTimeProportionalToBytesWritten) {
+  in_sim([&](Context& ctx) {
+    CheckpointStore store(1);
+    PfsParams pp;
+    pp.per_client_bandwidth_bytes_per_sec = 1e6;  // 1 B/us.
+    PfsModel pfs(pp);
+    IncrementalPolicy policy;
+    policy.block_bytes = 1024;
+    IncrementalCheckpointer inc(policy);
+
+    auto state = make_state(64 * 1024, 7);
+    const SimTime t0 = ctx.now();
+    inc.write(ctx, store, 1, state, pfs, 1);  // Full: ~65 ms.
+    const SimTime t_full = ctx.now() - t0;
+    state[10] ^= std::byte{1};  // One block.
+    const SimTime t1 = ctx.now();
+    inc.write(ctx, store, 2, state, pfs, 1);  // Delta: ~1 ms.
+    const SimTime t_delta = ctx.now() - t1;
+    EXPECT_GT(t_full, 30 * t_delta);
+  });
+}
+
+TEST(Incremental, SizeChangeForcesFull) {
+  in_sim([&](Context& ctx) {
+    CheckpointStore store(1);
+    PfsModel pfs{PfsParams{}};
+    IncrementalCheckpointer inc(IncrementalPolicy{});
+    inc.write(ctx, store, 1, make_state(1000, 8), pfs, 1);
+    auto bigger = make_state(2000, 9);
+    inc.write(ctx, store, 2, bigger, pfs, 1);
+    EXPECT_EQ(inc.retention_floor(), 2u);  // Second write was full.
+    auto got = IncrementalCheckpointer::read_latest(ctx, store, 0, pfs, 1);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, bigger);
+  });
+}
+
+TEST(Incremental, RejectsBadPolicyAndVersions) {
+  in_sim([&](Context& ctx) {
+    IncrementalPolicy bad;
+    bad.block_bytes = 0;
+    EXPECT_THROW(IncrementalCheckpointer{bad}, std::invalid_argument);
+
+    CheckpointStore store(1);
+    PfsModel pfs{PfsParams{}};
+    IncrementalCheckpointer inc(IncrementalPolicy{});
+    auto v = make_state(100, 10);
+    inc.write(ctx, store, 5, v, pfs, 1);
+    EXPECT_THROW(inc.write(ctx, store, 5, v, pfs, 1), std::invalid_argument);
+  });
+}
+
+TEST(Incremental, ColdStartReturnsNothing) {
+  in_sim([&](Context& ctx) {
+    CheckpointStore store(1);
+    PfsModel pfs{PfsParams{}};
+    EXPECT_FALSE(IncrementalCheckpointer::read_latest(ctx, store, 0, pfs, 1).has_value());
+  });
+}
+
+}  // namespace
+}  // namespace exasim

@@ -1,0 +1,215 @@
+// core::Machine: configuration validation, outcomes, energy accounting,
+// soft-error injection, reliability models, and measured-compute mode.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/failure.hpp"
+#include "sim_test_util.hpp"
+#include "vmpi/context.hpp"
+
+namespace exasim {
+namespace {
+
+using core::Machine;
+using core::ReliabilityModel;
+using core::SimConfig;
+using core::SimResult;
+using test::run_app;
+using test::tiny_config;
+using vmpi::Context;
+
+test::QuietLogs quiet;
+
+TEST(Machine, RejectsBadConfiguration) {
+  auto noop = [](Context& ctx) { ctx.finalize(); };
+  {
+    SimConfig cfg = tiny_config(0);
+    cfg.ranks = 0;
+    EXPECT_THROW(Machine(cfg, noop), std::invalid_argument);
+  }
+  {
+    SimConfig cfg = tiny_config(2);
+    cfg.failures = {FailureSpec{5, 0}};  // Rank out of range.
+    EXPECT_THROW(Machine(cfg, noop), std::invalid_argument);
+  }
+  {
+    SimConfig cfg = tiny_config(4);
+    cfg.topology = "star:2";  // Too small for 4 ranks.
+    EXPECT_THROW(Machine(cfg, noop), std::invalid_argument);
+  }
+}
+
+TEST(Machine, InitialTimeShiftsAllClocks) {
+  SimTime t0 = 0;
+  SimConfig cfg = tiny_config(2);
+  cfg.initial_time = sim_sec(100);  // Restart continuity (§IV-E).
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) t0 = ctx.now();
+    ctx.compute(1e6);
+    ctx.finalize();
+  };
+  SimResult r = run_app(cfg, app);
+  EXPECT_EQ(t0, sim_sec(100));
+  EXPECT_EQ(r.max_end_time, sim_sec(100) + sim_ms(1));
+}
+
+TEST(Machine, EnergyLedgerTracksComputeAndComm) {
+  SimConfig cfg = tiny_config(2);
+  cfg.power = PowerParams{};
+  auto app = [](Context& ctx) {
+    ctx.compute(1e9);  // 1 s busy.
+    if (ctx.rank() == 0) {
+      int v = 1;
+      ctx.send(1, 0, &v, sizeof v);
+    } else {
+      int v = 0;
+      ctx.recv(0, 0, &v, sizeof v);
+    }
+    ctx.finalize();
+  };
+  Machine machine(cfg, app);
+  SimResult r = machine.run();
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  // 2 ranks x 1 s busy at 100 W = 200 J plus a little comm energy.
+  EXPECT_GT(r.total_energy_joules, 199.0);
+  EXPECT_LT(r.total_energy_joules, 210.0);
+  ASSERT_NE(machine.energy(), nullptr);
+  EXPECT_EQ(machine.energy()->busy_time(0), sim_sec(1));
+  EXPECT_GT(machine.energy()->traffic_bytes(0), 0u);
+}
+
+TEST(Machine, SoftErrorFlipsRegisteredMemory) {
+  // Paper future-work item 1: bit flip into tracked application memory.
+  double value_after = 0;
+  SimConfig cfg = tiny_config(1);
+  cfg.soft_errors = {core::SoftErrorSpec{0, sim_ms(1), /*bit_index=*/52}};
+  auto app = [&](Context& ctx) {
+    double state = 1.0;
+    ctx.register_memory("state", &state, sizeof state);
+    ctx.compute(2e6);  // 2 ms: the flip activates mid-way.
+    value_after = state;
+    ctx.unregister_memory("state");
+    ctx.finalize();
+  };
+  SimResult r = run_app(cfg, app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  // Bit 52 of the double 1.0 flips a mantissa bit -> not 1.0 anymore.
+  EXPECT_NE(value_after, 1.0);
+  EXPECT_TRUE(std::isfinite(value_after));
+}
+
+TEST(Machine, SoftErrorWithoutRegisteredMemoryIsDropped) {
+  SimConfig cfg = tiny_config(1);
+  cfg.soft_errors = {core::SoftErrorSpec{0, sim_us(1), 7}};
+  auto app = [](Context& ctx) {
+    ctx.compute(1e6);
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(cfg, app).outcome, SimResult::Outcome::kCompleted);
+}
+
+TEST(Machine, MeasuredComputeFoldsNativeTime) {
+  SimConfig cfg = tiny_config(1);
+  cfg.process.measured_compute = true;
+  cfg.proc.slowdown = 1000.0;
+  SimTime t_end = 0;
+  auto app = [&](Context& ctx) {
+    // Burn real CPU time.
+    volatile double x = 1.0;
+    for (int i = 0; i < 2'000'000; ++i) x = x * 1.0000001 + 0.5;
+    t_end = ctx.now();
+    ctx.finalize();
+  };
+  SimResult r = run_app(cfg, app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  // A couple million FLOPs take >= 1 ms native -> >= 1 s at 1000x slowdown.
+  EXPECT_GT(t_end, sim_ms(100));
+}
+
+TEST(Machine, PrebuiltNetworkOverridesTopologySpec) {
+  NetworkParams system, node, chip;
+  chip.link_latency = sim_ns(10);
+  auto net = std::make_shared<HierarchicalNetwork>(make_topology("star:2"), system, node,
+                                                   chip, 2, 1);
+  SimConfig cfg = tiny_config(4);
+  cfg.network = net;
+  cfg.topology = "";  // Ignored.
+  cfg.ranks_per_node = 2;
+  SimTime end = 0;
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      int v = 1;
+      ctx.send(1, 0, &v, sizeof v);  // On-chip: rank 0 -> 1.
+    } else if (ctx.rank() == 1) {
+      int v = 0;
+      ctx.recv(0, 0, &v, sizeof v);
+      end = ctx.now();
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(cfg, app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  // On-chip latency (10 ns link) keeps this well under a microsecond path.
+  EXPECT_LT(end, sim_us(2));
+}
+
+TEST(Machine, EventsProcessedIsReported) {
+  auto app = [](Context& ctx) {
+    if (ctx.rank() == 0) {
+      int v = 0;
+      ctx.send(1, 0, &v, sizeof v);
+    } else {
+      int v = 0;
+      ctx.recv(0, 0, &v, sizeof v);
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(2), app);
+  EXPECT_GE(r.events_processed, 3u);  // 2 starts + >=1 arrival.
+}
+
+TEST(ReliabilityModel, Uniform2MttfDrawsInRange) {
+  ReliabilityModel m(core::FailureDistribution::kUniform2Mttf, sim_sec(6000), 32768, 42);
+  for (int i = 0; i < 500; ++i) {
+    FailureSpec f = m.draw();
+    EXPECT_GE(f.rank, 0);
+    EXPECT_LT(f.rank, 32768);
+    EXPECT_LT(f.time, sim_sec(12000));
+  }
+}
+
+TEST(ReliabilityModel, ExponentialMeanRoughlyMttf) {
+  ReliabilityModel m(core::FailureDistribution::kExponential, sim_sec(100), 8, 7);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += to_seconds(m.draw().time);
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(ReliabilityModel, WeibullMeanRoughlyMttf) {
+  ReliabilityModel m(core::FailureDistribution::kWeibull, sim_sec(100), 8, 9);
+  double sum = 0;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) sum += to_seconds(m.draw().time);
+  EXPECT_NEAR(sum / n, 100.0, 8.0);
+}
+
+TEST(ReliabilityModel, ExpectedFailuresFormulas) {
+  ReliabilityModel uniform(core::FailureDistribution::kUniform2Mttf, sim_sec(100), 8, 1);
+  EXPECT_DOUBLE_EQ(uniform.expected_failures(sim_sec(50)), 0.25);
+  EXPECT_DOUBLE_EQ(uniform.expected_failures(sim_sec(500)), 1.0);  // Capped.
+  ReliabilityModel expo(core::FailureDistribution::kExponential, sim_sec(100), 8, 1);
+  EXPECT_DOUBLE_EQ(expo.expected_failures(sim_sec(50)), 0.5);
+}
+
+TEST(ReliabilityModel, RejectsBadArgs) {
+  EXPECT_THROW(ReliabilityModel(core::FailureDistribution::kExponential, 0, 8, 1),
+               std::invalid_argument);
+  EXPECT_THROW(ReliabilityModel(core::FailureDistribution::kExponential, sim_sec(1), 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace exasim

@@ -1,0 +1,181 @@
+// netmodel: topology routing properties and LogGP-style timing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "netmodel/network.hpp"
+#include "netmodel/topology.hpp"
+#include "util/rng.hpp"
+
+namespace exasim {
+namespace {
+
+TEST(Torus3D, CoordinateRoundTrip) {
+  Torus3D t(4, 5, 6);
+  EXPECT_EQ(t.node_count(), 120);
+  for (int n = 0; n < t.node_count(); ++n) EXPECT_EQ(t.node_of(t.coord_of(n)), n);
+}
+
+TEST(Torus3D, WrapAroundShortensPaths) {
+  Torus3D t(8, 8, 8);
+  // Nodes 0 and 7 on the x ring: distance 1 via the wrap link.
+  EXPECT_EQ(t.hop_count(0, 7), 1);
+  // Opposite corners: each dimension contributes its half-ring (4).
+  const int far = t.node_of({4, 4, 4});
+  EXPECT_EQ(t.hop_count(0, far), 12);
+  EXPECT_EQ(t.diameter(), 12);
+}
+
+TEST(Torus3D, PaperConfiguration) {
+  // The paper's simulated system: 32,768 nodes in a 32x32x32 wrapped torus.
+  Torus3D t(32, 32, 32);
+  EXPECT_EQ(t.node_count(), 32768);
+  EXPECT_EQ(t.diameter(), 48);
+}
+
+TEST(Torus3D, FaceNeighborsAreOneHop) {
+  Torus3D t(4, 4, 4);
+  for (int n : {0, 21, 63}) {
+    for (int nb : t.face_neighbors(n)) {
+      EXPECT_EQ(t.hop_count(n, nb), 1);
+      EXPECT_NE(nb, n);
+    }
+  }
+}
+
+TEST(Mesh3D, NoWrapLinks) {
+  Mesh3D m(8, 1, 1);
+  EXPECT_EQ(m.hop_count(0, 7), 7);
+  EXPECT_EQ(m.diameter(), 7);
+}
+
+TEST(FatTree, TwoAndFourHopTiers) {
+  FatTree f(4, 3);
+  EXPECT_EQ(f.node_count(), 12);
+  EXPECT_EQ(f.hop_count(0, 0), 0);
+  EXPECT_EQ(f.hop_count(0, 3), 2);   // Same leaf switch.
+  EXPECT_EQ(f.hop_count(0, 4), 4);   // Cross switch.
+  EXPECT_EQ(f.diameter(), 4);
+}
+
+TEST(Dragonfly, HopTiers) {
+  Dragonfly d(4, 3, 2);  // 4 groups x 3 routers x 2 nodes = 24 nodes.
+  EXPECT_EQ(d.node_count(), 24);
+  EXPECT_EQ(d.hop_count(0, 0), 0);
+  EXPECT_EQ(d.hop_count(0, 1), 2);   // Same router.
+  EXPECT_EQ(d.hop_count(0, 2), 3);   // Same group, other router.
+  EXPECT_EQ(d.hop_count(0, 6), 5);   // Other group.
+  EXPECT_EQ(d.diameter(), 5);
+  EXPECT_EQ(d.group_of(7), 1);
+  EXPECT_EQ(d.name(), "dragonfly:4x3x2");
+}
+
+TEST(Star, TwoHopsViaHub) {
+  Star s(5);
+  EXPECT_EQ(s.hop_count(1, 4), 2);
+  EXPECT_EQ(s.hop_count(2, 2), 0);
+}
+
+// Property sweep over all topology kinds: hop counts are symmetric,
+// zero-on-diagonal, and bounded by the diameter.
+class TopologyProperties : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TopologyProperties, MetricInvariants) {
+  auto topo = make_topology(GetParam());
+  Rng rng(99);
+  const int n = topo->node_count();
+  for (int trial = 0; trial < 300; ++trial) {
+    const int a = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const int b = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const int ab = topo->hop_count(a, b);
+    EXPECT_EQ(ab, topo->hop_count(b, a)) << GetParam();
+    EXPECT_GE(ab, 0);
+    EXPECT_LE(ab, topo->diameter()) << GetParam();
+    EXPECT_EQ(topo->hop_count(a, a), 0);
+    if (a != b) EXPECT_GE(ab, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, TopologyProperties,
+                         ::testing::Values("torus:6x7x8", "mesh:5x4x3", "fattree:8x6",
+                                           "star:40", "dragonfly:4x4x4"));
+
+TEST(TopologyFactory, ParsesSpecs) {
+  EXPECT_EQ(make_topology("torus:2x3x4")->node_count(), 24);
+  EXPECT_EQ(make_topology("mesh:2x2x2")->name(), "mesh:2x2x2");
+  EXPECT_THROW(make_topology("torus:2x3"), std::invalid_argument);
+  EXPECT_THROW(make_topology("blah:4"), std::invalid_argument);
+  EXPECT_THROW(make_topology("noseparator"), std::invalid_argument);
+}
+
+TEST(NetworkModel, DeliveryTimeComposition) {
+  NetworkParams p;
+  p.link_latency = sim_us(1);
+  p.bandwidth_bytes_per_sec = 1e9;
+  p.per_message_overhead = sim_ns(100);
+  NetworkModel net(make_topology("mesh:4x1x1"), p);
+  // 0 -> 3: 3 hops; 1000 bytes -> 1 us serialization.
+  EXPECT_EQ(net.delivery_time(0, 3, 1000), sim_ns(100) + 3 * sim_us(1) + sim_us(1));
+  // Zero-byte control message.
+  EXPECT_EQ(net.delivery_time(0, 1, 0), sim_ns(100) + sim_us(1));
+}
+
+TEST(NetworkModel, SenderOccupancyUsesInjectionBandwidth) {
+  NetworkParams p;
+  p.per_message_overhead = sim_ns(100);
+  p.injection_bandwidth_bytes_per_sec = 1e9;
+  NetworkModel net(make_topology("star:4"), p);
+  EXPECT_EQ(net.sender_occupancy(1000), sim_ns(100) + sim_us(1));
+}
+
+TEST(NetworkModel, ProtocolThreshold) {
+  NetworkParams p;
+  p.eager_threshold = 1024;
+  NetworkModel net(make_topology("star:2"), p);
+  EXPECT_EQ(net.protocol_for(1024), Protocol::kEager);
+  EXPECT_EQ(net.protocol_for(1025), Protocol::kRendezvous);
+}
+
+TEST(NetworkModel, MonotoneInSizeAndDistance) {
+  NetworkParams p;
+  NetworkModel net(make_topology("torus:8x8x8"), p);
+  EXPECT_LE(net.delivery_time(0, 1, 100), net.delivery_time(0, 1, 10000));
+  const Torus3D t(8, 8, 8);
+  EXPECT_LT(net.delivery_time(0, t.node_of({1, 0, 0}), 64),
+            net.delivery_time(0, t.node_of({4, 4, 4}), 64));
+}
+
+TEST(HierarchicalNetwork, LevelsAndTimeouts) {
+  NetworkParams system, node, chip;
+  system.failure_timeout = sim_ms(100);
+  node.failure_timeout = sim_ms(10);
+  chip.failure_timeout = sim_ms(1);
+  chip.link_latency = sim_ns(50);
+  node.link_latency = sim_ns(200);
+  HierarchicalNetwork net(make_topology("torus:4x4x4"), system, node, chip,
+                          /*ranks_per_chip=*/2, /*chips_per_node=*/2);
+  using Level = HierarchicalNetwork::Level;
+  EXPECT_EQ(net.level_for(0, 1), Level::kOnChip);    // Same chip.
+  EXPECT_EQ(net.level_for(0, 2), Level::kOnNode);    // Same node, other chip.
+  EXPECT_EQ(net.level_for(0, 4), Level::kSystem);    // Next node.
+  EXPECT_EQ(net.failure_timeout(0, 1), sim_ms(1));
+  EXPECT_EQ(net.failure_timeout(0, 2), sim_ms(10));
+  EXPECT_EQ(net.failure_timeout(0, 4), sim_ms(100));
+  EXPECT_EQ(net.ranks_per_node(), 4);
+  EXPECT_EQ(net.node_of_rank(7), 1);
+  // On-chip transfer is faster than cross-system.
+  EXPECT_LT(net.delivery_time_ranks(0, 1, 64), net.delivery_time_ranks(0, 60, 64));
+}
+
+TEST(NetworkModel, RejectsBadParameters) {
+  NetworkParams p;
+  p.bandwidth_bytes_per_sec = -1;
+  NetworkModel net(make_topology("star:2"), NetworkParams{});
+  EXPECT_THROW(NetworkModel(nullptr, NetworkParams{}), std::invalid_argument);
+  EXPECT_THROW(NetworkModel(make_topology("star:2"), p).delivery_time(0, 1, 10),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace exasim

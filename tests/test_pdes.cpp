@@ -1,0 +1,199 @@
+// pdes: deterministic event ordering, dead-LP dropping, stall hooks, and
+// engine bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "pdes/engine.hpp"
+
+namespace exasim {
+namespace {
+
+struct IntPayload final : EventPayload {
+  explicit IntPayload(int v) : value(v) {}
+  int value;
+};
+
+/// Records delivered events; optional per-event callback.
+class RecorderLp : public LogicalProcess {
+ public:
+  void on_event(Engine& engine, Event&& ev) override {
+    delivered.push_back(std::move(ev));
+    if (callback) callback(engine, delivered.back());
+  }
+  bool on_stall(Engine& engine) override {
+    ++stall_calls;
+    if (stall_action) return stall_action(engine);
+    return false;
+  }
+  bool terminated() const override { return done; }
+
+  std::vector<Event> delivered;
+  std::function<void(Engine&, const Event&)> callback;
+  std::function<bool(Engine&)> stall_action;
+  int stall_calls = 0;
+  bool done = false;
+};
+
+TEST(Engine, DeliversInTimeOrder) {
+  Engine e;
+  RecorderLp lp;
+  lp.done = true;  // No stall involvement.
+  e.add_process(0, &lp);
+  e.schedule(30, 0, 1, nullptr);
+  e.schedule(10, 0, 2, nullptr);
+  e.schedule(20, 0, 3, nullptr);
+  e.run();
+  ASSERT_EQ(lp.delivered.size(), 3u);
+  EXPECT_EQ(lp.delivered[0].kind, 2);
+  EXPECT_EQ(lp.delivered[1].kind, 3);
+  EXPECT_EQ(lp.delivered[2].kind, 1);
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(Engine, ControlPriorityBeatsMessageAtSameTime) {
+  Engine e;
+  RecorderLp lp;
+  lp.done = true;
+  e.add_process(0, &lp);
+  e.schedule(5, 0, 1, nullptr, EventPriority::kMessage);
+  e.schedule(5, 0, 2, nullptr, EventPriority::kControl);
+  e.run();
+  ASSERT_EQ(lp.delivered.size(), 2u);
+  EXPECT_EQ(lp.delivered[0].kind, 2);
+  EXPECT_EQ(lp.delivered[1].kind, 1);
+}
+
+TEST(Engine, SequenceBreaksTiesDeterministically) {
+  Engine e;
+  RecorderLp lp;
+  lp.done = true;
+  e.add_process(0, &lp);
+  for (int i = 0; i < 10; ++i) e.schedule(7, 0, i, nullptr);
+  e.run();
+  ASSERT_EQ(lp.delivered.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(lp.delivered[static_cast<std::size_t>(i)].kind, i);
+}
+
+TEST(Engine, PayloadRoundTrips) {
+  Engine e;
+  RecorderLp lp;
+  lp.done = true;
+  e.add_process(0, &lp);
+  e.schedule(1, 0, 9, std::make_unique<IntPayload>(123));
+  e.run();
+  ASSERT_EQ(lp.delivered.size(), 1u);
+  auto* p = dynamic_cast<IntPayload*>(lp.delivered[0].payload.get());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->value, 123);
+}
+
+TEST(Engine, DeadLpEventsAreDropped) {
+  Engine e;
+  RecorderLp a, b;
+  a.done = b.done = true;
+  e.add_process(0, &a);
+  e.add_process(1, &b);
+  e.schedule(1, 0, 1, nullptr);
+  e.schedule(2, 1, 2, nullptr);
+  e.schedule(3, 1, 3, nullptr);
+  e.mark_dead(1);
+  e.run();
+  EXPECT_EQ(a.delivered.size(), 1u);
+  EXPECT_TRUE(b.delivered.empty());
+  EXPECT_EQ(e.events_dropped_dead(), 2u);
+  EXPECT_TRUE(e.is_dead(1));
+}
+
+TEST(Engine, EventsScheduledDuringDeliveryAreProcessed) {
+  Engine e;
+  RecorderLp lp;
+  lp.done = true;
+  lp.callback = [&](Engine& eng, const Event& ev) {
+    if (ev.kind == 1) eng.schedule(ev.time + 5, 0, 2, nullptr);
+  };
+  e.add_process(0, &lp);
+  e.schedule(1, 0, 1, nullptr);
+  e.run();
+  ASSERT_EQ(lp.delivered.size(), 2u);
+  EXPECT_EQ(lp.delivered[1].kind, 2);
+  EXPECT_EQ(lp.delivered[1].time, 6u);
+}
+
+TEST(Engine, StallHookRunsForUnterminatedLps) {
+  Engine e;
+  RecorderLp lp;  // Not terminated, no events.
+  e.add_process(0, &lp);
+  e.run();
+  EXPECT_EQ(lp.stall_calls, 1);
+  EXPECT_EQ(e.unterminated(), std::vector<LpId>{0});
+}
+
+TEST(Engine, StallProgressContinuesTheRun) {
+  Engine e;
+  RecorderLp lp;
+  lp.stall_action = [&](Engine& eng) {
+    // First stall: schedule a final event and terminate.
+    eng.schedule(100, 0, 7, nullptr);
+    lp.done = true;
+    return true;
+  };
+  e.add_process(0, &lp);
+  e.run();
+  // The event scheduled from the stall hook was delivered.
+  ASSERT_EQ(lp.delivered.size(), 1u);
+  EXPECT_EQ(lp.delivered[0].kind, 7);
+  EXPECT_TRUE(e.unterminated().empty());
+}
+
+TEST(Engine, RequestStopHaltsEarly) {
+  Engine e;
+  RecorderLp lp;
+  lp.done = true;
+  lp.callback = [](Engine& eng, const Event&) { eng.request_stop(); };
+  e.add_process(0, &lp);
+  e.schedule(1, 0, 1, nullptr);
+  e.schedule(2, 0, 2, nullptr);
+  e.run();
+  EXPECT_EQ(lp.delivered.size(), 1u);
+  EXPECT_EQ(e.events_pending(), 1u);
+}
+
+TEST(Engine, RejectsBadLpRegistration) {
+  Engine e;
+  RecorderLp lp;
+  EXPECT_THROW(e.add_process(-1, &lp), std::invalid_argument);
+  e.add_process(0, &lp);
+  EXPECT_THROW(e.add_process(0, &lp), std::invalid_argument);
+}
+
+TEST(Engine, UnknownTargetIsLogicError) {
+  Engine e;
+  RecorderLp lp;
+  lp.done = true;
+  e.add_process(0, &lp);
+  e.schedule(1, 5, 1, nullptr);
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+TEST(EventOrder, OrdersByTimePriositySeq) {
+  Event a, b;
+  a.time = 1;
+  b.time = 2;
+  EXPECT_TRUE(EventOrder{}(a, b));
+  b.time = 1;
+  a.priority = EventPriority::kControl;
+  b.priority = EventPriority::kMessage;
+  EXPECT_TRUE(EventOrder{}(a, b));
+  b.priority = EventPriority::kControl;
+  a.seq = 1;
+  b.seq = 2;
+  EXPECT_TRUE(EventOrder{}(a, b));
+}
+
+}  // namespace
+}  // namespace exasim

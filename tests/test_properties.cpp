@@ -1,0 +1,321 @@
+// Property-style sweeps across the whole stack: bit-determinism of arbitrary
+// traffic patterns, no-hang-under-failure for every collective, rendezvous
+// failure interleavings, and hierarchical-machine execution.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/heat3d.hpp"
+#include "core/runner.hpp"
+#include "sim_test_util.hpp"
+#include "util/rng.hpp"
+#include "vmpi/context.hpp"
+
+namespace exasim {
+namespace {
+
+using core::SimResult;
+using test::run_app;
+using test::tiny_config;
+using vmpi::Context;
+using vmpi::Err;
+
+test::QuietLogs quiet;
+
+// ---------------------------------------------------------------------------
+// Determinism: a randomized (but seeded) traffic pattern must produce
+// bit-identical virtual end times and event counts across repeated runs.
+// ---------------------------------------------------------------------------
+
+class DeterminismSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismSweep, RandomTrafficIsBitReproducible) {
+  const std::uint64_t seed = GetParam();
+  auto run_once = [&]() {
+    auto cfg = tiny_config(12);
+    auto app = [seed](Context& ctx) {
+      Rng rng(seed * 1000 + static_cast<std::uint64_t>(ctx.rank()));
+      // Random mix of compute, sends to random peers, and matching receives:
+      // every rank sends exactly 8 messages tagged by round; receives are
+      // sourced via a fixed permutation so the pattern always completes.
+      const int n = ctx.size();
+      for (int round = 0; round < 8; ++round) {
+        ctx.compute(rng.next_below(50'000));
+        const int dest = (ctx.rank() + 1 + static_cast<int>(rng.next_below(3))) % n;
+        std::uint64_t v = rng.next_u64();
+        // Tag encodes the destination choice so receivers can match blindly.
+        ctx.send(dest, round * 4 + (dest - ctx.rank() + n) % n, &v, sizeof v);
+      }
+      // Drain: receive everything addressed to me this round structure.
+      // Senders chose me with offset 1..3; probe-free approach: ANY_SOURCE
+      // receives until each round's expected count arrives is nondeterministic
+      // in count, so instead every rank just receives its own mirrored count:
+      // re-derive what each peer sent to me.
+      for (int src_off = 1; src_off <= 3; ++src_off) {
+        const int src = (ctx.rank() - src_off + 2 * n) % n;
+        Rng peer_rng(seed * 1000 + static_cast<std::uint64_t>(src));
+        for (int round = 0; round < 8; ++round) {
+          (void)peer_rng.next_below(50'000);
+          const int dest = (src + 1 + static_cast<int>(peer_rng.next_below(3))) % n;
+          (void)peer_rng.next_u64();
+          if (dest == ctx.rank()) {
+            std::uint64_t v = 0;
+            ctx.recv(src, round * 4 + src_off, &v, sizeof v);
+          }
+        }
+      }
+      ctx.finalize();
+    };
+    return run_app(cfg, app);
+  };
+  SimResult a = run_once();
+  SimResult b = run_once();
+  ASSERT_EQ(a.outcome, SimResult::Outcome::kCompleted);
+  EXPECT_EQ(a.max_end_time, b.max_end_time);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.total_busy_time, b.total_busy_time);
+  EXPECT_EQ(a.total_comm_time, b.total_comm_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep, ::testing::Values(1, 2, 3, 17, 99));
+
+// ---------------------------------------------------------------------------
+// No-hang property: killing any rank mid-collective must end in an abort (or
+// clean completion if the collective finished first) — never a deadlock.
+// ---------------------------------------------------------------------------
+
+enum class CollKind { kBarrier, kBcast, kReduce, kAllgather, kAlltoall };
+
+struct CollFailCase {
+  CollKind kind;
+  int victim;
+  SimTime when;
+};
+
+class CollectiveFailureSweep : public ::testing::TestWithParam<CollFailCase> {};
+
+TEST_P(CollectiveFailureSweep, AbortsInsteadOfHanging) {
+  const auto param = GetParam();
+  auto cfg = tiny_config(8);
+  cfg.failures = {FailureSpec{param.victim, param.when}};
+  auto app = [&](Context& ctx) {
+    // Skew arrival so the failure lands at different collective stages.
+    ctx.compute(static_cast<double>(ctx.rank()) * 1e3);
+    std::int64_t in = ctx.rank(), out = 0;
+    std::vector<std::int64_t> buf(static_cast<std::size_t>(ctx.size()));
+    switch (param.kind) {
+      case CollKind::kBarrier: ctx.barrier(ctx.world()); break;
+      case CollKind::kBcast: ctx.bcast(ctx.world(), 0, &in, sizeof in); break;
+      case CollKind::kReduce:
+        ctx.reduce(ctx.world(), 2, vmpi::ReduceOp::kSum, vmpi::Dtype::kI64, &in, &out, 1);
+        break;
+      case CollKind::kAllgather:
+        ctx.allgather(ctx.world(), &in, sizeof in, buf.data());
+        break;
+      case CollKind::kAlltoall:
+        ctx.alltoall(ctx.world(), buf.data(), sizeof(std::int64_t), buf.data());
+        break;
+    }
+    ctx.barrier(ctx.world());  // Second collective exercises post-failure ops.
+    ctx.finalize();
+  };
+  SimResult r = run_app(cfg, app);
+  // Never a deadlock; with these early failure times, always an abort.
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kAborted);
+  EXPECT_EQ(r.failed_count, 1);
+  ASSERT_TRUE(r.abort_time.has_value());
+  EXPECT_GE(*r.abort_time, param.when);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CollectiveFailureSweep,
+    ::testing::Values(CollFailCase{CollKind::kBarrier, 0, sim_us(1)},
+                      CollFailCase{CollKind::kBarrier, 7, sim_us(2)},
+                      CollFailCase{CollKind::kBarrier, 3, sim_us(5)},
+                      CollFailCase{CollKind::kBcast, 0, sim_us(1)},
+                      CollFailCase{CollKind::kBcast, 5, sim_us(3)},
+                      CollFailCase{CollKind::kReduce, 2, sim_us(1)},
+                      CollFailCase{CollKind::kReduce, 6, sim_us(4)},
+                      CollFailCase{CollKind::kAllgather, 1, sim_us(2)},
+                      CollFailCase{CollKind::kAlltoall, 4, sim_us(3)}));
+
+// ---------------------------------------------------------------------------
+// Rendezvous failure interleavings.
+// ---------------------------------------------------------------------------
+
+TEST(RendezvousFailure, SenderDiesAfterRtsReceiverTimesOut) {
+  // Receiver matches the RTS and waits for data that never comes (the sender
+  // died before its CTS arrived): the kAwaitingData request must be released
+  // by the failure notice.
+  Err got = Err::kSuccess;
+  auto cfg = tiny_config(2);
+  cfg.net.eager_threshold = 1024;  // Force rendezvous for 4 KiB.
+  cfg.failures = {FailureSpec{0, sim_us(10)}};
+  auto app = [&](Context& ctx) {
+    std::vector<std::byte> buf(4096);
+    if (ctx.rank() == 0) {
+      // Post the rendezvous send, then die while waiting for the CTS (the
+      // receiver only posts its recv after 1 ms, far past our failure time).
+      ctx.send(1, 0, buf.data(), buf.size());
+    } else {
+      ctx.set_error_handler(ctx.world(), vmpi::ErrorHandlerKind::kReturn);
+      ctx.compute(1e6);  // 1 ms: the sender is long dead.
+      got = ctx.recv(0, 0, buf.data(), buf.size());
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(cfg, app);
+  EXPECT_EQ(got, Err::kProcFailed);
+  EXPECT_EQ(r.failed_count, 1);
+  EXPECT_EQ(r.finished_count, 1);
+}
+
+TEST(RendezvousFailure, SendPostedToKnownDeadReceiverTimesOut) {
+  Err got = Err::kSuccess;
+  auto cfg = tiny_config(2);
+  cfg.net.eager_threshold = 1024;
+  cfg.failures = {FailureSpec{1, sim_us(50)}};
+  auto app = [&](Context& ctx) {
+    std::vector<std::byte> buf(1 << 20);  // 1 MiB: long transfer.
+    if (ctx.rank() == 0) {
+      ctx.set_error_handler(ctx.world(), vmpi::ErrorHandlerKind::kReturn);
+      ctx.compute(1e5);  // Post the send around t=100us, after the failure.
+      got = ctx.send(1, 0, buf.data(), buf.size());
+    } else {
+      int v = 0;
+      ctx.recv(0, 9, &v, sizeof v);  // Blocked on an unrelated tag -> dies.
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(cfg, app);
+  EXPECT_EQ(got, Err::kProcFailed);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+}
+
+TEST(RendezvousFailure, RecvPostedAfterNoticeMatchingDeadSendersRtsTimesOut) {
+  // The RTS from the (now dead) sender already sits in the unexpected queue
+  // and the failure notice has been processed; a receive posted afterwards
+  // matches the RTS, enters the awaiting-data state, and must still be
+  // released by timeout rather than hanging.
+  Err got = Err::kSuccess;
+  auto cfg = tiny_config(2);
+  cfg.net.eager_threshold = 1024;
+  cfg.failures = {FailureSpec{0, sim_us(10)}};
+  auto app = [&](Context& ctx) {
+    std::vector<std::byte> buf(4096);
+    if (ctx.rank() == 0) {
+      ctx.send(1, 0, buf.data(), buf.size());  // RTS out; dies awaiting CTS.
+    } else {
+      ctx.set_error_handler(ctx.world(), vmpi::ErrorHandlerKind::kReturn);
+      // Learn of the failure first (blocked past the notice), then post.
+      int v = 0;
+      Err first = ctx.recv(0, 9, &v, sizeof v);  // Unrelated tag: times out.
+      EXPECT_EQ(first, Err::kProcFailed);
+      EXPECT_FALSE(ctx.failed_peers().empty());
+      got = ctx.recv(0, 0, buf.data(), buf.size());  // Matches the dead RTS.
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(cfg, app);
+  EXPECT_EQ(got, Err::kProcFailed);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical machine end-to-end: multiple ranks per node.
+// ---------------------------------------------------------------------------
+
+TEST(Hierarchy, HeatRunsWithMultipleRanksPerNode) {
+  NetworkParams system, node, chip;
+  system.link_latency = sim_us(1);
+  node.link_latency = sim_ns(200);
+  chip.link_latency = sim_ns(50);
+  auto net = std::make_shared<HierarchicalNetwork>(make_topology("mesh:2x1x1"), system, node,
+                                                   chip, /*ranks_per_chip=*/2,
+                                                   /*chips_per_node=*/2);
+  core::SimConfig cfg = tiny_config(8);
+  cfg.network = net;
+  cfg.ranks_per_node = 4;
+
+  apps::HeatParams heat;
+  heat.nx = heat.ny = heat.nz = 8;
+  heat.px = heat.py = heat.pz = 2;
+  heat.total_iterations = 20;
+  heat.halo_interval = 5;
+  heat.checkpoint_interval = 5;
+  core::RunnerConfig rc;
+  rc.base = cfg;
+  std::vector<apps::HeatReport> reports(8);
+  core::ResilientRunner runner(rc, apps::make_heat3d(heat, &reports));
+  core::RunnerResult res = runner.run();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(reports[0].completed_iterations, 20);
+}
+
+TEST(Hierarchy, IntraNodeTrafficIsFasterThanInterNode) {
+  NetworkParams system, node, chip;
+  system.link_latency = sim_us(10);
+  node.link_latency = sim_ns(100);
+  chip.link_latency = sim_ns(100);
+  auto net = std::make_shared<HierarchicalNetwork>(make_topology("mesh:2x1x1"), system, node,
+                                                   chip, 2, 1);
+  auto timed_pair = [&](int src, int dst) {
+    core::SimConfig cfg = tiny_config(4);
+    cfg.network = net;
+    cfg.ranks_per_node = 2;
+    SimTime end = 0;
+    auto app = [&](Context& ctx) {
+      int v = 0;
+      if (ctx.rank() == src) ctx.send(dst, 0, &v, sizeof v);
+      if (ctx.rank() == dst) {
+        ctx.recv(src, 0, &v, sizeof v);
+        end = ctx.now();
+      }
+      ctx.finalize();
+    };
+    run_app(cfg, app);
+    return end;
+  };
+  EXPECT_LT(timed_pair(0, 1), timed_pair(0, 2));  // Same node vs cross-node.
+}
+
+// ---------------------------------------------------------------------------
+// Many outstanding requests complete regardless of posting order.
+// ---------------------------------------------------------------------------
+
+TEST(Stress, HundredOutstandingRequestsAnyOrder) {
+  constexpr int kMsgs = 100;
+  int received = 0;
+  auto app = [&](Context& ctx) {
+    auto& w = ctx.world();
+    if (ctx.rank() == 0) {
+      std::vector<vmpi::RequestHandle> hs;
+      std::vector<int> vals(kMsgs);
+      for (int i = 0; i < kMsgs; ++i) {
+        vals[static_cast<std::size_t>(i)] = i;
+        hs.push_back(ctx.isend(w, 1, i, &vals[static_cast<std::size_t>(i)], sizeof(int)));
+      }
+      EXPECT_EQ(ctx.waitall(w, hs, nullptr), Err::kSuccess);
+    } else {
+      // Post receives in reverse tag order, forcing unexpected-queue matches.
+      std::vector<vmpi::RequestHandle> hs;
+      std::vector<int> got(kMsgs, -1);
+      ctx.elapse(sim_ms(1));  // Let all sends land first.
+      for (int i = kMsgs - 1; i >= 0; --i) {
+        hs.push_back(ctx.irecv(w, 0, i, &got[static_cast<std::size_t>(i)], sizeof(int)));
+      }
+      EXPECT_EQ(ctx.waitall(w, hs, nullptr), Err::kSuccess);
+      for (int i = 0; i < kMsgs; ++i) {
+        if (got[static_cast<std::size_t>(i)] == i) ++received;
+      }
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(2), app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  EXPECT_EQ(received, kMsgs);
+}
+
+}  // namespace
+}  // namespace exasim

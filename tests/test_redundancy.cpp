@@ -1,0 +1,225 @@
+// redundancy: redMPI-style process-level replication — transparent
+// plane/group mapping, SDC detection via message-hash comparison, majority
+// correction under triple redundancy, isolation mode as a propagation
+// tracker (paper §II-C).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "redundancy/redundant.hpp"
+#include "sim_test_util.hpp"
+#include "vmpi/context.hpp"
+
+namespace exasim {
+namespace {
+
+using core::SimResult;
+using redundancy::RedundancyConfig;
+using redundancy::RedundantContext;
+using test::run_app;
+using test::tiny_config;
+using vmpi::Context;
+using vmpi::Err;
+
+test::QuietLogs quiet;
+
+TEST(Redundancy, HashIsStableAndSensitive) {
+  const char a[] = "hello world";
+  const char b[] = "hello worle";
+  EXPECT_EQ(redundancy::message_hash(a, sizeof a), redundancy::message_hash(a, sizeof a));
+  EXPECT_NE(redundancy::message_hash(a, sizeof a), redundancy::message_hash(b, sizeof b));
+  EXPECT_NE(redundancy::message_hash(a, 5), redundancy::message_hash(a, 6));
+}
+
+TEST(Redundancy, MappingSplitsPlanesAndGroups) {
+  // 4 app ranks x 2 replicas = 8 world ranks.
+  std::vector<int> app_rank(8, -1), replica(8, -1);
+  auto app = [&](Context& ctx) {
+    RedundancyConfig cfg;
+    cfg.replication = 2;
+    RedundantContext red(ctx, cfg);
+    app_rank[ctx.rank()] = red.rank();
+    replica[ctx.rank()] = red.replica();
+    EXPECT_EQ(red.size(), 4);
+    red.finalize();
+  };
+  SimResult r = run_app(tiny_config(8), app);
+  ASSERT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  for (int w = 0; w < 8; ++w) {
+    EXPECT_EQ(app_rank[w], w % 4);
+    EXPECT_EQ(replica[w], w / 4);
+  }
+}
+
+TEST(Redundancy, RejectsBadConfiguration) {
+  auto app = [&](Context& ctx) {
+    RedundancyConfig cfg;
+    cfg.replication = 2;
+    if (ctx.size() % 2 != 0) {
+      EXPECT_THROW(RedundantContext(ctx, cfg), std::invalid_argument);
+    }
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(tiny_config(3), app).outcome, SimResult::Outcome::kCompleted);
+}
+
+TEST(Redundancy, CleanTrafficFlowsWithoutDivergence) {
+  // Ring of sends under dual redundancy: all replicas see identical data.
+  std::vector<std::uint64_t> divergences(12, 99);
+  auto app = [&](Context& ctx) {
+    RedundancyConfig cfg;
+    cfg.replication = 2;
+    RedundantContext red(ctx, cfg);
+    const int next = (red.rank() + 1) % red.size();
+    const int prev = (red.rank() + red.size() - 1) % red.size();
+    std::uint64_t out = 42 + red.rank(), in = 0;
+    if (red.rank() == 0) {
+      EXPECT_EQ(red.send(next, 1, &out, sizeof out), Err::kSuccess);
+      EXPECT_EQ(red.recv(prev, 1, &in, sizeof in), Err::kSuccess);
+    } else {
+      EXPECT_EQ(red.recv(prev, 1, &in, sizeof in), Err::kSuccess);
+      EXPECT_EQ(red.send(next, 1, &out, sizeof out), Err::kSuccess);
+    }
+    divergences[ctx.rank()] = red.stats().divergences;
+    red.finalize();
+  };
+  SimResult r = run_app(tiny_config(12), app);  // 6 app ranks x 2.
+  ASSERT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  for (auto d : divergences) EXPECT_EQ(d, 0u);
+}
+
+TEST(Redundancy, DualRedundancyDetectsCorruptionButCannotCorrect) {
+  // Replica 1 of app rank 0 sends corrupted data; the receiving group
+  // (replicas of app rank 1) must detect the divergence.
+  std::vector<std::uint64_t> detected(4, 0), uncorrectable(4, 0);
+  auto app = [&](Context& ctx) {
+    RedundancyConfig cfg;
+    cfg.replication = 2;
+    RedundantContext red(ctx, cfg);
+    std::uint64_t payload = 1000;
+    if (red.rank() == 0) {
+      if (red.replica() == 1) payload ^= 1ull << 17;  // Injected SDC.
+      EXPECT_EQ(red.send(1, 0, &payload, sizeof payload), Err::kSuccess);
+    } else {
+      std::uint64_t in = 0;
+      EXPECT_EQ(red.recv(0, 0, &in, sizeof in), Err::kSuccess);
+    }
+    detected[ctx.rank()] = red.stats().divergences;
+    uncorrectable[ctx.rank()] = red.stats().uncorrectable;
+    red.finalize();
+  };
+  SimResult r = run_app(tiny_config(4), app);  // 2 app ranks x 2.
+  ASSERT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  // Both replicas of app rank 1 observed the divergence, uncorrectable.
+  EXPECT_EQ(detected[1], 1u);
+  EXPECT_EQ(detected[3], 1u);
+  EXPECT_EQ(uncorrectable[1], 1u);
+  EXPECT_EQ(uncorrectable[3], 1u);
+}
+
+TEST(Redundancy, TripleRedundancyCorrectsTheDivergedReplica) {
+  // One of three sender replicas corrupts its message; the diverged receiver
+  // replica must end up with the majority payload.
+  std::vector<std::uint64_t> received(6, 0);
+  std::vector<std::uint64_t> corrected(6, 0);
+  auto app = [&](Context& ctx) {
+    RedundancyConfig cfg;
+    cfg.replication = 3;
+    RedundantContext red(ctx, cfg);
+    std::uint64_t payload = 5555;
+    if (red.rank() == 0) {
+      if (red.replica() == 2) payload = 6666;  // Injected SDC at one replica.
+      EXPECT_EQ(red.send(1, 0, &payload, sizeof payload), Err::kSuccess);
+    } else {
+      std::uint64_t in = 0;
+      EXPECT_EQ(red.recv(0, 0, &in, sizeof in), Err::kSuccess);
+      received[ctx.rank()] = in;
+      corrected[ctx.rank()] = red.stats().corrected;
+    }
+    red.finalize();
+  };
+  SimResult r = run_app(tiny_config(6), app);  // 2 app ranks x 3.
+  ASSERT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  // All receiving replicas (world ranks 1, 3, 5) hold the majority value.
+  EXPECT_EQ(received[1], 5555u);
+  EXPECT_EQ(received[3], 5555u);
+  EXPECT_EQ(received[5], 5555u);
+  // Exactly the replica that got the corrupt copy was corrected.
+  EXPECT_EQ(corrected[1] + corrected[3] + corrected[5], 1u);
+  EXPECT_EQ(corrected[5], 1u);
+}
+
+TEST(Redundancy, IsolationModeLetsCorruptionPropagate) {
+  // redMPI as a fault-injection observation tool: correction and detection
+  // off, replicas isolated; a corrupted replica plane diverges while the
+  // clean plane computes the truth — comparing the planes afterwards tracks
+  // propagation (paper §II-C).
+  std::vector<double> plane_result(6, 0);
+  auto app = [&](Context& ctx) {
+    RedundancyConfig cfg;
+    cfg.replication = 2;
+    cfg.detect = false;
+    RedundantContext red(ctx, cfg);
+    double x = red.rank() + 1.0;
+    if (red.replica() == 1 && red.rank() == 0) x += 1000.0;  // Injected SDC.
+    double sum = 0;
+    EXPECT_EQ(red.allreduce(vmpi::ReduceOp::kSum, vmpi::Dtype::kF64, &x, &sum, 1),
+              Err::kSuccess);
+    plane_result[ctx.rank()] = sum;
+    red.finalize();
+  };
+  SimResult r = run_app(tiny_config(6), app);  // 3 app ranks x 2.
+  ASSERT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  // Clean plane (world 0..2): 1+2+3 = 6. Corrupted plane (world 3..5): 1006.
+  for (int w : {0, 1, 2}) EXPECT_DOUBLE_EQ(plane_result[w], 6.0);
+  for (int w : {3, 4, 5}) EXPECT_DOUBLE_EQ(plane_result[w], 1006.0);
+}
+
+TEST(Redundancy, AllreduceComparisonDetectsSingleReplicaCorruption) {
+  std::vector<std::uint64_t> divergences(6, 0);
+  std::vector<double> results(6, 0);
+  auto app = [&](Context& ctx) {
+    RedundancyConfig cfg;
+    cfg.replication = 3;
+    RedundantContext red(ctx, cfg);
+    double x = 1.0;
+    if (ctx.rank() == 4) x = 1.0000001;  // Replica 2 of app rank 0 diverges.
+    double sum = 0;
+    EXPECT_EQ(red.allreduce(vmpi::ReduceOp::kSum, vmpi::Dtype::kF64, &x, &sum, 1),
+              Err::kSuccess);
+    divergences[ctx.rank()] = red.stats().divergences;
+    results[ctx.rank()] = sum;
+    red.finalize();
+  };
+  SimResult r = run_app(tiny_config(6), app);  // 2 app ranks x 3.
+  ASSERT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  // Every group saw the divergence (the corrupt value spread through the
+  // corrupted plane's allreduce), and correction restored the majority.
+  for (int w = 0; w < 6; ++w) {
+    EXPECT_EQ(divergences[w], 1u) << "world rank " << w;
+    EXPECT_DOUBLE_EQ(results[w], 2.0) << "world rank " << w;
+  }
+}
+
+TEST(Redundancy, StatsCountMessages) {
+  auto app = [&](Context& ctx) {
+    RedundancyConfig cfg;
+    cfg.replication = 2;
+    RedundantContext red(ctx, cfg);
+    std::uint64_t v = 1;
+    for (int i = 0; i < 5; ++i) {
+      if (red.rank() == 0) {
+        EXPECT_EQ(red.send(1, i, &v, sizeof v), Err::kSuccess);
+      } else {
+        EXPECT_EQ(red.recv(0, i, &v, sizeof v), Err::kSuccess);
+        EXPECT_EQ(red.stats().messages, static_cast<std::uint64_t>(i + 1));
+      }
+    }
+    red.finalize();
+  };
+  EXPECT_EQ(run_app(tiny_config(4), app).outcome, SimResult::Outcome::kCompleted);
+}
+
+}  // namespace
+}  // namespace exasim

@@ -1,0 +1,184 @@
+// ResilientRunner: the paper's operational loop — E1/E2/F/MTTF_a accounting,
+// virtual-clock continuity across restarts, checkpoint scrubbing, and
+// determinism (paper §IV-E, §V-E).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "apps/heat3d.hpp"
+#include "core/runner.hpp"
+#include "core/simtimefile.hpp"
+#include "sim_test_util.hpp"
+
+namespace exasim {
+namespace {
+
+using apps::HeatParams;
+using core::ResilientRunner;
+using core::RunnerConfig;
+using core::RunnerResult;
+
+test::QuietLogs quiet;
+
+HeatParams small_heat(int ckpt_interval) {
+  HeatParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.px = p.py = p.pz = 2;  // 8 ranks, 4^3 local cubes.
+  p.total_iterations = 40;
+  p.halo_interval = ckpt_interval;
+  p.checkpoint_interval = ckpt_interval;
+  p.real_compute = true;
+  p.work_units_per_point = 1000.0;  // 64 us/iteration/rank at 1 ns/unit.
+  return p;
+}
+
+RunnerConfig small_runner(int ckpt_interval) {
+  RunnerConfig rc;
+  rc.base = test::tiny_config(8);
+  (void)ckpt_interval;
+  return rc;
+}
+
+TEST(Runner, BaselineWithoutFailuresCompletesInOneLaunch) {
+  RunnerConfig rc = small_runner(10);
+  ResilientRunner runner(rc, apps::make_heat3d(small_heat(10)));
+  RunnerResult res = runner.run();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.launches, 1);
+  EXPECT_EQ(res.failures, 0);
+  EXPECT_GT(res.total_time, 0u);
+  EXPECT_DOUBLE_EQ(res.app_mttf_seconds, to_seconds(res.total_time));
+}
+
+TEST(Runner, DeterministicFirstRunFailureCausesOneRestart) {
+  RunnerConfig rc = small_runner(10);
+  // Fail rank 3 mid-run (iteration ~20 of 40).
+  rc.first_run_failures = {FailureSpec{3, sim_us(20 * 64)}};
+  std::vector<apps::HeatReport> reports(8);
+  ResilientRunner runner(rc, apps::make_heat3d(small_heat(10), &reports));
+  RunnerResult res = runner.run();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.launches, 2);
+  EXPECT_EQ(res.failures, 1);
+  EXPECT_EQ(reports[0].restarts_used, 1);  // Second launch restored a checkpoint.
+  EXPECT_NEAR(res.app_mttf_seconds, to_seconds(res.total_time) / 2.0, 1e-12);
+}
+
+TEST(Runner, E2ExceedsE1UnderFailures) {
+  // E1: no failures.
+  RunnerResult e1 = ResilientRunner(small_runner(10), apps::make_heat3d(small_heat(10))).run();
+  ASSERT_TRUE(e1.completed);
+
+  // E2: random failures with an MTTF comparable to the run length.
+  RunnerConfig rc = small_runner(10);
+  rc.system_mttf = e1.total_time;  // Aggressive but finite.
+  rc.seed = 7;
+  RunnerResult e2 = ResilientRunner(rc, apps::make_heat3d(small_heat(10))).run();
+  ASSERT_TRUE(e2.completed);
+  if (e2.failures > 0) {
+    EXPECT_GT(e2.total_time, e1.total_time);
+    EXPECT_LT(e2.app_mttf_seconds, to_seconds(e2.total_time));
+  } else {
+    EXPECT_EQ(e2.total_time, e1.total_time);
+  }
+}
+
+TEST(Runner, VirtualClockIsContinuousAcrossRestarts) {
+  RunnerConfig rc = small_runner(10);
+  rc.first_run_failures = {FailureSpec{1, sim_us(500)}};
+  ResilientRunner runner(rc, apps::make_heat3d(small_heat(10)));
+  RunnerResult res = runner.run();
+  ASSERT_TRUE(res.completed);
+  ASSERT_EQ(res.run_results.size(), 2u);
+  // The second launch's end time continues past the first launch's abort
+  // time (clocks initialized from the persisted exit time, §IV-E).
+  EXPECT_GT(res.run_results[1].max_end_time, res.run_results[0].max_end_time);
+  EXPECT_EQ(res.total_time, res.run_results[1].max_end_time);
+}
+
+TEST(Runner, DeterministicAcrossRepetitions) {
+  auto run_once = [] {
+    RunnerConfig rc;
+    rc.base = test::tiny_config(8);
+    rc.system_mttf = sim_ms(3);
+    rc.seed = 12345;
+    ResilientRunner runner(rc, apps::make_heat3d(small_heat(5)));
+    return runner.run();
+  };
+  RunnerResult a = run_once();
+  RunnerResult b = run_once();
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.launches, b.launches);
+}
+
+TEST(Runner, SeedChangesOutcome) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    RunnerConfig rc;
+    rc.base = test::tiny_config(8);
+    rc.system_mttf = sim_ms(2);
+    rc.seed = seed;
+    ResilientRunner runner(rc, apps::make_heat3d(small_heat(5)));
+    return runner.run().total_time;
+  };
+  // Not guaranteed different for every pair, but these seeds diverge.
+  EXPECT_NE(run_with_seed(1), run_with_seed(999));
+}
+
+TEST(Runner, RestartOverheadAccumulates) {
+  RunnerConfig rc = small_runner(10);
+  rc.first_run_failures = {FailureSpec{1, sim_us(500)}};
+  RunnerResult without = ResilientRunner(rc, apps::make_heat3d(small_heat(10))).run();
+  rc.restart_overhead = sim_sec(1);
+  RunnerResult with = ResilientRunner(rc, apps::make_heat3d(small_heat(10))).run();
+  ASSERT_TRUE(without.completed);
+  ASSERT_TRUE(with.completed);
+  EXPECT_EQ(with.total_time, without.total_time + sim_sec(1));
+}
+
+TEST(Runner, RejectsManagedFieldsInBase) {
+  RunnerConfig rc;
+  rc.base = test::tiny_config(2);
+  rc.base.initial_time = 5;
+  EXPECT_THROW(ResilientRunner(rc, apps::make_heat3d(small_heat(10))), std::invalid_argument);
+}
+
+TEST(Runner, ScrubRemovesBrokenSetsBetweenLaunches) {
+  RunnerConfig rc = small_runner(10);
+  // Failure at an iteration boundary likely to interrupt checkpointing at
+  // some rank; regardless, after completion only complete sets remain.
+  rc.first_run_failures = {FailureSpec{2, sim_us(10 * 64 + 5)}};
+  ResilientRunner runner(rc, apps::make_heat3d(small_heat(10)));
+  RunnerResult res = runner.run();
+  ASSERT_TRUE(res.completed);
+  for (auto v : runner.checkpoints().versions()) {
+    EXPECT_TRUE(runner.checkpoints().set_complete(v));
+  }
+}
+
+TEST(SimTimeFile, SaveLoadResetRoundTrip) {
+  const std::string path = "/tmp/exasim_test_simtime.txt";
+  core::SimTimeFile f(path);
+  f.reset();
+  EXPECT_FALSE(f.load().has_value());
+  ASSERT_TRUE(f.save(sim_sec(1234)));
+  EXPECT_EQ(f.load(), sim_sec(1234));
+  f.reset();
+  EXPECT_FALSE(f.load().has_value());
+}
+
+TEST(Runner, WritesSimTimeFileWhenConfigured) {
+  const std::string path = "/tmp/exasim_test_runner_time.txt";
+  RunnerConfig rc = small_runner(10);
+  rc.sim_time_file = path;
+  ResilientRunner runner(rc, apps::make_heat3d(small_heat(10)));
+  RunnerResult res = runner.run();
+  ASSERT_TRUE(res.completed);
+  core::SimTimeFile f(path);
+  EXPECT_EQ(f.load(), res.total_time);
+  f.reset();
+}
+
+}  // namespace
+}  // namespace exasim

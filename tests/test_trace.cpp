@@ -1,0 +1,210 @@
+// vmpi trace + performance accounting: MPI-operation records, markers,
+// rendering, and the always-on compute/communication breakdown.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/machine.hpp"
+#include "sim_test_util.hpp"
+#include "vmpi/context.hpp"
+#include "vmpi/trace.hpp"
+
+namespace exasim {
+namespace {
+
+using core::Machine;
+using core::SimResult;
+using test::tiny_config;
+using vmpi::Context;
+using vmpi::TraceRecord;
+
+test::QuietLogs quiet;
+
+TEST(Trace, RecordsSendAndRecvWithTimes) {
+  auto cfg = tiny_config(2);
+  cfg.trace = true;
+  Machine m(cfg, [](Context& ctx) {
+    std::uint64_t v = 7;
+    if (ctx.rank() == 0) {
+      ctx.send(1, 5, &v, sizeof v);
+    } else {
+      ctx.recv(0, 5, &v, sizeof v);
+    }
+    ctx.finalize();
+  });
+  m.run();
+  ASSERT_NE(m.trace(), nullptr);
+  const auto& recs = m.trace()->records();
+  ASSERT_EQ(recs.size(), 2u);
+
+  const TraceRecord* send = nullptr;
+  const TraceRecord* recv = nullptr;
+  for (const auto& r : recs) {
+    if (r.op == TraceRecord::Op::kSend) send = &r;
+    if (r.op == TraceRecord::Op::kRecv) recv = &r;
+  }
+  ASSERT_NE(send, nullptr);
+  ASSERT_NE(recv, nullptr);
+  EXPECT_EQ(send->rank, 0);
+  EXPECT_EQ(send->peer, 1);
+  EXPECT_EQ(send->tag, 5);
+  EXPECT_EQ(send->bytes, sizeof(std::uint64_t));
+  EXPECT_EQ(recv->rank, 1);
+  EXPECT_EQ(recv->peer, 0);
+  EXPECT_GE(recv->end, send->start);
+  EXPECT_LE(send->start, send->end);
+}
+
+TEST(Trace, RecordsErrorsOnFailedOperations) {
+  auto cfg = tiny_config(2);
+  cfg.trace = true;
+  cfg.failures = {FailureSpec{1, sim_us(1)}};
+  Machine m(cfg, [](Context& ctx) {
+    ctx.set_error_handler(ctx.world(), vmpi::ErrorHandlerKind::kReturn);
+    if (ctx.rank() == 0) {
+      int v = 0;
+      ctx.recv(1, 0, &v, sizeof v);
+    } else {
+      int v = 0;
+      ctx.recv(0, 9, &v, sizeof v);  // Dies blocked.
+    }
+    ctx.finalize();
+  });
+  m.run();
+  bool saw_failed = false;
+  for (const auto& r : m.trace()->records()) {
+    if (r.error == vmpi::Err::kProcFailed) saw_failed = true;
+  }
+  EXPECT_TRUE(saw_failed);
+}
+
+TEST(Trace, MarkersCarryLabels) {
+  auto cfg = tiny_config(1);
+  cfg.trace = true;
+  Machine m(cfg, [](Context& ctx) {
+    ctx.compute(1e3);
+    ctx.trace_marker("phase:checkpoint");
+    ctx.finalize();
+  });
+  m.run();
+  ASSERT_EQ(m.trace()->size(), 1u);
+  const auto& rec = m.trace()->records().front();
+  EXPECT_EQ(rec.op, TraceRecord::Op::kMarker);
+  EXPECT_EQ(rec.marker, "phase:checkpoint");
+  EXPECT_EQ(rec.start, sim_us(1));
+}
+
+TEST(Trace, MarkerIsNoOpWithoutTracing) {
+  auto cfg = tiny_config(1);
+  Machine m(cfg, [](Context& ctx) {
+    ctx.trace_marker("ignored");
+    ctx.finalize();
+  });
+  EXPECT_EQ(m.run().outcome, SimResult::Outcome::kCompleted);
+  EXPECT_EQ(m.trace(), nullptr);
+}
+
+TEST(Trace, RenderSortsByTimeAndFormats) {
+  vmpi::MemoryTraceSink sink;
+  TraceRecord a;
+  a.op = TraceRecord::Op::kSend;
+  a.rank = 1;
+  a.start = sim_us(20);
+  a.end = sim_us(22);
+  a.peer = 0;
+  a.tag = 3;
+  a.bytes = 64;
+  TraceRecord b;
+  b.op = TraceRecord::Op::kMarker;
+  b.rank = 0;
+  b.start = b.end = sim_us(10);
+  b.marker = "begin";
+  sink.record(a);
+  sink.record(b);
+  const std::string text = sink.render();
+  const auto marker_pos = text.find("marker=begin");
+  const auto send_pos = text.find("op=send");
+  ASSERT_NE(marker_pos, std::string::npos);
+  ASSERT_NE(send_pos, std::string::npos);
+  EXPECT_LT(marker_pos, send_pos);  // Sorted by start time.
+  EXPECT_NE(text.find("peer=0"), std::string::npos);
+  EXPECT_NE(text.find("bytes=64"), std::string::npos);
+}
+
+TEST(Trace, CollectiveTrafficAppearsAtP2pLevel) {
+  auto cfg = tiny_config(4);
+  cfg.trace = true;
+  Machine m(cfg, [](Context& ctx) {
+    ctx.barrier(ctx.world());
+    ctx.finalize();
+  });
+  m.run();
+  // Linear barrier over 4 ranks: 2 * 3 sends + 2 * 3 recvs = 12 records.
+  EXPECT_EQ(m.trace()->size(), 12u);
+}
+
+TEST(Accounting, ComputeAndCommSplitIsSane) {
+  auto cfg = tiny_config(2);
+  SimResult result;
+  Machine m(cfg, [](Context& ctx) {
+    ctx.compute(1e6);  // 1 ms busy.
+    std::uint64_t v = 1;
+    if (ctx.rank() == 0) {
+      ctx.send(1, 0, &v, sizeof v);
+    } else {
+      ctx.recv(0, 0, &v, sizeof v);
+    }
+    ctx.finalize();
+  });
+  result = m.run();
+  EXPECT_EQ(result.total_busy_time, 2 * sim_ms(1));
+  EXPECT_GT(result.total_comm_time, 0u);
+  EXPECT_LT(result.total_comm_time, sim_ms(1));
+  EXPECT_GT(result.compute_fraction, 0.5);
+  EXPECT_LT(result.compute_fraction, 1.0);
+  // Per-rank accessors agree with the totals.
+  EXPECT_EQ(m.rank_busy_time(0) + m.rank_busy_time(1), result.total_busy_time);
+}
+
+TEST(Accounting, CommBoundAppHasLowComputeFraction) {
+  auto cfg = tiny_config(2);
+  Machine m(cfg, [](Context& ctx) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 50; ++i) {
+      if (ctx.rank() == 0) {
+        ctx.send(1, 0, &v, sizeof v);
+        ctx.recv(1, 1, &v, sizeof v);
+      } else {
+        ctx.recv(0, 0, &v, sizeof v);
+        ctx.send(0, 1, &v, sizeof v);
+      }
+    }
+    ctx.finalize();
+  });
+  SimResult result = m.run();
+  EXPECT_LT(result.compute_fraction, 0.05);
+}
+
+TEST(Trace, WriteFileRoundTrips) {
+  vmpi::MemoryTraceSink sink;
+  TraceRecord r;
+  r.op = TraceRecord::Op::kRecv;
+  r.rank = 2;
+  r.start = sim_us(1);
+  r.end = sim_us(3);
+  r.peer = 5;
+  r.bytes = 128;
+  sink.record(r);
+  const std::string path = "/tmp/exasim_trace_test.txt";
+  ASSERT_TRUE(sink.write_file(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_NE(line.find("op=recv"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace exasim

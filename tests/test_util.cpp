@@ -1,0 +1,179 @@
+// util: time conversions, deterministic RNG, duration & failure-schedule
+// parsing, ParamMap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/parse.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace exasim {
+namespace {
+
+TEST(Time, ConversionsRoundTrip) {
+  EXPECT_EQ(sim_us(1), 1000u);
+  EXPECT_EQ(sim_ms(1), 1000'000u);
+  EXPECT_EQ(sim_sec(1), 1000'000'000u);
+  EXPECT_EQ(sim_seconds(1.5), 1'500'000'000u);
+  EXPECT_DOUBLE_EQ(to_seconds(sim_sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_micros(sim_us(7)), 7.0);
+}
+
+TEST(Time, FormatPicksUnits) {
+  EXPECT_EQ(format_sim_time(sim_sec(2)), "2.000 s");
+  EXPECT_EQ(format_sim_time(sim_ms(3)), "3.000 ms");
+  EXPECT_EQ(format_sim_time(sim_us(4)), "4.000 us");
+  EXPECT_EQ(format_sim_time(sim_ns(5)), "5 ns");
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(r.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.weibull(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.12);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlyDeterministic) {
+  Rng a(5);
+  Rng s1 = a.split();
+  Rng a2(5);
+  Rng s2 = a2.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(s1.next_u64(), s2.next_u64());
+}
+
+struct DurationCase {
+  const char* text;
+  SimTime expected;
+};
+
+class DurationParse : public ::testing::TestWithParam<DurationCase> {};
+
+TEST_P(DurationParse, Parses) {
+  auto got = parse_duration(GetParam().text);
+  ASSERT_TRUE(got.has_value()) << GetParam().text;
+  EXPECT_EQ(*got, GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DurationParse,
+    ::testing::Values(DurationCase{"5s", sim_sec(5)}, DurationCase{"5", sim_sec(5)},
+                      DurationCase{"1.5s", sim_seconds(1.5)}, DurationCase{"3ms", sim_ms(3)},
+                      DurationCase{"250us", sim_us(250)}, DurationCase{"9ns", 9},
+                      DurationCase{"2m", sim_sec(120)}, DurationCase{"1h", sim_sec(3600)},
+                      DurationCase{" 10 ms ", sim_ms(10)}, DurationCase{"0", 0}));
+
+TEST(DurationParseErrors, RejectsMalformed) {
+  for (const char* bad : {"", "abc", "5x", "-3s", "1..2s", "s", "3 4s"}) {
+    EXPECT_FALSE(parse_duration(bad).has_value()) << bad;
+  }
+}
+
+TEST(FailureScheduleParse, ParsesPairs) {
+  auto specs = parse_failure_schedule("12@3000s, 77@1.5s; 0@250ms");
+  ASSERT_TRUE(specs.has_value());
+  ASSERT_EQ(specs->size(), 3u);
+  EXPECT_EQ((*specs)[0], (FailureSpec{12, sim_sec(3000)}));
+  EXPECT_EQ((*specs)[1], (FailureSpec{77, sim_seconds(1.5)}));
+  EXPECT_EQ((*specs)[2], (FailureSpec{0, sim_ms(250)}));
+}
+
+TEST(FailureScheduleParse, EmptyIsEmpty) {
+  auto specs = parse_failure_schedule("");
+  ASSERT_TRUE(specs.has_value());
+  EXPECT_TRUE(specs->empty());
+}
+
+TEST(FailureScheduleParse, RejectsMalformed) {
+  for (const char* bad : {"12", "a@3s", "1@x", "-2@3s", "1@"}) {
+    EXPECT_FALSE(parse_failure_schedule(bad).has_value()) << bad;
+  }
+}
+
+TEST(FailureScheduleParse, FormatRoundTrips) {
+  std::vector<FailureSpec> specs{{3, sim_sec(10)}, {1, sim_ms(1500)}};
+  auto parsed = parse_failure_schedule(format_failure_schedule(specs));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, specs);
+}
+
+TEST(SplitTrimmed, SplitsAndTrims) {
+  auto parts = split_trimmed("  a , b,, c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(ParamMap, ParsesTypedValues) {
+  auto map = ParamMap::parse("ranks=32768, mttf=6000s, frac=0.5, topo=torus:32x32x32");
+  ASSERT_TRUE(map.has_value());
+  EXPECT_EQ(map->get_int("ranks"), 32768);
+  EXPECT_EQ(map->get_duration("mttf"), sim_sec(6000));
+  EXPECT_EQ(map->get_double("frac"), 0.5);
+  EXPECT_EQ(map->get("topo"), "torus:32x32x32");
+  EXPECT_FALSE(map->contains("missing"));
+  EXPECT_FALSE(map->get_int("topo").has_value());
+}
+
+TEST(ParamMap, SetOverwrites) {
+  ParamMap m;
+  m.set("a", "1");
+  m.set("a", "2");
+  EXPECT_EQ(m.get_int("a"), 2);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(ParamMap, RejectsMalformed) {
+  EXPECT_FALSE(ParamMap::parse("novalue").has_value());
+  EXPECT_FALSE(ParamMap::parse("=x").has_value());
+}
+
+}  // namespace
+}  // namespace exasim

@@ -1,0 +1,391 @@
+// Collectives (linear algorithms) and communicator management.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim_test_util.hpp"
+#include "vmpi/context.hpp"
+
+namespace exasim {
+namespace {
+
+using core::SimResult;
+using test::run_app;
+using test::tiny_config;
+using vmpi::Context;
+using vmpi::Dtype;
+using vmpi::Err;
+using vmpi::ReduceOp;
+
+test::QuietLogs quiet;
+
+TEST(Collectives, BarrierSynchronizesClocks) {
+  // Ranks arrive at wildly different times; all leave the barrier at or
+  // after the latest arrival.
+  std::vector<SimTime> exit_time(4, 0);
+  auto app = [&](Context& ctx) {
+    ctx.compute(static_cast<double>(ctx.rank()) * 1e9);  // 0..3 s
+    EXPECT_EQ(ctx.barrier(ctx.world()), Err::kSuccess);
+    exit_time[ctx.rank()] = ctx.now();
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(4), app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  for (int i = 0; i < 4; ++i) EXPECT_GE(exit_time[i], sim_sec(3));
+}
+
+TEST(Collectives, BcastDeliversFromNonzeroRoot) {
+  std::vector<int> got(5, -1);
+  auto app = [&](Context& ctx) {
+    int v = ctx.rank() == 2 ? 777 : 0;
+    EXPECT_EQ(ctx.bcast(ctx.world(), 2, &v, sizeof v), Err::kSuccess);
+    got[ctx.rank()] = v;
+    ctx.finalize();
+  };
+  run_app(tiny_config(5), app);
+  for (int v : got) EXPECT_EQ(v, 777);
+}
+
+TEST(Collectives, ReduceSumsAtRoot) {
+  long long at_root = -1;
+  auto app = [&](Context& ctx) {
+    const std::int64_t mine = ctx.rank() + 1;
+    std::int64_t out = 0;
+    EXPECT_EQ(ctx.reduce(ctx.world(), 0, ReduceOp::kSum, Dtype::kI64, &mine, &out, 1),
+              Err::kSuccess);
+    if (ctx.rank() == 0) at_root = out;
+    ctx.finalize();
+  };
+  run_app(tiny_config(6), app);
+  EXPECT_EQ(at_root, 21);  // 1+2+...+6
+}
+
+TEST(Collectives, AllreduceMinMaxEverywhere) {
+  std::vector<double> mins(5, -1), maxs(5, -1);
+  auto app = [&](Context& ctx) {
+    const double mine = 10.0 + ctx.rank();
+    double lo = 0, hi = 0;
+    EXPECT_EQ(ctx.allreduce(ctx.world(), ReduceOp::kMin, Dtype::kF64, &mine, &lo, 1),
+              Err::kSuccess);
+    EXPECT_EQ(ctx.allreduce(ctx.world(), ReduceOp::kMax, Dtype::kF64, &mine, &hi, 1),
+              Err::kSuccess);
+    mins[ctx.rank()] = lo;
+    maxs[ctx.rank()] = hi;
+    ctx.finalize();
+  };
+  run_app(tiny_config(5), app);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(mins[i], 10.0);
+    EXPECT_DOUBLE_EQ(maxs[i], 14.0);
+  }
+}
+
+TEST(Collectives, AllreduceVectorOfElements) {
+  std::vector<std::vector<std::int32_t>> results(3);
+  auto app = [&](Context& ctx) {
+    std::vector<std::int32_t> mine{ctx.rank(), 10 * ctx.rank(), 1};
+    std::vector<std::int32_t> out(3);
+    EXPECT_EQ(ctx.allreduce(ctx.world(), ReduceOp::kSum, Dtype::kI32, mine.data(), out.data(),
+                            mine.size()),
+              Err::kSuccess);
+    results[ctx.rank()] = out;
+    ctx.finalize();
+  };
+  run_app(tiny_config(3), app);
+  for (const auto& out : results) {
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 3);
+    EXPECT_EQ(out[1], 30);
+    EXPECT_EQ(out[2], 3);
+  }
+}
+
+TEST(Collectives, GatherCollectsInRankOrder) {
+  std::vector<std::int32_t> gathered;
+  auto app = [&](Context& ctx) {
+    const std::int32_t mine = 100 + ctx.rank();
+    std::vector<std::int32_t> out(ctx.rank() == 1 ? ctx.size() : 0);
+    EXPECT_EQ(ctx.gather(ctx.world(), 1, &mine, sizeof mine,
+                         out.empty() ? nullptr : out.data()),
+              Err::kSuccess);
+    if (ctx.rank() == 1) gathered = out;
+    ctx.finalize();
+  };
+  run_app(tiny_config(4), app);
+  EXPECT_EQ(gathered, (std::vector<std::int32_t>{100, 101, 102, 103}));
+}
+
+TEST(Collectives, AllgatherEverywhere) {
+  std::vector<std::vector<std::int32_t>> results(4);
+  auto app = [&](Context& ctx) {
+    const std::int32_t mine = ctx.rank() * ctx.rank();
+    std::vector<std::int32_t> out(ctx.size());
+    EXPECT_EQ(ctx.allgather(ctx.world(), &mine, sizeof mine, out.data()), Err::kSuccess);
+    results[ctx.rank()] = out;
+    ctx.finalize();
+  };
+  run_app(tiny_config(4), app);
+  for (const auto& out : results) EXPECT_EQ(out, (std::vector<std::int32_t>{0, 1, 4, 9}));
+}
+
+TEST(Collectives, ScatterDistributesSlices) {
+  std::vector<std::int32_t> got(4, -1);
+  auto app = [&](Context& ctx) {
+    std::vector<std::int32_t> src;
+    if (ctx.rank() == 0) src = {5, 6, 7, 8};
+    std::int32_t mine = -1;
+    EXPECT_EQ(ctx.scatter(ctx.world(), 0, src.empty() ? nullptr : src.data(), sizeof mine,
+                          &mine),
+              Err::kSuccess);
+    got[ctx.rank()] = mine;
+    ctx.finalize();
+  };
+  run_app(tiny_config(4), app);
+  EXPECT_EQ(got, (std::vector<std::int32_t>{5, 6, 7, 8}));
+}
+
+TEST(Collectives, AlltoallTransposes) {
+  std::vector<std::vector<std::int32_t>> results(3);
+  auto app = [&](Context& ctx) {
+    std::vector<std::int32_t> src(ctx.size());
+    for (int i = 0; i < ctx.size(); ++i) src[i] = 10 * ctx.rank() + i;
+    std::vector<std::int32_t> dst(ctx.size(), -1);
+    EXPECT_EQ(ctx.alltoall(ctx.world(), src.data(), sizeof(std::int32_t), dst.data()),
+              Err::kSuccess);
+    results[ctx.rank()] = dst;
+    ctx.finalize();
+  };
+  run_app(tiny_config(3), app);
+  // dst[j] at rank i = src[i] at rank j = 10*j + i.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(results[i][j], 10 * j + i);
+  }
+}
+
+TEST(Collectives, LinearBarrierCostGrowsWithRanks) {
+  auto time_barrier = [&](int ranks) {
+    SimTime end = 0;
+    auto app = [&](Context& ctx) {
+      ctx.barrier(ctx.world());
+      if (ctx.rank() == 0) end = ctx.now();
+      ctx.finalize();
+    };
+    run_app(tiny_config(ranks), app);
+    return end;
+  };
+  const SimTime t4 = time_barrier(4);
+  const SimTime t32 = time_barrier(32);
+  EXPECT_GT(t32, t4);
+  // Linear algorithm: 31 gathers+releases vs 3 -> at least ~8x.
+  EXPECT_GT(t32, 5 * t4);
+}
+
+TEST(Collectives, SingleRankCollectivesAreNoOps) {
+  auto app = [&](Context& ctx) {
+    EXPECT_EQ(ctx.barrier(ctx.world()), Err::kSuccess);
+    int v = 3;
+    EXPECT_EQ(ctx.bcast(ctx.world(), 0, &v, sizeof v), Err::kSuccess);
+    std::int64_t in = 7, out = 0;
+    EXPECT_EQ(ctx.allreduce(ctx.world(), ReduceOp::kSum, Dtype::kI64, &in, &out, 1),
+              Err::kSuccess);
+    EXPECT_EQ(out, 7);
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(tiny_config(1), app).outcome, SimResult::Outcome::kCompleted);
+}
+
+TEST(Comm, DupCreatesIndependentContext) {
+  bool crossed = false;
+  auto app = [&](Context& ctx) {
+    vmpi::Comm* dup = ctx.comm_dup(ctx.world());
+    ASSERT_NE(dup, nullptr);
+    EXPECT_NE(dup->id, ctx.world().id);
+    EXPECT_EQ(dup->size(), ctx.size());
+    EXPECT_EQ(dup->my_rank, ctx.rank());
+    // Same tag on different comms must not cross-match: send on dup, recv on
+    // dup (world recv would hang).
+    if (ctx.rank() == 0) {
+      int v = 1;
+      ctx.send(*dup, 1, 0, &v, sizeof v);
+    } else {
+      int v = 0;
+      ctx.recv(*dup, 0, 0, &v, sizeof v);
+      crossed = v == 1;
+    }
+    ctx.finalize();
+  };
+  run_app(tiny_config(2), app);
+  EXPECT_TRUE(crossed);
+}
+
+TEST(Comm, SplitByParity) {
+  std::vector<int> new_rank(6, -1), new_size(6, -1);
+  auto app = [&](Context& ctx) {
+    vmpi::Comm* sub = ctx.comm_split(ctx.world(), ctx.rank() % 2, ctx.rank());
+    ASSERT_NE(sub, nullptr);
+    new_rank[ctx.rank()] = sub->my_rank;
+    new_size[ctx.rank()] = sub->size();
+    // Reduce within the sub-communicator: evens sum even ranks.
+    std::int64_t mine = ctx.rank(), out = 0;
+    EXPECT_EQ(ctx.allreduce(*sub, ReduceOp::kSum, Dtype::kI64, &mine, &out, 1), Err::kSuccess);
+    if (ctx.rank() % 2 == 0) {
+      EXPECT_EQ(out, 0 + 2 + 4);
+    } else {
+      EXPECT_EQ(out, 1 + 3 + 5);
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(6), app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(new_size[i], 3);
+    EXPECT_EQ(new_rank[i], i / 2);
+  }
+}
+
+TEST(Comm, SplitWithNegativeColorYieldsNoComm) {
+  auto app = [&](Context& ctx) {
+    vmpi::Comm* sub = ctx.comm_split(ctx.world(), ctx.rank() == 0 ? -1 : 0, 0);
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(sub, nullptr);
+    } else {
+      ASSERT_NE(sub, nullptr);
+      EXPECT_EQ(sub->size(), 2);
+    }
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(tiny_config(3), app).outcome, SimResult::Outcome::kCompleted);
+}
+
+TEST(Comm, SplitKeyControlsOrdering) {
+  std::vector<int> new_rank(3, -1);
+  auto app = [&](Context& ctx) {
+    // Reverse-key split: highest world rank becomes rank 0.
+    vmpi::Comm* sub = ctx.comm_split(ctx.world(), 0, -ctx.rank());
+    ASSERT_NE(sub, nullptr);
+    new_rank[ctx.rank()] = sub->my_rank;
+    ctx.finalize();
+  };
+  run_app(tiny_config(3), app);
+  EXPECT_EQ(new_rank, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(Collectives, ReduceFromFailedRankSurfacesError) {
+  Err got = Err::kSuccess;
+  auto cfg = tiny_config(3);
+  cfg.failures = {FailureSpec{2, sim_us(1)}};
+  auto app = [&](Context& ctx) {
+    ctx.set_error_handler(ctx.world(), vmpi::ErrorHandlerKind::kReturn);
+    if (ctx.rank() == 2) {
+      int v = 0;
+      ctx.recv(0, 9, &v, sizeof v);  // Dies blocked at 1us.
+      ctx.finalize();
+      return;
+    }
+    std::int64_t mine = 1, out = 0;
+    Err e = ctx.reduce(ctx.world(), 0, ReduceOp::kSum, Dtype::kI64, &mine, &out, 1);
+    if (ctx.rank() == 0) got = e;
+    ctx.finalize();
+  };
+  run_app(cfg, app);
+  EXPECT_EQ(got, Err::kProcFailed);
+}
+
+// ---------------------------------------------------------------------------
+// Binomial-tree collective algorithms (co-design alternative; the paper's
+// configuration stays linear).
+// ---------------------------------------------------------------------------
+
+core::SimConfig tree_config(int ranks) {
+  auto cfg = tiny_config(ranks);
+  cfg.process.collective_algo = vmpi::CollectiveAlgo::kBinomialTree;
+  return cfg;
+}
+
+class TreeCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeCollectives, BarrierSynchronizes) {
+  const int n = GetParam();
+  std::vector<SimTime> exit_time(static_cast<std::size_t>(n), 0);
+  SimTime latest_arrival = 0;
+  auto app = [&](Context& ctx) {
+    ctx.compute(static_cast<double>((ctx.rank() * 37) % n) * 1e6);
+    latest_arrival = std::max(latest_arrival, ctx.now());
+    EXPECT_EQ(ctx.barrier(ctx.world()), Err::kSuccess);
+    exit_time[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+    ctx.finalize();
+  };
+  ASSERT_EQ(run_app(tree_config(n), app).outcome, SimResult::Outcome::kCompleted);
+  for (int i = 0; i < n; ++i) EXPECT_GE(exit_time[static_cast<std::size_t>(i)], latest_arrival);
+}
+
+TEST_P(TreeCollectives, BcastFromEveryRoot) {
+  const int n = GetParam();
+  auto app = [&](Context& ctx) {
+    for (int root = 0; root < n; ++root) {
+      std::uint64_t v = ctx.rank() == root ? 100u + static_cast<std::uint64_t>(root) : 0u;
+      EXPECT_EQ(ctx.bcast(ctx.world(), root, &v, sizeof v), Err::kSuccess);
+      EXPECT_EQ(v, 100u + static_cast<std::uint64_t>(root));
+    }
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(tree_config(n), app).outcome, SimResult::Outcome::kCompleted);
+}
+
+TEST_P(TreeCollectives, ReduceAndAllreduceMatchLinearResults) {
+  const int n = GetParam();
+  std::vector<std::int64_t> sums(static_cast<std::size_t>(n), -1);
+  auto app = [&](Context& ctx) {
+    const std::int64_t mine = 3 * ctx.rank() + 1;
+    std::int64_t out = 0;
+    EXPECT_EQ(ctx.allreduce(ctx.world(), ReduceOp::kSum, Dtype::kI64, &mine, &out, 1),
+              Err::kSuccess);
+    sums[static_cast<std::size_t>(ctx.rank())] = out;
+    ctx.finalize();
+  };
+  ASSERT_EQ(run_app(tree_config(n), app).outcome, SimResult::Outcome::kCompleted);
+  std::int64_t expected = 0;
+  for (int r = 0; r < n; ++r) expected += 3 * r + 1;
+  for (auto s : sums) EXPECT_EQ(s, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeCollectives, ::testing::Values(2, 3, 4, 7, 8, 16, 33));
+
+TEST(TreeCollectives2, TreeBarrierIsAsymptoticallyCheaper) {
+  auto barrier_time = [&](vmpi::CollectiveAlgo algo) {
+    auto cfg = tiny_config(256);
+    cfg.process.collective_algo = algo;
+    SimTime end = 0;
+    auto app = [&](Context& ctx) {
+      ctx.barrier(ctx.world());
+      if (ctx.rank() == 0) end = ctx.now();
+      ctx.finalize();
+    };
+    run_app(cfg, app);
+    return end;
+  };
+  const SimTime linear = barrier_time(vmpi::CollectiveAlgo::kLinear);
+  const SimTime tree = barrier_time(vmpi::CollectiveAlgo::kBinomialTree);
+  EXPECT_LT(tree * 4, linear);  // 2*log2(256)=16 steps vs 510 messages.
+}
+
+TEST(TreeCollectives2, TreeReduceNonzeroRoot) {
+  std::int64_t at_root = -1;
+  auto cfg = tiny_config(6);
+  cfg.process.collective_algo = vmpi::CollectiveAlgo::kBinomialTree;
+  auto app = [&](Context& ctx) {
+    const std::int64_t mine = ctx.rank();
+    std::int64_t out = 0;
+    EXPECT_EQ(ctx.reduce(ctx.world(), 4, ReduceOp::kMax, Dtype::kI64, &mine, &out, 1),
+              Err::kSuccess);
+    if (ctx.rank() == 4) at_root = out;
+    ctx.finalize();
+  };
+  ASSERT_EQ(run_app(cfg, app).outcome, SimResult::Outcome::kCompleted);
+  EXPECT_EQ(at_root, 5);
+}
+
+}  // namespace
+}  // namespace exasim

@@ -1,0 +1,215 @@
+// Edge cases of the simulated MPI layer: zero-byte messages, double
+// wildcards, handle reuse, nested communicator construction, capacity-zero
+// receives, and invalid handles.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim_test_util.hpp"
+#include "vmpi/context.hpp"
+
+namespace exasim {
+namespace {
+
+using core::SimResult;
+using test::run_app;
+using test::tiny_config;
+using vmpi::Context;
+using vmpi::Err;
+using vmpi::MsgStatus;
+
+test::QuietLogs quiet;
+
+TEST(Edge, ZeroByteMessageMatchesAndReportsZeroLength) {
+  MsgStatus st;
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(ctx.send(1, 3, nullptr, 0), Err::kSuccess);
+    } else {
+      EXPECT_EQ(ctx.recv(0, 3, nullptr, 0, &st), Err::kSuccess);
+    }
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(tiny_config(2), app).outcome, SimResult::Outcome::kCompleted);
+  EXPECT_EQ(st.bytes, 0u);
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 3);
+}
+
+TEST(Edge, DoubleWildcardReceivesInArrivalOrder) {
+  std::vector<int> tags;
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      int v = 0;
+      ctx.send(2, 11, &v, sizeof v);
+    } else if (ctx.rank() == 1) {
+      ctx.compute(5e3);  // Arrives second.
+      int v = 1;
+      ctx.send(2, 22, &v, sizeof v);
+    } else {
+      for (int i = 0; i < 2; ++i) {
+        int v = -1;
+        MsgStatus st;
+        EXPECT_EQ(ctx.recv(vmpi::kAnySource, vmpi::kAnyTag, &v, sizeof v, &st), Err::kSuccess);
+        tags.push_back(st.tag);
+      }
+    }
+    ctx.finalize();
+  };
+  run_app(tiny_config(3), app);
+  EXPECT_EQ(tags, (std::vector<int>{11, 22}));
+}
+
+TEST(Edge, DoubleWaitOnSameHandleIsBenign) {
+  auto app = [&](Context& ctx) {
+    auto& w = ctx.world();
+    if (ctx.rank() == 0) {
+      int v = 9;
+      auto h = ctx.isend(w, 1, 0, &v, sizeof v);
+      EXPECT_EQ(ctx.wait(w, h), Err::kSuccess);
+      // Second wait on a released handle: empty success, no crash.
+      EXPECT_EQ(ctx.wait(w, h), Err::kSuccess);
+    } else {
+      int v = 0;
+      ctx.recv(0, 0, &v, sizeof v);
+    }
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(tiny_config(2), app).outcome, SimResult::Outcome::kCompleted);
+}
+
+TEST(Edge, TestOnUnknownHandleReportsInvalidArg) {
+  auto app = [&](Context& ctx) {
+    vmpi::RequestHandle bogus{999999};
+    Err e = Err::kSuccess;
+    MsgStatus st;
+    EXPECT_TRUE(ctx.test(bogus, &st, &e));
+    EXPECT_EQ(e, Err::kInvalidArg);
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(tiny_config(1), app).outcome, SimResult::Outcome::kCompleted);
+}
+
+TEST(Edge, SplitOfSplitNestsCorrectly) {
+  // 8 ranks -> parity split (4 each) -> half split (2 each): communication
+  // within the innermost communicator stays isolated.
+  std::vector<int> inner_sum(8, -1);
+  auto app = [&](Context& ctx) {
+    vmpi::Comm* level1 = ctx.comm_split(ctx.world(), ctx.rank() % 2, ctx.rank());
+    ASSERT_NE(level1, nullptr);
+    vmpi::Comm* level2 = ctx.comm_split(*level1, level1->my_rank / 2, level1->my_rank);
+    ASSERT_NE(level2, nullptr);
+    EXPECT_EQ(level2->size(), 2);
+    std::int64_t mine = ctx.rank(), out = 0;
+    EXPECT_EQ(ctx.allreduce(*level2, vmpi::ReduceOp::kSum, vmpi::Dtype::kI64, &mine, &out, 1),
+              Err::kSuccess);
+    inner_sum[ctx.rank()] = static_cast<int>(out);
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(8), app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  // Parity groups: evens {0,2,4,6} -> pairs {0,2} and {4,6}; odds likewise.
+  EXPECT_EQ(inner_sum[0], 2);
+  EXPECT_EQ(inner_sum[2], 2);
+  EXPECT_EQ(inner_sum[4], 10);
+  EXPECT_EQ(inner_sum[6], 10);
+  EXPECT_EQ(inner_sum[1], 4);
+  EXPECT_EQ(inner_sum[3], 4);
+  EXPECT_EQ(inner_sum[5], 12);
+  EXPECT_EQ(inner_sum[7], 12);
+}
+
+TEST(Edge, DupOfSplitPreservesMembership) {
+  auto app = [&](Context& ctx) {
+    vmpi::Comm* odd_even = ctx.comm_split(ctx.world(), ctx.rank() % 2, ctx.rank());
+    ASSERT_NE(odd_even, nullptr);
+    vmpi::Comm* dup = ctx.comm_dup(*odd_even);
+    ASSERT_NE(dup, nullptr);
+    EXPECT_EQ(dup->size(), odd_even->size());
+    EXPECT_EQ(dup->my_rank, odd_even->my_rank);
+    for (int r = 0; r < dup->size(); ++r) {
+      EXPECT_EQ(dup->world_of(r), odd_even->world_of(r));
+    }
+    EXPECT_NE(dup->id, odd_even->id);
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(tiny_config(6), app).outcome, SimResult::Outcome::kCompleted);
+}
+
+TEST(Edge, CapacityZeroReceiveOfNonEmptyMessageTruncates) {
+  Err got = Err::kSuccess;
+  auto app = [&](Context& ctx) {
+    ctx.set_error_handler(ctx.world(), vmpi::ErrorHandlerKind::kReturn);
+    if (ctx.rank() == 0) {
+      std::uint64_t v = 5;
+      ctx.send(1, 0, &v, sizeof v);
+    } else {
+      got = ctx.recv(0, 0, nullptr, 0);
+    }
+    ctx.finalize();
+  };
+  run_app(tiny_config(2), app);
+  EXPECT_EQ(got, Err::kTruncate);
+}
+
+TEST(Edge, RendezvousToSelfCompletes) {
+  auto cfg = tiny_config(1);
+  cfg.net.eager_threshold = 16;  // Force rendezvous.
+  bool ok = false;
+  auto app = [&](Context& ctx) {
+    auto& w = ctx.world();
+    std::vector<std::uint8_t> out(256), in(256);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = static_cast<std::uint8_t>(i);
+    auto r = ctx.irecv(w, 0, 1, in.data(), in.size());
+    auto s = ctx.isend(w, 0, 1, out.data(), out.size());
+    EXPECT_EQ(ctx.waitall(w, {r, s}, nullptr), Err::kSuccess);
+    ok = in == out;
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(cfg, app).outcome, SimResult::Outcome::kCompleted);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Edge, CommAccessorsValidateMembership) {
+  auto app = [&](Context& ctx) {
+    auto& w = ctx.world();
+    EXPECT_EQ(w.rank_of_world(ctx.rank()), ctx.rank());
+    EXPECT_EQ(w.rank_of_world(-1), -1);
+    EXPECT_EQ(w.rank_of_world(ctx.size()), -1);
+    EXPECT_EQ(w.world_of(0), 0);
+    auto members = w.members_snapshot();
+    EXPECT_EQ(static_cast<int>(members.size()), ctx.size());
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(tiny_config(4), app).outcome, SimResult::Outcome::kCompleted);
+}
+
+TEST(Edge, InvalidPostArgumentsThrow) {
+  auto app = [&](Context& ctx) {
+    int v = 0;
+    EXPECT_THROW(ctx.send(ctx.world(), 99, 0, &v, sizeof v), std::invalid_argument);
+    EXPECT_THROW(ctx.send(ctx.world(), 0, -5, &v, sizeof v), std::invalid_argument);
+    EXPECT_THROW(ctx.recv(ctx.world(), -7, 0, &v, sizeof v), std::invalid_argument);
+    EXPECT_THROW(ctx.bcast(ctx.world(), 99, &v, sizeof v), std::invalid_argument);
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(tiny_config(2), app).outcome, SimResult::Outcome::kCompleted);
+}
+
+TEST(Edge, FinalizeWithOutstandingRequestsIsClean) {
+  // An isend that nobody receives and an irecv that never matches: the
+  // process may still finalize; pending state dies with the simulation.
+  auto app = [&](Context& ctx) {
+    auto& w = ctx.world();
+    int v = 1;
+    (void)ctx.isend(w, 1 - ctx.rank(), 7, &v, sizeof v);
+    int in = 0;
+    (void)ctx.irecv(w, 1 - ctx.rank(), 8, &in, sizeof in);
+    ctx.finalize();
+  };
+  EXPECT_EQ(run_app(tiny_config(2), app).outcome, SimResult::Outcome::kCompleted);
+}
+
+}  // namespace
+}  // namespace exasim

@@ -1,0 +1,427 @@
+// Point-to-point semantics of the simulated MPI layer: blocking and
+// nonblocking transfers, matching (wildcards, tags, ordering), eager vs
+// rendezvous protocols, virtual-clock behavior, probes, and truncation.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "sim_test_util.hpp"
+#include "vmpi/context.hpp"
+
+namespace exasim {
+namespace {
+
+using core::SimResult;
+using test::run_app;
+using test::tiny_config;
+using vmpi::Context;
+using vmpi::Err;
+using vmpi::MsgStatus;
+
+test::QuietLogs quiet;
+
+TEST(P2P, BlockingSendRecvDeliversPayload) {
+  double received = 0;
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      const double v = 42.5;
+      EXPECT_EQ(ctx.send(1, 3, &v, sizeof v), Err::kSuccess);
+    } else {
+      double v = 0;
+      MsgStatus st;
+      EXPECT_EQ(ctx.recv(0, 3, &v, sizeof v, &st), Err::kSuccess);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 3);
+      EXPECT_EQ(st.bytes, sizeof v);
+      received = v;
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(2), app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  EXPECT_DOUBLE_EQ(received, 42.5);
+}
+
+TEST(P2P, ReceiveCompletionAdvancesVirtualClock) {
+  SimTime recv_end = 0;
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      std::uint64_t v = 7;
+      ctx.send(1, 0, &v, sizeof v);
+    } else {
+      std::uint64_t v = 0;
+      ctx.recv(0, 0, &v, sizeof v);
+      recv_end = ctx.now();
+    }
+    ctx.finalize();
+  };
+  run_app(tiny_config(2), app);
+  // One-way: overhead (500ns) + 2 hops (star) * 1us + 8B/1GBps (8ns), plus
+  // receiver overhead 500ns.
+  const SimTime expected = sim_ns(500) + 2 * sim_us(1) + sim_ns(8) + sim_ns(500);
+  EXPECT_EQ(recv_end, expected);
+}
+
+TEST(P2P, SenderRacesAheadReceiverMatchesLateMessage) {
+  // Receiver computes for 1 virtual second before posting the receive; the
+  // message waits in the unexpected queue and matches at max(post, arrival).
+  SimTime recv_end = 0;
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      std::uint64_t v = 1;
+      ctx.send(1, 0, &v, sizeof v);
+    } else {
+      ctx.compute(1e9);  // 1e9 units * 1 ns = 1 s.
+      std::uint64_t v = 0;
+      ctx.recv(0, 0, &v, sizeof v);
+      recv_end = ctx.now();
+    }
+    ctx.finalize();
+  };
+  run_app(tiny_config(2), app);
+  EXPECT_EQ(recv_end, sim_sec(1) + sim_ns(500));  // post time + recv overhead
+}
+
+TEST(P2P, AnySourceAndAnyTagMatch) {
+  int got_source = -1, got_tag = -1;
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 2) {
+      std::uint32_t v = 0;
+      MsgStatus st;
+      EXPECT_EQ(ctx.recv(vmpi::kAnySource, vmpi::kAnyTag, &v, sizeof v, &st), Err::kSuccess);
+      got_source = st.source;
+      got_tag = st.tag;
+    } else if (ctx.rank() == 1) {
+      std::uint32_t v = 9;
+      ctx.send(2, 5, &v, sizeof v);
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(3), app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  EXPECT_EQ(got_source, 1);
+  EXPECT_EQ(got_tag, 5);
+}
+
+TEST(P2P, TagSelectivityHoldsMessagesApart) {
+  std::vector<int> order;
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      int a = 1, b = 2;
+      ctx.send(1, 10, &a, sizeof a);
+      ctx.send(1, 20, &b, sizeof b);
+    } else {
+      int v = 0;
+      // Receive tag 20 first even though tag 10 arrived first.
+      ctx.recv(0, 20, &v, sizeof v);
+      order.push_back(v);
+      ctx.recv(0, 10, &v, sizeof v);
+      order.push_back(v);
+    }
+    ctx.finalize();
+  };
+  run_app(tiny_config(2), app);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(P2P, FifoOrderPerSenderAndTag) {
+  std::vector<int> got;
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 8; ++i) ctx.send(1, 0, &i, sizeof i);
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        int v = -1;
+        ctx.recv(0, 0, &v, sizeof v);
+        got.push_back(v);
+      }
+    }
+    ctx.finalize();
+  };
+  run_app(tiny_config(2), app);
+  std::vector<int> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(P2P, RendezvousTransfersLargePayloadIntact) {
+  // 512 KiB > 256 KiB eager threshold -> rendezvous protocol.
+  const std::size_t n = 512 * 1024 / sizeof(std::uint32_t);
+  bool ok = false;
+  auto app = [&](Context& ctx) {
+    std::vector<std::uint32_t> buf(n);
+    if (ctx.rank() == 0) {
+      for (std::size_t i = 0; i < n; ++i) buf[i] = static_cast<std::uint32_t>(i * 2654435761u);
+      EXPECT_EQ(ctx.send(1, 1, buf.data(), buf.size() * 4), Err::kSuccess);
+    } else {
+      EXPECT_EQ(ctx.recv(0, 1, buf.data(), buf.size() * 4), Err::kSuccess);
+      ok = true;
+      for (std::size_t i = 0; i < n; i += 1001) {
+        if (buf[i] != static_cast<std::uint32_t>(i * 2654435761u)) ok = false;
+      }
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(2), app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  EXPECT_TRUE(ok);
+}
+
+TEST(P2P, RendezvousIsSlowerThanEagerForSamePayload) {
+  // Time a 100 KiB transfer under a 64 KiB threshold (rendezvous) vs a
+  // 256 KiB threshold (eager): the RTS/CTS round trip must show up.
+  auto timed = [&](std::size_t threshold) {
+    SimTime end = 0;
+    auto cfg = tiny_config(2);
+    cfg.net.eager_threshold = threshold;
+    auto app = [&](Context& ctx) {
+      std::vector<std::byte> buf(100 * 1024);
+      if (ctx.rank() == 0) {
+        ctx.send(1, 0, buf.data(), buf.size());
+      } else {
+        ctx.recv(0, 0, buf.data(), buf.size());
+        end = ctx.now();
+      }
+      ctx.finalize();
+    };
+    run_app(cfg, app);
+    return end;
+  };
+  const SimTime rendezvous = timed(64 * 1024);
+  const SimTime eager = timed(256 * 1024);
+  EXPECT_GT(rendezvous, eager);
+  // The gap is at least one control-message round trip (2 x 2 hops x 1 us).
+  EXPECT_GE(rendezvous - eager, 2 * 2 * sim_us(1));
+}
+
+TEST(P2P, IsendIrecvWaitall) {
+  std::vector<int> got(4, -1);
+  auto app = [&](Context& ctx) {
+    auto& w = ctx.world();
+    if (ctx.rank() == 0) {
+      int vals[4] = {10, 11, 12, 13};
+      std::vector<vmpi::RequestHandle> hs;
+      for (int i = 0; i < 4; ++i) hs.push_back(ctx.isend(w, 1, i, &vals[i], sizeof(int)));
+      EXPECT_EQ(ctx.waitall(w, hs, nullptr), Err::kSuccess);
+    } else {
+      std::vector<vmpi::RequestHandle> hs;
+      for (int i = 0; i < 4; ++i) hs.push_back(ctx.irecv(w, 0, i, &got[i], sizeof(int)));
+      std::vector<MsgStatus> sts;
+      EXPECT_EQ(ctx.waitall(w, hs, &sts), Err::kSuccess);
+      ASSERT_EQ(sts.size(), 4u);
+      EXPECT_EQ(sts[2].tag, 2);
+    }
+    ctx.finalize();
+  };
+  run_app(tiny_config(2), app);
+  EXPECT_EQ(got, (std::vector<int>{10, 11, 12, 13}));
+}
+
+TEST(P2P, TestPollsCompletion) {
+  bool completed_eventually = false;
+  auto app = [&](Context& ctx) {
+    auto& w = ctx.world();
+    if (ctx.rank() == 0) {
+      // Delay the send by a virtual millisecond.
+      ctx.elapse(sim_ms(1));
+      int v = 5;
+      ctx.send(1, 0, &v, sizeof v);
+    } else {
+      int v = 0;
+      auto h = ctx.irecv(w, 0, 0, &v, sizeof v);
+      MsgStatus st;
+      Err e = Err::kSuccess;
+      // Not yet complete: the sender has not even sent.
+      EXPECT_FALSE(ctx.test(h, &st, &e));
+      // Blocking wait finishes it.
+      EXPECT_EQ(ctx.wait(w, h), Err::kSuccess);
+      completed_eventually = (v == 5);
+    }
+    ctx.finalize();
+  };
+  run_app(tiny_config(2), app);
+  EXPECT_TRUE(completed_eventually);
+}
+
+TEST(P2P, SendrecvExchangesWithoutDeadlock) {
+  // Classic head-to-head exchange with large (rendezvous) payloads: naive
+  // blocking send/recv would deadlock; sendrecv must not.
+  bool ok0 = false, ok1 = false;
+  const std::size_t bytes = 512 * 1024;
+  auto app = [&](Context& ctx) {
+    std::vector<std::byte> out(bytes, std::byte{static_cast<unsigned char>(ctx.rank() + 1)});
+    std::vector<std::byte> in(bytes);
+    const int peer = 1 - ctx.rank();
+    EXPECT_EQ(ctx.sendrecv(ctx.world(), peer, 0, out.data(), bytes, peer, 0, in.data(), bytes),
+              Err::kSuccess);
+    const bool ok = in[0] == std::byte{static_cast<unsigned char>(peer + 1)} &&
+                    in[bytes - 1] == std::byte{static_cast<unsigned char>(peer + 1)};
+    (ctx.rank() == 0 ? ok0 : ok1) = ok;
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(2), app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  EXPECT_TRUE(ok0);
+  EXPECT_TRUE(ok1);
+}
+
+TEST(P2P, TruncationReportsError) {
+  Err got = Err::kSuccess;
+  auto app = [&](Context& ctx) {
+    auto& w = ctx.world();
+    ctx.set_error_handler(w, vmpi::ErrorHandlerKind::kReturn);
+    if (ctx.rank() == 0) {
+      std::uint64_t big[4] = {1, 2, 3, 4};
+      ctx.send(1, 0, big, sizeof big);
+    } else {
+      std::uint64_t small = 0;
+      got = ctx.recv(0, 0, &small, sizeof small);
+    }
+    ctx.finalize();
+  };
+  run_app(tiny_config(2), app);
+  EXPECT_EQ(got, Err::kTruncate);
+}
+
+TEST(P2P, ProbeSeesMessageWithoutConsuming) {
+  bool probe_ok = false, recv_ok = false;
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      int v = 77;
+      ctx.send(1, 4, &v, sizeof v);
+    } else {
+      MsgStatus st;
+      EXPECT_EQ(ctx.probe(ctx.world(), 0, 4, &st), Err::kSuccess);
+      probe_ok = st.bytes == sizeof(int) && st.source == 0 && st.tag == 4;
+      int v = 0;
+      EXPECT_EQ(ctx.recv(0, 4, &v, sizeof v), Err::kSuccess);
+      recv_ok = v == 77;
+    }
+    ctx.finalize();
+  };
+  run_app(tiny_config(2), app);
+  EXPECT_TRUE(probe_ok);
+  EXPECT_TRUE(recv_ok);
+}
+
+TEST(P2P, ModeledTransfersCarryTimingWithoutPayload) {
+  SimTime modeled_end = 0, real_end = 0;
+  const std::size_t bytes = 4096;
+  auto run_variant = [&](bool modeled) {
+    SimTime end = 0;
+    auto app = [&](Context& ctx) {
+      if (ctx.rank() == 0) {
+        std::vector<std::byte> buf(bytes);
+        if (modeled) {
+          ctx.send_modeled(ctx.world(), 1, 0, bytes);
+        } else {
+          ctx.send(1, 0, buf.data(), bytes);
+        }
+      } else {
+        std::vector<std::byte> buf(bytes);
+        if (modeled) {
+          ctx.recv_modeled(ctx.world(), 0, 0, bytes);
+        } else {
+          ctx.recv(0, 0, buf.data(), bytes);
+        }
+        end = ctx.now();
+      }
+      ctx.finalize();
+    };
+    run_app(tiny_config(2), app);
+    return end;
+  };
+  modeled_end = run_variant(true);
+  real_end = run_variant(false);
+  EXPECT_EQ(modeled_end, real_end) << "modeled transfers must cost exactly like real ones";
+}
+
+TEST(P2P, SelfMessagingWorks) {
+  int v_out = 123, v_in = 0;
+  auto app = [&](Context& ctx) {
+    auto& w = ctx.world();
+    auto r = ctx.irecv(w, 0, 9, &v_in, sizeof v_in);
+    auto s = ctx.isend(w, 0, 9, &v_out, sizeof v_out);
+    EXPECT_EQ(ctx.waitall(w, {r, s}, nullptr), Err::kSuccess);
+    ctx.finalize();
+  };
+  SimResult res = run_app(tiny_config(1), app);
+  EXPECT_EQ(res.outcome, SimResult::Outcome::kCompleted);
+  EXPECT_EQ(v_in, 123);
+}
+
+TEST(P2P, DeterministicAcrossRuns) {
+  auto run_once = [&] {
+    auto cfg = tiny_config(8);
+    auto app = [](Context& ctx) {
+      // All-to-one with staggered compute: exercises matching order.
+      ctx.compute(static_cast<double>(ctx.rank()) * 100.0);
+      if (ctx.rank() == 0) {
+        for (int i = 1; i < ctx.size(); ++i) {
+          std::uint64_t v = 0;
+          ctx.recv(vmpi::kAnySource, 0, &v, sizeof v);
+        }
+      } else {
+        std::uint64_t v = ctx.rank();
+        ctx.send(0, 0, &v, sizeof v);
+      }
+      ctx.finalize();
+    };
+    return run_app(cfg, app).max_end_time;
+  };
+  const SimTime a = run_once();
+  const SimTime b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+// Deadlock: both ranks recv from each other with nothing sent.
+TEST(P2P, GenuineDeadlockIsReported) {
+  auto app = [](Context& ctx) {
+    int v = 0;
+    ctx.recv(1 - ctx.rank(), 0, &v, sizeof v);
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(2), app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kDeadlock);
+  EXPECT_EQ(r.deadlocked_ranks.size(), 2u);
+}
+
+// Parameterized sweep: payload sizes across the eager/rendezvous boundary
+// all deliver intact.
+class PayloadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PayloadSweep, DeliversIntact) {
+  const std::size_t bytes = GetParam();
+  bool ok = false;
+  auto app = [&](Context& ctx) {
+    std::vector<std::uint8_t> buf(bytes);
+    if (ctx.rank() == 0) {
+      for (std::size_t i = 0; i < bytes; ++i) buf[i] = static_cast<std::uint8_t>(i * 7 + 3);
+      ctx.send(1, 0, buf.data(), bytes);
+    } else {
+      ctx.recv(0, 0, buf.data(), bytes);
+      ok = true;
+      for (std::size_t i = 0; i < bytes; i += 97) {
+        if (buf[i] != static_cast<std::uint8_t>(i * 7 + 3)) ok = false;
+      }
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(2), app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  EXPECT_TRUE(ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PayloadSweep,
+                         ::testing::Values(std::size_t{1}, std::size_t{8}, std::size_t{1024},
+                                           std::size_t{256 * 1024},       // boundary (eager)
+                                           std::size_t{256 * 1024 + 1},   // boundary+1 (rdv)
+                                           std::size_t{1024 * 1024}));
+
+}  // namespace
+}  // namespace exasim
