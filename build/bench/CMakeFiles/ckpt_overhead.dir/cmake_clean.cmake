@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_overhead.dir/ckpt_overhead.cpp.o"
+  "CMakeFiles/ckpt_overhead.dir/ckpt_overhead.cpp.o.d"
+  "ckpt_overhead"
+  "ckpt_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

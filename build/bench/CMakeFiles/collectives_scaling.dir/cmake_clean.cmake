@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_scaling.dir/collectives_scaling.cpp.o"
+  "CMakeFiles/collectives_scaling.dir/collectives_scaling.cpp.o.d"
+  "collectives_scaling"
+  "collectives_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daly_optimum.dir/daly_optimum.cpp.o"
+  "CMakeFiles/daly_optimum.dir/daly_optimum.cpp.o.d"
+  "daly_optimum"
+  "daly_optimum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daly_optimum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

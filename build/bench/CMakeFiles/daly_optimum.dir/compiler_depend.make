@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for daly_optimum.
+# This may be replaced when dependencies are built.

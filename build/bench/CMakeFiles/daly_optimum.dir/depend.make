@@ -1,0 +1,2 @@
+# Empty dependencies file for daly_optimum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_timeout.dir/detection_timeout.cpp.o"
+  "CMakeFiles/detection_timeout.dir/detection_timeout.cpp.o.d"
+  "detection_timeout"
+  "detection_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

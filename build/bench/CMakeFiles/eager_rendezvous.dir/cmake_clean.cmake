@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eager_rendezvous.dir/eager_rendezvous.cpp.o"
+  "CMakeFiles/eager_rendezvous.dir/eager_rendezvous.cpp.o.d"
+  "eager_rendezvous"
+  "eager_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eager_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

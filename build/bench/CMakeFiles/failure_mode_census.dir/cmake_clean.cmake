@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_mode_census.dir/failure_mode_census.cpp.o"
+  "CMakeFiles/failure_mode_census.dir/failure_mode_census.cpp.o.d"
+  "failure_mode_census"
+  "failure_mode_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_mode_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

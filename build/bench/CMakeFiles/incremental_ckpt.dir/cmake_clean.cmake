@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_ckpt.dir/incremental_ckpt.cpp.o"
+  "CMakeFiles/incremental_ckpt.dir/incremental_ckpt.cpp.o.d"
+  "incremental_ckpt"
+  "incremental_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

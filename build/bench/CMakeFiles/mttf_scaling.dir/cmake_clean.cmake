@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mttf_scaling.dir/mttf_scaling.cpp.o"
+  "CMakeFiles/mttf_scaling.dir/mttf_scaling.cpp.o.d"
+  "mttf_scaling"
+  "mttf_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mttf_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

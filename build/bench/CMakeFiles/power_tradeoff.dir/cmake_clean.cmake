@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_tradeoff.dir/power_tradeoff.cpp.o"
+  "CMakeFiles/power_tradeoff.dir/power_tradeoff.cpp.o.d"
+  "power_tradeoff"
+  "power_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_overhead.dir/redundancy_overhead.cpp.o"
+  "CMakeFiles/redundancy_overhead.dir/redundancy_overhead.cpp.o.d"
+  "redundancy_overhead"
+  "redundancy_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

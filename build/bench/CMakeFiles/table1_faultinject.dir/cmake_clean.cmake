@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_faultinject.dir/table1_faultinject.cpp.o"
+  "CMakeFiles/table1_faultinject.dir/table1_faultinject.cpp.o.d"
+  "table1_faultinject"
+  "table1_faultinject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_faultinject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_checkpoint.dir/table2_checkpoint.cpp.o"
+  "CMakeFiles/table2_checkpoint.dir/table2_checkpoint.cpp.o.d"
+  "table2_checkpoint"
+  "table2_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

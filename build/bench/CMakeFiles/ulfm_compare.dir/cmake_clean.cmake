@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulfm_compare.dir/ulfm_compare.cpp.o"
+  "CMakeFiles/ulfm_compare.dir/ulfm_compare.cpp.o.d"
+  "ulfm_compare"
+  "ulfm_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulfm_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

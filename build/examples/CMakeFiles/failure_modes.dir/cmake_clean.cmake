@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_modes.dir/failure_modes.cpp.o"
+  "CMakeFiles/failure_modes.dir/failure_modes.cpp.o.d"
+  "failure_modes"
+  "failure_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_errors.dir/soft_errors.cpp.o"
+  "CMakeFiles/soft_errors.dir/soft_errors.cpp.o.d"
+  "soft_errors"
+  "soft_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulfm_recovery.dir/ulfm_recovery.cpp.o"
+  "CMakeFiles/ulfm_recovery.dir/ulfm_recovery.cpp.o.d"
+  "ulfm_recovery"
+  "ulfm_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulfm_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

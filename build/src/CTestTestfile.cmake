@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("metrics")
+subdirs("fiber")
+subdirs("pdes")
+subdirs("netmodel")
+subdirs("procmodel")
+subdirs("iomodel")
+subdirs("powermodel")
+subdirs("vmpi")
+subdirs("ckpt")
+subdirs("core")
+subdirs("apps")
+subdirs("faultlib")
+subdirs("redundancy")

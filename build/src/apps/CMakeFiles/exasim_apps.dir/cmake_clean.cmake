@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_apps.dir/cgproxy.cpp.o"
+  "CMakeFiles/exasim_apps.dir/cgproxy.cpp.o.d"
+  "CMakeFiles/exasim_apps.dir/heat3d.cpp.o"
+  "CMakeFiles/exasim_apps.dir/heat3d.cpp.o.d"
+  "CMakeFiles/exasim_apps.dir/ring.cpp.o"
+  "CMakeFiles/exasim_apps.dir/ring.cpp.o.d"
+  "libexasim_apps.a"
+  "libexasim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_ckpt.dir/checkpoint.cpp.o"
+  "CMakeFiles/exasim_ckpt.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/exasim_ckpt.dir/incremental.cpp.o"
+  "CMakeFiles/exasim_ckpt.dir/incremental.cpp.o.d"
+  "libexasim_ckpt.a"
+  "libexasim_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_core.dir/cli.cpp.o"
+  "CMakeFiles/exasim_core.dir/cli.cpp.o.d"
+  "CMakeFiles/exasim_core.dir/failure.cpp.o"
+  "CMakeFiles/exasim_core.dir/failure.cpp.o.d"
+  "CMakeFiles/exasim_core.dir/machine.cpp.o"
+  "CMakeFiles/exasim_core.dir/machine.cpp.o.d"
+  "CMakeFiles/exasim_core.dir/runner.cpp.o"
+  "CMakeFiles/exasim_core.dir/runner.cpp.o.d"
+  "CMakeFiles/exasim_core.dir/simtimefile.cpp.o"
+  "CMakeFiles/exasim_core.dir/simtimefile.cpp.o.d"
+  "libexasim_core.a"
+  "libexasim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

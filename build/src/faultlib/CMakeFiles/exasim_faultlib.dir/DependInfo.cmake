@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultlib/campaign.cpp" "src/faultlib/CMakeFiles/exasim_faultlib.dir/campaign.cpp.o" "gcc" "src/faultlib/CMakeFiles/exasim_faultlib.dir/campaign.cpp.o.d"
+  "/root/repo/src/faultlib/minivm.cpp" "src/faultlib/CMakeFiles/exasim_faultlib.dir/minivm.cpp.o" "gcc" "src/faultlib/CMakeFiles/exasim_faultlib.dir/minivm.cpp.o.d"
+  "/root/repo/src/faultlib/programs.cpp" "src/faultlib/CMakeFiles/exasim_faultlib.dir/programs.cpp.o" "gcc" "src/faultlib/CMakeFiles/exasim_faultlib.dir/programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/exasim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/exasim_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

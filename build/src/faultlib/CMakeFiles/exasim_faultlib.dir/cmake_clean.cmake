@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_faultlib.dir/campaign.cpp.o"
+  "CMakeFiles/exasim_faultlib.dir/campaign.cpp.o.d"
+  "CMakeFiles/exasim_faultlib.dir/minivm.cpp.o"
+  "CMakeFiles/exasim_faultlib.dir/minivm.cpp.o.d"
+  "CMakeFiles/exasim_faultlib.dir/programs.cpp.o"
+  "CMakeFiles/exasim_faultlib.dir/programs.cpp.o.d"
+  "libexasim_faultlib.a"
+  "libexasim_faultlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_faultlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

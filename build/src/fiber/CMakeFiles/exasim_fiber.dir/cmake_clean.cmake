@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_fiber.dir/fiber.cpp.o"
+  "CMakeFiles/exasim_fiber.dir/fiber.cpp.o.d"
+  "libexasim_fiber.a"
+  "libexasim_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

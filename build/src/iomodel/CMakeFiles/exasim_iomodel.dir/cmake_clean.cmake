@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_iomodel.dir/pfs.cpp.o"
+  "CMakeFiles/exasim_iomodel.dir/pfs.cpp.o.d"
+  "libexasim_iomodel.a"
+  "libexasim_iomodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_iomodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

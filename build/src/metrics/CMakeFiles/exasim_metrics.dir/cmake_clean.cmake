@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_metrics.dir/stats.cpp.o"
+  "CMakeFiles/exasim_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/exasim_metrics.dir/table.cpp.o"
+  "CMakeFiles/exasim_metrics.dir/table.cpp.o.d"
+  "libexasim_metrics.a"
+  "libexasim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

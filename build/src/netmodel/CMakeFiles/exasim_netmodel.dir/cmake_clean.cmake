@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_netmodel.dir/network.cpp.o"
+  "CMakeFiles/exasim_netmodel.dir/network.cpp.o.d"
+  "CMakeFiles/exasim_netmodel.dir/topology.cpp.o"
+  "CMakeFiles/exasim_netmodel.dir/topology.cpp.o.d"
+  "libexasim_netmodel.a"
+  "libexasim_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_pdes.dir/engine.cpp.o"
+  "CMakeFiles/exasim_pdes.dir/engine.cpp.o.d"
+  "libexasim_pdes.a"
+  "libexasim_pdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_pdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_powermodel.dir/power.cpp.o"
+  "CMakeFiles/exasim_powermodel.dir/power.cpp.o.d"
+  "libexasim_powermodel.a"
+  "libexasim_powermodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_powermodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_procmodel.dir/processor.cpp.o"
+  "CMakeFiles/exasim_procmodel.dir/processor.cpp.o.d"
+  "libexasim_procmodel.a"
+  "libexasim_procmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_procmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/redundancy/redundant.cpp" "src/redundancy/CMakeFiles/exasim_redundancy.dir/redundant.cpp.o" "gcc" "src/redundancy/CMakeFiles/exasim_redundancy.dir/redundant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/exasim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/exasim_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/exasim_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/exasim_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/exasim_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/procmodel/CMakeFiles/exasim_procmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/iomodel/CMakeFiles/exasim_iomodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/powermodel/CMakeFiles/exasim_powermodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_redundancy.dir/redundant.cpp.o"
+  "CMakeFiles/exasim_redundancy.dir/redundant.cpp.o.d"
+  "libexasim_redundancy.a"
+  "libexasim_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_util.dir/log.cpp.o"
+  "CMakeFiles/exasim_util.dir/log.cpp.o.d"
+  "CMakeFiles/exasim_util.dir/parse.cpp.o"
+  "CMakeFiles/exasim_util.dir/parse.cpp.o.d"
+  "CMakeFiles/exasim_util.dir/rng.cpp.o"
+  "CMakeFiles/exasim_util.dir/rng.cpp.o.d"
+  "libexasim_util.a"
+  "libexasim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

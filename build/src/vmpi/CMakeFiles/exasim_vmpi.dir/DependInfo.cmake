@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmpi/collectives.cpp" "src/vmpi/CMakeFiles/exasim_vmpi.dir/collectives.cpp.o" "gcc" "src/vmpi/CMakeFiles/exasim_vmpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/vmpi/comm.cpp" "src/vmpi/CMakeFiles/exasim_vmpi.dir/comm.cpp.o" "gcc" "src/vmpi/CMakeFiles/exasim_vmpi.dir/comm.cpp.o.d"
+  "/root/repo/src/vmpi/context.cpp" "src/vmpi/CMakeFiles/exasim_vmpi.dir/context.cpp.o" "gcc" "src/vmpi/CMakeFiles/exasim_vmpi.dir/context.cpp.o.d"
+  "/root/repo/src/vmpi/fabric.cpp" "src/vmpi/CMakeFiles/exasim_vmpi.dir/fabric.cpp.o" "gcc" "src/vmpi/CMakeFiles/exasim_vmpi.dir/fabric.cpp.o.d"
+  "/root/repo/src/vmpi/process.cpp" "src/vmpi/CMakeFiles/exasim_vmpi.dir/process.cpp.o" "gcc" "src/vmpi/CMakeFiles/exasim_vmpi.dir/process.cpp.o.d"
+  "/root/repo/src/vmpi/trace.cpp" "src/vmpi/CMakeFiles/exasim_vmpi.dir/trace.cpp.o" "gcc" "src/vmpi/CMakeFiles/exasim_vmpi.dir/trace.cpp.o.d"
+  "/root/repo/src/vmpi/types.cpp" "src/vmpi/CMakeFiles/exasim_vmpi.dir/types.cpp.o" "gcc" "src/vmpi/CMakeFiles/exasim_vmpi.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/exasim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/exasim_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/exasim_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/exasim_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/procmodel/CMakeFiles/exasim_procmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/iomodel/CMakeFiles/exasim_iomodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/powermodel/CMakeFiles/exasim_powermodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

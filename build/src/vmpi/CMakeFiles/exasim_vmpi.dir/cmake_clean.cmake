@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_vmpi.dir/collectives.cpp.o"
+  "CMakeFiles/exasim_vmpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/exasim_vmpi.dir/comm.cpp.o"
+  "CMakeFiles/exasim_vmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/exasim_vmpi.dir/context.cpp.o"
+  "CMakeFiles/exasim_vmpi.dir/context.cpp.o.d"
+  "CMakeFiles/exasim_vmpi.dir/fabric.cpp.o"
+  "CMakeFiles/exasim_vmpi.dir/fabric.cpp.o.d"
+  "CMakeFiles/exasim_vmpi.dir/process.cpp.o"
+  "CMakeFiles/exasim_vmpi.dir/process.cpp.o.d"
+  "CMakeFiles/exasim_vmpi.dir/trace.cpp.o"
+  "CMakeFiles/exasim_vmpi.dir/trace.cpp.o.d"
+  "CMakeFiles/exasim_vmpi.dir/types.cpp.o"
+  "CMakeFiles/exasim_vmpi.dir/types.cpp.o.d"
+  "libexasim_vmpi.a"
+  "libexasim_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

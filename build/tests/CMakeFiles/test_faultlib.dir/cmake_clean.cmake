@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faultlib.dir/test_faultlib.cpp.o"
+  "CMakeFiles/test_faultlib.dir/test_faultlib.cpp.o.d"
+  "test_faultlib"
+  "test_faultlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faultlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdes.dir/test_pdes.cpp.o"
+  "CMakeFiles/test_pdes.dir/test_pdes.cpp.o.d"
+  "test_pdes"
+  "test_pdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_redundancy.cpp" "tests/CMakeFiles/test_redundancy.dir/test_redundancy.cpp.o" "gcc" "tests/CMakeFiles/test_redundancy.dir/test_redundancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/exasim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/exasim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultlib/CMakeFiles/exasim_faultlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/redundancy/CMakeFiles/exasim_redundancy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/exasim_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/exasim_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/exasim_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/procmodel/CMakeFiles/exasim_procmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/iomodel/CMakeFiles/exasim_iomodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/powermodel/CMakeFiles/exasim_powermodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/exasim_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/exasim_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/exasim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exasim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ulfm.dir/test_ulfm.cpp.o"
+  "CMakeFiles/test_ulfm.dir/test_ulfm.cpp.o.d"
+  "test_ulfm"
+  "test_ulfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ulfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi_coll.dir/test_vmpi_coll.cpp.o"
+  "CMakeFiles/test_vmpi_coll.dir/test_vmpi_coll.cpp.o.d"
+  "test_vmpi_coll"
+  "test_vmpi_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi_edge.dir/test_vmpi_edge.cpp.o"
+  "CMakeFiles/test_vmpi_edge.dir/test_vmpi_edge.cpp.o.d"
+  "test_vmpi_edge"
+  "test_vmpi_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

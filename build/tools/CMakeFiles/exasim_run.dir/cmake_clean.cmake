@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exasim_run.dir/exasim_run.cpp.o"
+  "CMakeFiles/exasim_run.dir/exasim_run.cpp.o.d"
+  "exasim_run"
+  "exasim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
