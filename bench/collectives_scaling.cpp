@@ -2,10 +2,16 @@
 // utilize linear algorithms"): cost of barrier / bcast / allreduce vs rank
 // count. The linear barrier is what makes frequent checkpoint cycles visible
 // in Table II's E1 column at 32,768 ranks.
+//
+// The ranks x measurement grid is an exp::ExperimentPlan evaluated on
+// exp::ParallelExecutor (`--jobs N` / EXASIM_JOBS).
 
 #include <cstdio>
+#include <vector>
 
 #include "core/machine.hpp"
+#include "exp/executor.hpp"
+#include "exp/plan.hpp"
 #include "metrics/table.hpp"
 #include "util/log.hpp"
 #include "vmpi/context.hpp"
@@ -45,18 +51,34 @@ double collective_seconds(int ranks, Coll which,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kWarn);
   std::printf("=== Linear collective cost vs rank count (paper 5.C) ===\n\n");
 
+  const std::vector<int> rank_counts = {64, 256, 1024, 4096, 16384, 32768};
+  const auto plan = exp::ExperimentPlan::cross_product(
+      {exp::Axis{"ranks", {"64", "256", "1024", "4096", "16384", "32768"}},
+       exp::Axis{"measurement", {"barrier", "bcast", "allreduce", "tree barrier"}}});
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+  auto outcomes = pool.run(plan, [&](const exp::Point& p, const exp::WorkItem&) {
+    const int ranks = rank_counts[p.at(0)];
+    switch (p.at(1)) {
+      case 0: return collective_seconds(ranks, Coll::kBarrier);
+      case 1: return collective_seconds(ranks, Coll::kBcast);
+      case 2: return collective_seconds(ranks, Coll::kAllreduce);
+      default:
+        return collective_seconds(ranks, Coll::kBarrier, vmpi::CollectiveAlgo::kBinomialTree);
+    }
+  });
+
   TablePrinter table({"ranks", "barrier", "bcast 8B", "allreduce 8B", "barrier/rank",
                       "tree barrier", "linear/tree"});
-  for (int ranks : {64, 256, 1024, 4096, 16384, 32768}) {
-    const double barrier = collective_seconds(ranks, Coll::kBarrier);
-    const double bcast = collective_seconds(ranks, Coll::kBcast);
-    const double allreduce = collective_seconds(ranks, Coll::kAllreduce);
-    const double tree =
-        collective_seconds(ranks, Coll::kBarrier, vmpi::CollectiveAlgo::kBinomialTree);
+  for (std::size_t i = 0; i < rank_counts.size(); ++i) {
+    const int ranks = rank_counts[i];
+    const double barrier = *outcomes[i * 4 + 0];
+    const double bcast = *outcomes[i * 4 + 1];
+    const double allreduce = *outcomes[i * 4 + 2];
+    const double tree = *outcomes[i * 4 + 3];
     table.add_row({TablePrinter::integer(ranks), TablePrinter::num(barrier * 1e3, 3) + " ms",
                    TablePrinter::num(bcast * 1e3, 3) + " ms",
                    TablePrinter::num(allreduce * 1e3, 3) + " ms",

@@ -5,12 +5,19 @@
 // have a cost) and compares the simulated optimum against Daly's formula
 //   t_opt = sqrt(2*delta*M) * [1 + (1/3)*sqrt(delta/(2M)) + (1/9)*(delta/(2M))] - delta
 // where delta = checkpoint write cost and M = MTTF.
+//
+// The 11-interval x 5-seed campaign runs on exp::ParallelExecutor
+// (`--jobs N` / EXASIM_JOBS) with the original per-trial seeds (1000 + t),
+// so the table matches the old serial loop at any job count.
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "apps/heat3d.hpp"
 #include "core/runner.hpp"
+#include "exp/executor.hpp"
+#include "exp/plan.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
 #include "util/log.hpp"
@@ -47,31 +54,33 @@ apps::HeatParams heat(int interval) {
   return h;
 }
 
-double mean_e2_seconds(int interval, SimTime mttf, int trials) {
-  RunningStats stats;
-  for (int t = 0; t < trials; ++t) {
-    core::RunnerConfig rc;
-    rc.base = machine();
-    rc.system_mttf = mttf;
-    rc.distribution = core::FailureDistribution::kExponential;
-    rc.seed = 1000 + static_cast<std::uint64_t>(t);
-    stats.add(to_seconds(
-        core::ResilientRunner(rc, apps::make_heat3d(heat(interval))).run().total_time));
-  }
-  return stats.mean();
+double e2_seconds(int interval, SimTime mttf, std::uint64_t seed) {
+  core::RunnerConfig rc;
+  rc.base = machine();
+  rc.system_mttf = mttf;
+  rc.distribution = core::FailureDistribution::kExponential;
+  rc.seed = seed;
+  return to_seconds(
+      core::ResilientRunner(rc, apps::make_heat3d(heat(interval))).run().total_time);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kError);
   std::printf("=== Simulated optimal checkpoint interval vs Daly's estimate ===\n");
   std::printf("(64 ranks, 2,000 iterations, slow PFS so checkpoints cost time)\n\n");
 
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+
   // Measure per-iteration compute time and per-checkpoint cost delta from
-  // failure-free runs.
-  const double base = mean_e2_seconds(kIterations, sim_sec(1u << 30), 1);
-  const double with_ckpts = mean_e2_seconds(kIterations / 10, sim_sec(1u << 30), 1);
+  // failure-free runs (the intervals: one cycle vs ten).
+  const SimTime no_failures = sim_sec(1u << 30);
+  auto baselines = pool.map(2, [&](std::size_t i) {
+    return e2_seconds(i == 0 ? kIterations : kIterations / 10, no_failures, 1000);
+  });
+  const double base = *baselines[0];
+  const double with_ckpts = *baselines[1];
   const double delta = (with_ckpts - base) / 9.0;  // 10 cycles vs 1.
   const double iter_seconds = base / kIterations;
   std::printf("per-iteration compute: %.3f s; checkpoint cost delta: %.2f s\n\n",
@@ -84,11 +93,25 @@ int main() {
       std::sqrt(2.0 * delta * m) * (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) - delta;
   const int daly_interval = static_cast<int>(daly_t / iter_seconds);
 
+  const std::vector<int> intervals = {1000, 500, 250, 125, 50, 25, 16, 12, 8, 6, 4};
+  auto plan = exp::ExperimentPlan::cross_product(
+      {exp::Axis{"C", {"1000", "500", "250", "125", "50", "25", "16", "12", "8", "6", "4"}}},
+      /*replicates=*/5, /*base_seed=*/1000);
+  plan.set_seed_mode(exp::SeedMode::kSequentialPerReplicate);
+  auto outcomes = pool.run(plan, [&](const exp::Point& p, const exp::WorkItem& item) {
+    return e2_seconds(intervals[p.at(0)], mttf, item.seed);
+  });
+
   TablePrinter table({"C (iters)", "interval (s)", "mean E2 over 5 seeds"});
   int best_c = 0;
   double best_e2 = 1e300;
-  for (int c : {1000, 500, 250, 125, 50, 25, 16, 12, 8, 6, 4}) {
-    const double e2 = mean_e2_seconds(c, mttf, 5);
+  for (std::size_t point = 0; point < plan.point_count(); ++point) {
+    RunningStats stats;
+    for (int rep = 0; rep < plan.replicates(); ++rep) {
+      stats.add(*outcomes[point * 5 + static_cast<std::size_t>(rep)]);
+    }
+    const int c = intervals[point];
+    const double e2 = stats.mean();
     if (e2 < best_e2) {
       best_e2 = e2;
       best_c = c;

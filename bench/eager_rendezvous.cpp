@@ -2,11 +2,16 @@
 // threshold): one-way message time vs payload size under eager-always,
 // rendezvous-always, and the paper's 256 kB threshold; shows the crossover
 // and the rendezvous handshake penalty for small messages.
+//
+// The payload x protocol grid is an exp::ExperimentPlan evaluated on
+// exp::ParallelExecutor (`--jobs N` / EXASIM_JOBS).
 
 #include <cstdio>
 #include <vector>
 
 #include "core/machine.hpp"
+#include "exp/executor.hpp"
+#include "exp/plan.hpp"
 #include "metrics/table.hpp"
 #include "util/log.hpp"
 #include "vmpi/context.hpp"
@@ -41,19 +46,31 @@ double message_seconds(std::size_t bytes, std::size_t eager_threshold) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kWarn);
   std::printf("=== Eager vs rendezvous protocol cost (paper 5.C: 256 kB threshold) ===\n");
   std::printf("(one-way neighbor message, 1 us link, 32 GB/s)\n\n");
 
-  TablePrinter table({"payload", "eager-always", "rendezvous-always", "paper 256 kB"});
   const std::vector<std::size_t> sizes = {64,          1024,        16 * 1024,
                                           128 * 1024,  256 * 1024,  512 * 1024,
                                           1024 * 1024, 4096 * 1024, 16384 * 1024};
-  for (std::size_t bytes : sizes) {
-    const double eager = message_seconds(bytes, SIZE_MAX);
-    const double rendezvous = message_seconds(bytes, 0);
-    const double paper = message_seconds(bytes, 256 * 1024);
+  const std::vector<std::size_t> thresholds = {SIZE_MAX, 0, 256 * 1024};
+
+  const auto plan = exp::ExperimentPlan::cross_product(
+      {exp::Axis{"payload",
+                 {"64", "1K", "16K", "128K", "256K", "512K", "1M", "4M", "16M"}},
+       exp::Axis{"protocol", {"eager", "rendezvous", "paper"}}});
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+  auto outcomes = pool.run(plan, [&](const exp::Point& p, const exp::WorkItem&) {
+    return message_seconds(sizes[p.at(0)], thresholds[p.at(1)]);
+  });
+
+  TablePrinter table({"payload", "eager-always", "rendezvous-always", "paper 256 kB"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t bytes = sizes[i];
+    const double eager = *outcomes[i * 3 + 0];
+    const double rendezvous = *outcomes[i * 3 + 1];
+    const double paper = *outcomes[i * 3 + 2];
     char label[32];
     if (bytes >= 1024 * 1024) {
       std::snprintf(label, sizeof label, "%zu MiB", bytes / (1024 * 1024));

@@ -3,6 +3,10 @@
 // round trips, and whole-machine construction — the costs that bound how
 // many simulated MPI processes one native core can carry (xSim's
 // scalability/accuracy trade-off, paper §II-A).
+//
+// Deliberately NOT on exp::ParallelExecutor: google-benchmark owns the
+// repetition loop and measures wall-clock per iteration — running these
+// concurrently would just make them measure scheduler contention.
 
 #include <benchmark/benchmark.h>
 

@@ -5,11 +5,20 @@
 //       (detection always happens in a communication phase), and
 //   (b) the state of the checkpoint store after the abort (incomplete or
 //       corrupted checkpoints, partially deleted old checkpoints).
+//
+// The 200 trial parameters are drawn serially from one Rng (preserving the
+// original draw order), then the trials themselves — independent
+// simulations — run on exp::ParallelExecutor (`--jobs N` / EXASIM_JOBS) and
+// the censuses are aggregated in trial order, so every counter and statistic
+// is identical at any job count.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "apps/heat3d.hpp"
 #include "core/machine.hpp"
+#include "exp/executor.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
 #include "util/log.hpp"
@@ -17,7 +26,21 @@
 
 using namespace exasim;
 
-int main() {
+namespace {
+
+struct TrialResult {
+  bool aborted = false;
+  bool has_latency = false;
+  double latency = 0;
+  std::vector<std::string> survivor_phases;  // In rank order.
+  bool corrupted = false;
+  bool incomplete = false;
+  bool partial_delete = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kError);
   std::printf("=== Failure-mode census (paper 5.D 'First Impressions') ===\n\n");
 
@@ -48,62 +71,80 @@ int main() {
     total = m.run().max_end_time;
   }
 
+  // Draw every trial's (rank, time) up front, in the original serial order.
   const int kTrials = 200;
   Rng rng(1234);
-  LabelCounter survivor_phase;   // Phase of survivors when the abort landed.
-  LabelCounter store_state;      // Checkpoint store damage census.
-  LabelCounter outcome;
-  RunningStats detect_latency;   // Failure -> abort latency.
-
+  std::vector<FailureSpec> failures;
+  failures.reserve(kTrials);
   for (int trial = 0; trial < kTrials; ++trial) {
     const int rank = static_cast<int>(rng.next_below(machine.ranks));
     const SimTime t = rng.next_below(total);
+    failures.push_back(FailureSpec{rank, t});
+  }
 
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+  auto outcomes = pool.map(failures.size(), [&](std::size_t trial) {
+    TrialResult res;
     apps::HeatTelemetry telemetry(machine.ranks);
     apps::HeatParams p = heat;
     p.telemetry = &telemetry;
     core::SimConfig cfg = machine;
-    cfg.failures = {FailureSpec{rank, t}};
+    cfg.failures = {failures[trial]};
     ckpt::CheckpointStore store(machine.ranks);
     core::Machine m(cfg, apps::make_heat3d(p));
     m.set_checkpoint_store(&store);
     core::SimResult r = m.run();
 
-    if (r.outcome != core::SimResult::Outcome::kAborted) {
-      outcome.add("completed (failure past app end)");
-      continue;
-    }
-    outcome.add("aborted");
+    if (r.outcome != core::SimResult::Outcome::kAborted) return res;
+    res.aborted = true;
     if (r.abort_time && !r.activated_failures.empty()) {
-      detect_latency.add(to_seconds(*r.abort_time) -
-                         to_seconds(r.activated_failures[0].time));
+      res.has_latency = true;
+      res.latency =
+          to_seconds(*r.abort_time) - to_seconds(r.activated_failures[0].time);
     }
     for (int s = 0; s < machine.ranks; ++s) {
-      if (s == rank) continue;
-      survivor_phase.add(apps::to_string(telemetry.last_phase[static_cast<std::size_t>(s)]));
+      if (s == failures[trial].rank) continue;
+      res.survivor_phases.push_back(
+          apps::to_string(telemetry.last_phase[static_cast<std::size_t>(s)]));
     }
     // Checkpoint store damage.
-    bool incomplete = false, corrupted = false, partial_delete = false;
     for (auto v : store.versions()) {
       if (store.set_complete(v)) continue;
       int files = 0;
       for (int s = 0; s < machine.ranks; ++s) {
         if (store.file_exists(v, s)) {
           ++files;
-          if (!store.file_finalized(v, s)) corrupted = true;
+          if (!store.file_finalized(v, s)) res.corrupted = true;
         }
       }
-      if (files < machine.ranks) incomplete = true;
+      if (files < machine.ranks) res.incomplete = true;
     }
     // Two complete versions at abort = the old one was only partially deleted
     // (cleanup interrupted mid-cycle).
     int complete_versions = 0;
     for (auto v : store.versions()) complete_versions += store.set_complete(v) ? 1 : 0;
-    partial_delete = complete_versions > 1;
-    if (corrupted) store_state.add("corrupted checkpoint file(s)");
-    if (incomplete) store_state.add("incomplete checkpoint set");
-    if (partial_delete) store_state.add("old checkpoint only partially deleted");
-    if (!corrupted && !incomplete && !partial_delete) store_state.add("clean");
+    res.partial_delete = complete_versions > 1;
+    return res;
+  });
+
+  // Aggregate in trial order — floating-point stats stay bit-identical.
+  LabelCounter survivor_phase;   // Phase of survivors when the abort landed.
+  LabelCounter store_state;      // Checkpoint store damage census.
+  LabelCounter outcome;
+  RunningStats detect_latency;   // Failure -> abort latency.
+  for (std::size_t trial = 0; trial < failures.size(); ++trial) {
+    const TrialResult& res = *outcomes[trial];
+    if (!res.aborted) {
+      outcome.add("completed (failure past app end)");
+      continue;
+    }
+    outcome.add("aborted");
+    if (res.has_latency) detect_latency.add(res.latency);
+    for (const std::string& phase : res.survivor_phases) survivor_phase.add(phase);
+    if (res.corrupted) store_state.add("corrupted checkpoint file(s)");
+    if (res.incomplete) store_state.add("incomplete checkpoint set");
+    if (res.partial_delete) store_state.add("old checkpoint only partially deleted");
+    if (!res.corrupted && !res.incomplete && !res.partial_delete) store_state.add("clean");
   }
 
   auto print_counter = [](const char* title, const LabelCounter& c) {

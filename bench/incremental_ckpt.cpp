@@ -2,6 +2,9 @@
 // an advanced resilience technology): full vs incremental checkpointing cost
 // as a function of how much of the application state mutates between
 // checkpoints, and the resulting E2 under failures.
+//
+// The churn x {full, incremental} grid is an exp::ExperimentPlan on
+// exp::ParallelExecutor (`--jobs N` / EXASIM_JOBS).
 
 #include <cstdio>
 #include <vector>
@@ -9,6 +12,8 @@
 #include "ckpt/incremental.hpp"
 #include "core/machine.hpp"
 #include "core/runner.hpp"
+#include "exp/executor.hpp"
+#include "exp/plan.hpp"
 #include "metrics/table.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -97,18 +102,27 @@ Outcome run(bool incremental, int change_permille) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kError);
   std::printf("=== Incremental vs full checkpointing (paper intro tech list) ===\n");
   std::printf("(%d ranks, %d checkpoints of 1 MiB state each, 1 GB/s shared PFS)\n\n", kRanks,
               kCheckpoints);
 
+  const std::vector<int> permilles = {10, 100, 300, 1000};
+  const auto plan = exp::ExperimentPlan::cross_product(
+      {exp::Axis{"churn", {"10", "100", "300", "1000"}},
+       exp::Axis{"mode", {"full", "incremental"}}});
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+  auto outcomes = pool.run(plan, [&](const exp::Point& p, const exp::WorkItem&) {
+    return run(/*incremental=*/p.at(1) == 1, permilles[p.at(0)]);
+  });
+
   TablePrinter table({"state churn", "full I/O", "incremental I/O", "speedup",
                       "stored (full)", "stored (incr)"});
-  for (int permille : {10, 100, 300, 1000}) {
-    const Outcome full = run(false, permille);
-    const Outcome inc = run(true, permille);
-    table.add_row({TablePrinter::num(permille / 10.0, 1) + " %",
+  for (std::size_t i = 0; i < permilles.size(); ++i) {
+    const Outcome& full = *outcomes[i * 2 + 0];
+    const Outcome& inc = *outcomes[i * 2 + 1];
+    table.add_row({TablePrinter::num(permilles[i] / 10.0, 1) + " %",
                    TablePrinter::num(full.io_seconds, 3) + " s",
                    TablePrinter::num(inc.io_seconds, 3) + " s",
                    TablePrinter::num(full.io_seconds / inc.io_seconds, 1) + "x",

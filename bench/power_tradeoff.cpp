@@ -3,11 +3,17 @@
 // *completed* application run as a function of the checkpoint interval and
 // the system MTTF. Failures waste energy twice — lost compute is redone, and
 // survivors burn communication-state power while blocked around the abort.
+//
+// The (MTTF pass) x (checkpoint interval) grid is an exp::ExperimentPlan on
+// exp::ParallelExecutor (`--jobs N` / EXASIM_JOBS).
 
 #include <cstdio>
+#include <vector>
 
 #include "apps/heat3d.hpp"
 #include "core/runner.hpp"
+#include "exp/executor.hpp"
+#include "exp/plan.hpp"
 #include "metrics/table.hpp"
 #include "util/log.hpp"
 
@@ -43,34 +49,54 @@ apps::HeatParams heat(int interval) {
   return h;
 }
 
+struct Row {
+  double e2_seconds = 0;
+  int failures = 0;
+  double joules = 0;
+};
+
+Row evaluate(int pass, int c) {
+  core::RunnerConfig rc;
+  rc.base = machine();
+  if (pass == 1) {
+    rc.system_mttf = sim_sec(8);
+    rc.seed = 4242;
+  }
+  core::RunnerResult res = core::ResilientRunner(rc, apps::make_heat3d(heat(c))).run();
+  Row row;
+  row.e2_seconds = to_seconds(res.total_time);
+  row.failures = res.failures;
+  for (const auto& run : res.run_results) row.joules += run.total_energy_joules;
+  return row;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kError);
   std::printf("=== Energy per completed run vs checkpoint interval and MTTF ===\n");
   std::printf("(512 nodes at 100 W busy / 60 W comm; energy summed over all\n"
               " launches including failed ones)\n\n");
 
+  const std::vector<int> intervals = {500, 250, 125};
+  const auto plan = exp::ExperimentPlan::cross_product(
+      {exp::Axis{"MTTF", {"none", "8s"}}, exp::Axis{"C", {"500", "250", "125"}}});
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+  auto outcomes = pool.run(plan, [&](const exp::Point& p, const exp::WorkItem&) {
+    return evaluate(static_cast<int>(p.at(0)), intervals[p.at(1)]);
+  });
+
+  // Baseline for the "vs no-failure" column: pass 0, C=500 (the first row).
+  const double baseline_joules = outcomes[0]->joules;
   TablePrinter table({"MTTF_s", "C", "E2", "F", "energy", "vs no-failure"});
-  double baseline_joules = 0;
-  for (int pass = 0; pass < 2; ++pass) {
-    for (int c : {500, 250, 125}) {
-      core::RunnerConfig rc;
-      rc.base = machine();
-      if (pass == 1) {
-        rc.system_mttf = sim_sec(8);
-        rc.seed = 4242;
-      }
-      core::RunnerResult res = core::ResilientRunner(rc, apps::make_heat3d(heat(c))).run();
-      double joules = 0;
-      for (const auto& run : res.run_results) joules += run.total_energy_joules;
-      if (pass == 0 && c == 500) baseline_joules = joules;
-      table.add_row({pass == 0 ? "-" : "8 s", TablePrinter::integer(c),
-                     TablePrinter::num(to_seconds(res.total_time), 2) + " s",
-                     TablePrinter::integer(res.failures),
-                     TablePrinter::num(joules / 1e6, 3) + " MJ",
-                     TablePrinter::num(100.0 * joules / baseline_joules - 100.0, 1) + " %"});
-    }
+  for (std::size_t i = 0; i < plan.point_count(); ++i) {
+    const exp::Point& p = plan.point(i);
+    const Row& row = *outcomes[i];
+    table.add_row({p.at(0) == 0 ? "-" : "8 s", TablePrinter::integer(intervals[p.at(1)]),
+                   TablePrinter::num(row.e2_seconds, 2) + " s",
+                   TablePrinter::integer(row.failures),
+                   TablePrinter::num(row.joules / 1e6, 3) + " MJ",
+                   TablePrinter::num(100.0 * row.joules / baseline_joules - 100.0, 1) + " %"});
   }
   table.print();
   std::printf(

@@ -8,10 +8,15 @@
 //       redMPI observation that "a single bit flip can corrupt all MPI
 //       processes of an application within a short period of time, or may
 //       be corrected".
+//
+// The six runs (three overhead modes + three SDC modes) are independent
+// simulations on exp::ParallelExecutor (`--jobs N` / EXASIM_JOBS).
 
 #include <cstdio>
+#include <vector>
 
 #include "core/machine.hpp"
+#include "exp/executor.hpp"
 #include "metrics/table.hpp"
 #include "redundancy/redundant.hpp"
 #include "util/log.hpp"
@@ -109,16 +114,39 @@ RunOutcome run(int replication, bool detect, bool correct, bool inject) {
   return out;
 }
 
+struct RunSpec {
+  int replication;
+  bool detect;
+  bool correct;
+  bool inject;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kError);
   std::printf("=== Process-level redundancy (redMPI, paper 2.C): cost & benefit ===\n");
   std::printf("(%d app ranks, %d iterations of ring + allreduce)\n\n", kAppRanks, kIterations);
 
-  const RunOutcome plain = run(1, false, false, false);
-  const RunOutcome dual = run(2, true, false, false);
-  const RunOutcome triple = run(3, true, true, false);
+  const std::vector<RunSpec> specs = {
+      {1, false, false, false},  // plain
+      {2, true, false, false},   // dual, no injection
+      {3, true, true, false},    // triple, no injection
+      {2, false, false, true},   // isolated replicas + SDC
+      {2, true, false, true},    // dual detect + SDC
+      {3, true, true, true},     // triple correct + SDC
+  };
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+  auto outcomes = pool.map(specs.size(), [&](std::size_t i) {
+    const RunSpec& s = specs[i];
+    return run(s.replication, s.detect, s.correct, s.inject);
+  });
+  const RunOutcome& plain = *outcomes[0];
+  const RunOutcome& dual = *outcomes[1];
+  const RunOutcome& triple = *outcomes[2];
+  const RunOutcome& isolated = *outcomes[3];
+  const RunOutcome& detected = *outcomes[4];
+  const RunOutcome& corrected = *outcomes[5];
 
   TablePrinter cost({"mode", "nodes used", "runtime", "overhead"});
   cost.add_row({"none", TablePrinter::integer(kAppRanks),
@@ -132,10 +160,6 @@ int main() {
   cost.print();
 
   std::printf("\nSDC injection (one bit flip in one replica's state, mid-run):\n\n");
-  const RunOutcome isolated = run(2, false, false, true);
-  const RunOutcome detected = run(2, true, false, true);
-  const RunOutcome corrected = run(3, true, true, true);
-
   TablePrinter sdc({"mode", "divergences seen", "corrected", "uncorrectable",
                     "planes agree at end"});
   auto agree = [](const RunOutcome& o) {

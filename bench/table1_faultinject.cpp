@@ -8,9 +8,15 @@
 // running a real program (DESIGN.md §2 substitution); the statistic *shape*
 // (most victims die within tens of register flips, wide spread, small mode)
 // is the reproduction target, not the exact values.
+//
+// Each campaign is independent and deterministic given its config, so the
+// ten of them run through exp::ParallelExecutor (`--jobs N` / EXASIM_JOBS);
+// tables print in fixed order afterwards, identical at any job count.
 
 #include <cstdio>
+#include <vector>
 
+#include "exp/executor.hpp"
 #include "faultlib/campaign.hpp"
 #include "metrics/table.hpp"
 
@@ -45,48 +51,64 @@ void print_campaign(const char* label, const CampaignResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Table I: fault (bit flip) injection results ===\n\n");
-  CsvWriter csv({"victim", "target", "victims", "injections", "min", "max", "mean", "median",
-                 "mode", "stddev"});
 
   // The headline configuration: register+PC flips into the checksum victim,
-  // 100 victims, cap 100 — Finject's register experiment.
-  CampaignConfig cfg;
-  cfg.victim = VictimKind::kChecksum;
-  cfg.victims = 100;
-  cfg.max_injections_per_victim = 100;
-  cfg.steps_between_injections = 2000;
-  cfg.target = InjectTarget::kRegistersAndPc;
-  cfg.seed = 0xF1A7;
-  print_campaign("victim = checksum sweep, target = registers+pc", run_campaign(cfg));
-
-  // Sensitivity: control-flow-heavy and minimal-state victims.
-  cfg.victim = VictimKind::kSort;
-  print_campaign("victim = LCG-fill + bubble sort, target = registers+pc", run_campaign(cfg));
-
-  cfg.victim = VictimKind::kCounter;
-  print_campaign("victim = counter loop, target = registers+pc", run_campaign(cfg));
-
-  // Memory-image flips (Finject's slab-fault analog): far gentler.
-  cfg.victim = VictimKind::kChecksum;
-  cfg.target = InjectTarget::kMemory;
-  print_campaign("victim = checksum sweep, target = memory image", run_campaign(cfg));
-
-  // Machine-readable copy of every campaign.
+  // 100 victims, cap 100 — Finject's register experiment. Then sensitivity
+  // victims (control-flow-heavy, minimal-state) and memory-image flips
+  // (Finject's slab-fault analog: far gentler).
+  std::vector<const char*> labels;
+  std::vector<CampaignConfig> configs;
+  {
+    CampaignConfig cfg;
+    cfg.victim = VictimKind::kChecksum;
+    cfg.victims = 100;
+    cfg.max_injections_per_victim = 100;
+    cfg.steps_between_injections = 2000;
+    cfg.target = InjectTarget::kRegistersAndPc;
+    cfg.seed = 0xF1A7;
+    labels.push_back("victim = checksum sweep, target = registers+pc");
+    configs.push_back(cfg);
+    cfg.victim = VictimKind::kSort;
+    labels.push_back("victim = LCG-fill + bubble sort, target = registers+pc");
+    configs.push_back(cfg);
+    cfg.victim = VictimKind::kCounter;
+    labels.push_back("victim = counter loop, target = registers+pc");
+    configs.push_back(cfg);
+    cfg.victim = VictimKind::kChecksum;
+    cfg.target = InjectTarget::kMemory;
+    labels.push_back("victim = checksum sweep, target = memory image");
+    configs.push_back(cfg);
+  }
+  // Machine-readable copy of every victim x target combination (defaults).
+  const std::size_t csv_begin = configs.size();
   for (auto victim : {VictimKind::kChecksum, VictimKind::kSort, VictimKind::kCounter}) {
     for (auto target : {InjectTarget::kRegistersAndPc, InjectTarget::kMemory}) {
       CampaignConfig c;
       c.victim = victim;
       c.target = target;
-      CampaignResult r = run_campaign(c);
-      const auto& s = r.injections_to_failure;
-      csv.add_row({to_string(victim), to_string(target), TablePrinter::integer(r.victims),
-                   TablePrinter::integer(static_cast<long long>(r.total_injections)),
-                   TablePrinter::num(s.min(), 0), TablePrinter::num(s.max(), 0),
-                   TablePrinter::num(s.mean(), 2), TablePrinter::num(s.median(), 0),
-                   TablePrinter::num(s.mode(), 0), TablePrinter::num(s.stddev(), 2)});
+      configs.push_back(c);
     }
+  }
+
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+  auto outcomes = pool.map(configs.size(),
+                           [&](std::size_t i) { return run_campaign(configs[i]); });
+
+  for (std::size_t i = 0; i < csv_begin; ++i) print_campaign(labels[i], *outcomes[i]);
+
+  CsvWriter csv({"victim", "target", "victims", "injections", "min", "max", "mean", "median",
+                 "mode", "stddev"});
+  for (std::size_t i = csv_begin; i < configs.size(); ++i) {
+    const CampaignResult& r = *outcomes[i];
+    const auto& s = r.injections_to_failure;
+    csv.add_row({to_string(configs[i].victim), to_string(configs[i].target),
+                 TablePrinter::integer(r.victims),
+                 TablePrinter::integer(static_cast<long long>(r.total_injections)),
+                 TablePrinter::num(s.min(), 0), TablePrinter::num(s.max(), 0),
+                 TablePrinter::num(s.mean(), 2), TablePrinter::num(s.median(), 0),
+                 TablePrinter::num(s.mode(), 0), TablePrinter::num(s.stddev(), 2)});
   }
   if (csv.write_file("table1.csv")) {
     std::printf("(machine-readable copy written to table1.csv)\n");

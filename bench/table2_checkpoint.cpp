@@ -29,12 +29,17 @@
 // without failures (E1), buys back lost work under failures (E2 decreases
 // with C), lower MTTF raises E2 and F, and MTTF_a == E2/(F+1) < MTTF_s.
 
+// The four E1 baselines and six paper rows are independent simulations and
+// run on exp::ParallelExecutor (`--jobs N` / EXASIM_JOBS) — the per-row
+// deterministic seed search stays inside each work item.
+
 #include <cstdio>
 #include <map>
 #include <optional>
 
 #include "apps/heat3d.hpp"
 #include "core/runner.hpp"
+#include "exp/executor.hpp"
 #include "metrics/table.hpp"
 
 #include <cstdlib>
@@ -106,7 +111,7 @@ struct PaperRow {
   double mttf_a;
 };
 
-int main() {
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kWarn);
   std::printf("=== Table II: varying the checkpoint interval and system MTTF ===\n");
   std::printf("(32,768 simulated ranks; this takes a few minutes)\n\n");
@@ -116,22 +121,32 @@ int main() {
   CsvWriter csv({"mttf_s", "c", "e1_s", "e2_s", "f", "mttf_a_s", "paper_e2_s", "paper_f",
                  "paper_mttf_a_s"});
 
-  // E1 baselines per checkpoint interval (deterministic, computed once).
-  std::map<int, double> e1;
-  for (int c : {1000, 500, 250, 125}) {
-    e1[c] = to_seconds(run_row(c, std::nullopt, 0).total_time);
-  }
-  table.add_row({"-", "1000", TablePrinter::num(e1[1000], 1) + " s", "-", "0", "-", "-", "0",
-                 "-"});
-
   const PaperRow paper_rows[] = {
       {6000, 500, 5258, 7957, 1, 3978}, {6000, 250, 6377, 7074, 1, 3537},
       {6000, 125, 6601, 6750, 1, 3375}, {3000, 500, 5258, 10584, 2, 3528},
       {3000, 250, 6377, 8618, 2, 2872}, {3000, 125, 6601, 7948, 2, 2649},
   };
-  for (const PaperRow& row : paper_rows) {
-    core::RunnerResult res =
-        run_row_with_failures(row.c, sim_sec(static_cast<std::uint64_t>(row.mttf_s)), row.f);
+
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+
+  // E1 baselines per checkpoint interval (deterministic, computed once).
+  const int e1_intervals[] = {1000, 500, 250, 125};
+  auto e1_outcomes = pool.map(4, [&](std::size_t i) {
+    return to_seconds(run_row(e1_intervals[i], std::nullopt, 0).total_time);
+  });
+  std::map<int, double> e1;
+  for (std::size_t i = 0; i < 4; ++i) e1[e1_intervals[i]] = *e1_outcomes[i];
+  table.add_row({"-", "1000", TablePrinter::num(e1[1000], 1) + " s", "-", "0", "-", "-", "0",
+                 "-"});
+
+  auto row_outcomes = pool.map(std::size(paper_rows), [&](std::size_t i) {
+    const PaperRow& row = paper_rows[i];
+    return run_row_with_failures(row.c, sim_sec(static_cast<std::uint64_t>(row.mttf_s)),
+                                 row.f);
+  });
+  for (std::size_t i = 0; i < std::size(paper_rows); ++i) {
+    const PaperRow& row = paper_rows[i];
+    const core::RunnerResult& res = *row_outcomes[i];
     table.add_row({TablePrinter::integer(row.mttf_s) + " s", TablePrinter::integer(row.c),
                    TablePrinter::num(e1[row.c], 1) + " s",
                    TablePrinter::num(to_seconds(res.total_time), 1) + " s",

@@ -3,10 +3,15 @@
 // recovery, on the allreduce-heavy CG proxy. Sweeps the failure time:
 // abort/restart loses all progress since the last checkpoint (none here),
 // while ULFM recovery loses only the interrupted iteration.
+//
+// Each failure point (classic + ULFM pair) is one work item on
+// exp::ParallelExecutor (`--jobs N` / EXASIM_JOBS).
 
 #include <cstdio>
+#include <vector>
 
 #include "core/runner.hpp"
+#include "exp/executor.hpp"
 #include "metrics/table.hpp"
 #include "util/log.hpp"
 #include "vmpi/context.hpp"
@@ -58,9 +63,14 @@ void classic_solver(Context& ctx) {
   ctx.finalize();
 }
 
+struct Pair {
+  double classic = 0;
+  double ulfm = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kError);
   std::printf("=== Abort+restart (paper) vs ULFM shrink-and-continue (6, item 3) ===\n");
   std::printf("(128 ranks, 200 iterations of compute+allreduce, no checkpoints,\n"
@@ -75,24 +85,32 @@ int main() {
   }
   std::printf("failure-free baseline: %.3f s\n\n", baseline);
 
-  TablePrinter table({"failure at", "abort+restart E2", "ULFM E2", "ULFM saves"});
-  for (double frac : {0.1, 0.25, 0.5, 0.75, 0.9}) {
-    const SimTime t_fail = sim_seconds(baseline * frac);
-    const FailureSpec failure{37, t_fail};
+  const std::vector<double> fracs = {0.1, 0.25, 0.5, 0.75, 0.9};
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+  auto outcomes = pool.map(fracs.size(), [&](std::size_t i) {
+    const FailureSpec failure{37, sim_seconds(baseline * fracs[i])};
+    Pair pair;
 
     core::RunnerConfig rc;
     rc.base = machine();
     rc.first_run_failures = {failure};
-    const double classic = to_seconds(core::ResilientRunner(rc, classic_solver).run().total_time);
+    pair.classic = to_seconds(core::ResilientRunner(rc, classic_solver).run().total_time);
 
     core::SimConfig ulfm_cfg = machine();
     ulfm_cfg.failures = {failure};
     core::Machine m(ulfm_cfg, ulfm_solver);
-    const double ulfm = to_seconds(m.run().max_end_time);
+    pair.ulfm = to_seconds(m.run().max_end_time);
+    return pair;
+  });
 
-    table.add_row({TablePrinter::num(100 * frac, 0) + " %",
-                   TablePrinter::num(classic, 3) + " s", TablePrinter::num(ulfm, 3) + " s",
-                   TablePrinter::num(100.0 * (classic - ulfm) / classic, 1) + " %"});
+  TablePrinter table({"failure at", "abort+restart E2", "ULFM E2", "ULFM saves"});
+  for (std::size_t i = 0; i < fracs.size(); ++i) {
+    const Pair& pair = *outcomes[i];
+    table.add_row({TablePrinter::num(100 * fracs[i], 0) + " %",
+                   TablePrinter::num(pair.classic, 3) + " s",
+                   TablePrinter::num(pair.ulfm, 3) + " s",
+                   TablePrinter::num(100.0 * (pair.classic - pair.ulfm) / pair.classic, 1) +
+                       " %"});
   }
   table.print();
   std::printf(

@@ -6,24 +6,22 @@
 //   (b) what state the checkpoint store is left in (incomplete/corrupted
 //       checkpoints, partially deleted old checkpoints).
 //
-// Run: ./build/examples/failure_modes
+// The five injection cases are independent simulations and run on
+// exp::ParallelExecutor — pass `--jobs N` (or set EXASIM_JOBS).
+//
+// Run: ./build/examples/failure_modes [--jobs N]
 
 #include <cstdio>
 
 #include "apps/heat3d.hpp"
 #include "core/machine.hpp"
+#include "exp/executor.hpp"
 #include "metrics/table.hpp"
 #include "util/log.hpp"
 
 using namespace exasim;
 
 namespace {
-
-struct Observation {
-  SimTime inject_time;
-  std::string detected_in;    // Phase census of the surviving ranks.
-  std::string ckpt_state;
-};
 
 std::string census(const apps::HeatTelemetry& t, int failed_rank) {
   LabelCounter c;
@@ -65,7 +63,7 @@ std::string checkpoint_state(const ckpt::CheckpointStore& store) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kWarn);
 
   core::SimConfig machine;
@@ -95,23 +93,32 @@ int main() {
       {"late compute (iter ~90)", sim_us(90 * 512 + 4000)},
   };
 
-  TablePrinter table({"injected at", "t_inject", "survivor phases at abort",
-                      "checkpoint store after abort"});
-  for (const auto& [label, t] : cases) {
+  struct Row {
+    std::string survivor_phases;
+    std::string store_state;
+  };
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+  auto outcomes = pool.map(cases.size(), [&](std::size_t i) {
     apps::HeatTelemetry telemetry(machine.ranks);
     apps::HeatParams p = heat;
     p.telemetry = &telemetry;
     core::SimConfig cfg = machine;
-    cfg.failures = {FailureSpec{kFailRank, t}};
+    cfg.failures = {FailureSpec{kFailRank, cases[i].second}};
     ckpt::CheckpointStore store(machine.ranks);
     core::Machine m(cfg, apps::make_heat3d(p));
     m.set_checkpoint_store(&store);
     core::SimResult r = m.run();
-    table.add_row({label, format_sim_time(t),
-                   r.outcome == core::SimResult::Outcome::kAborted
-                       ? census(telemetry, kFailRank)
-                       : "(completed)",
-                   checkpoint_state(store)});
+    return Row{r.outcome == core::SimResult::Outcome::kAborted
+                   ? census(telemetry, kFailRank)
+                   : "(completed)",
+               checkpoint_state(store)};
+  });
+
+  TablePrinter table({"injected at", "t_inject", "survivor phases at abort",
+                      "checkpoint store after abort"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    table.add_row({cases[i].first, format_sim_time(cases[i].second),
+                   outcomes[i]->survivor_phases, outcomes[i]->store_state});
   }
 
   std::printf("Failure-mode census (paper §V-D): detection always happens in a\n"

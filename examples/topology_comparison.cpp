@@ -3,7 +3,11 @@
 // on four candidate interconnect topologies and compare communication cost.
 // This is the architectural what-if loop the xSim toolkit exists for.
 //
-// Run: ./build/examples/topology_comparison
+// The topology x application grid is an exp::ExperimentPlan evaluated on
+// exp::ParallelExecutor — pass `--jobs N` (or set EXASIM_JOBS) to evaluate
+// configurations concurrently; the table is identical at any job count.
+//
+// Run: ./build/examples/topology_comparison [--jobs N]
 
 #include <cstdio>
 #include <string>
@@ -12,6 +16,8 @@
 #include "apps/cgproxy.hpp"
 #include "apps/heat3d.hpp"
 #include "core/runner.hpp"
+#include "exp/executor.hpp"
+#include "exp/plan.hpp"
 #include "metrics/table.hpp"
 #include "util/log.hpp"
 
@@ -39,7 +45,7 @@ double run_seconds(const core::SimConfig& machine, vmpi::AppMain app) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kWarn);
 
   // Halo-exchange workload: nearest-neighbor messages every iteration.
@@ -65,11 +71,20 @@ int main() {
       "star:512",
   };
 
+  const auto plan = exp::ExperimentPlan::cross_product(
+      {exp::Axis{"topology", topologies}, exp::Axis{"app", {"heat", "cg"}}});
+  exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});
+  auto outcomes = pool.run(plan, [&](const exp::Point& p, const exp::WorkItem&) {
+    const auto machine = machine_on(topologies[p.at(0)]);
+    return run_seconds(machine, p.at(1) == 0 ? apps::make_heat3d(heat)
+                                             : apps::make_cgproxy(cg));
+  });
+
   TablePrinter table({"topology", "diameter", "heat (halo)", "cg (allreduce)"});
-  for (const auto& topo : topologies) {
-    const auto machine = machine_on(topo);
-    const double t_heat = run_seconds(machine, apps::make_heat3d(heat));
-    const double t_cg = run_seconds(machine, apps::make_cgproxy(cg));
+  for (std::size_t i = 0; i < topologies.size(); ++i) {
+    const std::string& topo = topologies[i];
+    const double t_heat = *outcomes[i * 2 + 0];
+    const double t_cg = *outcomes[i * 2 + 1];
     table.add_row({topo, TablePrinter::integer(make_topology(topo)->diameter()),
                    TablePrinter::num(t_heat * 1e3, 3) + " ms",
                    TablePrinter::num(t_cg * 1e3, 3) + " ms"});

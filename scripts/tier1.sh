@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1 verification: full build + test suite, then the thread-safety gate —
+# a ThreadSanitizer build of the experiment executor and PDES engine tests
+# (the two suites that exercise the parallel campaign machinery end to end).
+#
+# Usage: scripts/tier1.sh [jobs]   (jobs defaults to nproc)
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== tier 1: ThreadSanitizer (test_exp + test_pdes) =="
+cmake -B build-tsan -S . -DEXASIM_TSAN=ON >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_exp test_pdes
+(cd build-tsan && ctest --output-on-failure -R 'test_exp|test_pdes')
+
+echo "tier 1 OK"

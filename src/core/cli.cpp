@@ -42,7 +42,10 @@ std::string cli_usage() {
       "  --failures=R@T,R@T   (or env EXASIM_FAILURES)\n"
       "  --mttf=DUR --distribution=uniform2m|exponential|weibull\n"
       "  --seed=N --max-restarts=N --stack-bytes=N\n"
-      "  --measured-compute --sim-time-file=PATH --verbose\n";
+      "  --measured-compute --sim-time-file=PATH --verbose\n"
+      "  --replicates=N   (repeat with seeds seed..seed+N-1, report stats)\n"
+      "  --jobs=N         (worker threads for replicates; 0 = all cores,\n"
+      "                    default from EXASIM_JOBS)\n";
 }
 
 std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::string* error) {
@@ -130,6 +133,11 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::stri
       opts.seed = static_cast<std::uint64_t>(ll);
     } else if (key == "max-restarts" && parse_int(value, &ll)) {
       opts.max_restarts = static_cast<int>(ll);
+    } else if (key == "replicates" && parse_int(value, &ll)) {
+      if (ll < 1) return fail("bad --replicates");
+      opts.replicates = static_cast<int>(ll);
+    } else if (key == "jobs" && parse_int(value, &ll)) {
+      opts.jobs = static_cast<int>(ll);
     } else if (key == "stack-bytes" && parse_int(value, &ll)) {
       opts.machine.process.fiber_stack_bytes = static_cast<std::size_t>(ll);
     } else if (key == "measured-compute") {

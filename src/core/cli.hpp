@@ -28,6 +28,7 @@ namespace exasim::core {
 ///   --seed=N                  --max-restarts=N
 ///   --stack-bytes=N           --measured-compute
 ///   --sim-time-file=PATH      --verbose
+///   --replicates=N            --jobs=N
 struct CliOptions {
   SimConfig machine;
   std::optional<SimTime> mttf;
@@ -36,6 +37,16 @@ struct CliOptions {
   int max_restarts = 10000;
   std::string sim_time_file;
   bool verbose = false;
+
+  /// Replication campaign size: N > 1 repeats the whole simulation with
+  /// seeds seed, seed+1, ..., seed+N-1 and reports statistics.
+  int replicates = 1;
+
+  /// Worker threads for replication campaigns: -1 = EXASIM_JOBS env default,
+  /// 0 = all hardware threads. Interpreted by exp::resolve_jobs() — core
+  /// itself only carries the value (layering: core must not depend on exp).
+  int jobs = -1;
+
   std::vector<std::string> positional;  ///< Non-option arguments.
 };
 

@@ -1,0 +1,94 @@
+#include "exp/emit.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace exasim::exp {
+
+ResultTable::ResultTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void ResultTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("ResultTable row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string ResultTable::to_text() const {
+  TablePrinter printer(headers_);
+  for (const auto& row : rows_) printer.add_row(row);
+  return printer.to_string();
+}
+
+std::string ResultTable::to_csv() const {
+  CsvWriter csv(headers_);
+  for (const auto& row : rows_) csv.add_row(row);
+  return csv.to_string();
+}
+
+std::string ResultTable::to_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c ? ", " : "") << '"' << json_escape(headers_[c]) << "\": \""
+         << json_escape(rows_[r][c]) << '"';
+    }
+    os << '}' << (r + 1 < rows_.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+  return os.str();
+}
+
+void ResultTable::print(std::FILE* out) const {
+  const std::string s = to_text();
+  std::fwrite(s.data(), 1, s.size(), out);
+  std::fflush(out);
+}
+
+namespace {
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << content;
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+bool ResultTable::write_csv(const std::string& path) const {
+  return write_text_file(path, to_csv());
+}
+
+bool ResultTable::write_json(const std::string& path) const {
+  return write_text_file(path, to_json());
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace exasim::exp

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/table.hpp"
+
+namespace exasim::exp {
+
+/// Ordered result table of a campaign, with the three renderings every
+/// experiment wants: a paper-style text table (metrics::TablePrinter), CSV
+/// for plotting (metrics::CsvWriter), and JSON for downstream tooling.
+///
+/// Rows are appended in plan order by the code that aggregates executor
+/// outcomes, so every rendering is deterministic for any job count.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  std::string to_text() const;
+  std::string to_csv() const;
+  /// JSON array of objects keyed by header, e.g.
+  /// `[{"topology": "torus:8x8x8", "E2": "1.23 ms"}, ...]`.
+  std::string to_json() const;
+
+  void print(std::FILE* out = stdout) const;
+  bool write_csv(const std::string& path) const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a string for inclusion in a JSON document (quotes, backslashes,
+/// control characters), without the surrounding quotes.
+std::string json_escape(const std::string& s);
+
+}  // namespace exasim::exp

@@ -1,0 +1,82 @@
+#include "exp/executor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace exasim::exp {
+
+int hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+bool parse_jobs_value(const char* text, int* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < 0 || v > 1 << 20) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+int default_jobs() {
+  int v = 0;
+  if (!parse_jobs_value(std::getenv("EXASIM_JOBS"), &v)) return 1;
+  return v == 0 ? hardware_jobs() : v;
+}
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  if (requested == 0) return hardware_jobs();
+  return default_jobs();
+}
+
+int jobs_from_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int v = 0;
+    if (arg.rfind("--jobs=", 0) == 0) {
+      if (parse_jobs_value(arg.c_str() + 7, &v)) return v == 0 ? hardware_jobs() : v;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      if (parse_jobs_value(argv[i + 1], &v)) return v == 0 ? hardware_jobs() : v;
+    }
+  }
+  return -1;
+}
+
+namespace detail {
+
+void run_indexed(std::size_t n, int jobs, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min(n, static_cast<std::size_t>(std::max(jobs, 1)));
+  if (workers <= 1) {
+    // Inline serial execution: exactly the old single-threaded bench loop.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        body(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace detail
+
+}  // namespace exasim::exp

@@ -1,0 +1,78 @@
+#include "exp/plan.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace exasim::exp {
+
+ExperimentPlan ExperimentPlan::cross_product(std::vector<Axis> axes, int replicates,
+                                             std::uint64_t base_seed) {
+  if (replicates < 1) throw std::invalid_argument("replicates < 1");
+  std::size_t count = 1;
+  for (const Axis& a : axes) {
+    if (a.values.empty()) throw std::invalid_argument("empty axis: " + a.name);
+    count *= a.values.size();
+  }
+
+  ExperimentPlan plan;
+  plan.axes_ = std::move(axes);
+  plan.replicates_ = replicates;
+  plan.base_seed_ = base_seed;
+  plan.points_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Point p;
+    p.index = i;
+    p.value_index.resize(plan.axes_.size());
+    // First axis outermost: decompose i in mixed radix, last axis fastest.
+    std::size_t rest = i;
+    for (std::size_t a = plan.axes_.size(); a-- > 0;) {
+      const std::size_t radix = plan.axes_[a].values.size();
+      p.value_index[a] = rest % radix;
+      rest /= radix;
+    }
+    plan.points_.push_back(std::move(p));
+  }
+  return plan;
+}
+
+ExperimentPlan ExperimentPlan::explicit_points(std::size_t count, int replicates,
+                                               std::uint64_t base_seed) {
+  if (replicates < 1) throw std::invalid_argument("replicates < 1");
+  ExperimentPlan plan;
+  plan.replicates_ = replicates;
+  plan.base_seed_ = base_seed;
+  plan.points_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) plan.points_[i].index = i;
+  return plan;
+}
+
+WorkItem ExperimentPlan::item(std::size_t item_index) const {
+  const auto reps = static_cast<std::size_t>(replicates_);
+  if (item_index >= item_count()) throw std::out_of_range("work item index");
+  WorkItem w;
+  w.item_index = item_index;
+  w.point_index = item_index / reps;
+  w.replicate = static_cast<int>(item_index % reps);
+  switch (seed_mode_) {
+    case SeedMode::kHashed:
+      w.seed = derive_seed(base_seed_, w.point_index, w.replicate);
+      break;
+    case SeedMode::kSequentialPerReplicate:
+      w.seed = base_seed_ + static_cast<std::uint64_t>(w.replicate);
+      break;
+  }
+  return w;
+}
+
+std::uint64_t ExperimentPlan::derive_seed(std::uint64_t base_seed, std::size_t point_index,
+                                          int replicate) {
+  // Chain three SplitMix64 steps so (base, point, replicate) each perturb the
+  // full state; avoids correlated streams for adjacent points/replicates.
+  SplitMix64 mix(base_seed);
+  mix.state ^= mix.next() + static_cast<std::uint64_t>(point_index);
+  mix.state ^= mix.next() + static_cast<std::uint64_t>(replicate);
+  return mix.next();
+}
+
+}  // namespace exasim::exp

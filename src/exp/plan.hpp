@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exasim::exp {
+
+/// One named parameter axis of an experiment plan. Values are display
+/// strings; a bench typically keeps a parallel typed array (topologies,
+/// intervals, MTTFs, ...) and indexes it with Point::at().
+struct Axis {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+/// One point of a plan: a position along every axis, in plan enumeration
+/// order (first axis outermost — the order the old serial nested loops used).
+struct Point {
+  std::size_t index = 0;                  ///< Position in the plan's point list.
+  std::vector<std::size_t> value_index;   ///< Per-axis value position.
+
+  /// Value position along `axis` — index into the bench's typed array.
+  std::size_t at(std::size_t axis) const { return value_index.at(axis); }
+};
+
+/// One unit of work handed to the executor: a point, a replicate id, and the
+/// seed derived for this (point, replicate) pair.
+struct WorkItem {
+  std::size_t item_index = 0;   ///< Position in plan item order (point-major).
+  std::size_t point_index = 0;
+  int replicate = 0;
+  std::uint64_t seed = 0;
+};
+
+/// How per-item seeds are derived from the plan's base seed.
+enum class SeedMode {
+  /// seed = hash(base_seed, point_index, replicate) — independent streams for
+  /// every work item; the default for new experiments.
+  kHashed,
+  /// seed = base_seed + replicate — the scheme the original serial benches
+  /// used (`7000 + seed_index` etc.); keeps their output byte-identical.
+  kSequentialPerReplicate,
+};
+
+/// A campaign of independent simulated runs: named parameter axes expanded
+/// into a cross-product (or an explicit point count), a replication count,
+/// and a base seed (paper §III-A/§V: MTTF sweeps, checkpoint-interval
+/// sweeps, the co-design sweep).
+class ExperimentPlan {
+ public:
+  /// Cross-product of the given axes; first axis varies slowest.
+  static ExperimentPlan cross_product(std::vector<Axis> axes, int replicates = 1,
+                                      std::uint64_t base_seed = 1);
+
+  /// An explicit list of `count` points the bench enumerates itself (no
+  /// axis structure; Point::value_index stays empty).
+  static ExperimentPlan explicit_points(std::size_t count, int replicates = 1,
+                                        std::uint64_t base_seed = 1);
+
+  ExperimentPlan& set_seed_mode(SeedMode mode) {
+    seed_mode_ = mode;
+    return *this;
+  }
+
+  std::size_t axis_count() const { return axes_.size(); }
+  const Axis& axis(std::size_t i) const { return axes_.at(i); }
+  std::size_t point_count() const { return points_.size(); }
+  const Point& point(std::size_t i) const { return points_.at(i); }
+  int replicates() const { return replicates_; }
+  std::uint64_t base_seed() const { return base_seed_; }
+  SeedMode seed_mode() const { return seed_mode_; }
+
+  /// Work items enumerate point-major: point 0 replicates 0..R-1, point 1
+  /// replicates 0..R-1, ... — the order the old serial loops ran in.
+  std::size_t item_count() const { return points_.size() * static_cast<std::size_t>(replicates_); }
+  WorkItem item(std::size_t item_index) const;
+
+  /// Deterministic, platform-independent seed for one (point, replicate) of
+  /// a campaign: a SplitMix64 chain over (base, point_index, replicate).
+  /// Stable across releases — recorded experiment seeds stay reproducible.
+  static std::uint64_t derive_seed(std::uint64_t base_seed, std::size_t point_index,
+                                   int replicate);
+
+ private:
+  ExperimentPlan() = default;
+
+  std::vector<Axis> axes_;
+  std::vector<Point> points_;
+  int replicates_ = 1;
+  std::uint64_t base_seed_ = 1;
+  SeedMode seed_mode_ = SeedMode::kHashed;
+};
+
+}  // namespace exasim::exp

@@ -11,6 +11,44 @@
 #include <ucontext.h>
 #endif
 
+// ---------------------------------------------------------------------------
+// ThreadSanitizer fiber support
+//
+// TSan tracks a shadow stack per thread; switching stacks behind its back
+// (our hand-rolled exasim_ctx_switch, or swapcontext) corrupts that tracking
+// and produces false reports or crashes. The __tsan_*_fiber interface tells
+// the sanitizer about every user-space context switch. Compiled in only
+// under -fsanitize=thread (the EXASIM_TSAN build preset).
+// ---------------------------------------------------------------------------
+#if defined(__SANITIZE_THREAD__)
+#define EXASIM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EXASIM_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(EXASIM_TSAN_FIBERS)
+extern "C" {
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+void* __tsan_get_current_fiber(void);
+}
+#define EXASIM_TSAN_FIBER_CREATE() __tsan_create_fiber(0)
+#define EXASIM_TSAN_FIBER_DESTROY(f) \
+  do {                               \
+    if ((f) != nullptr) __tsan_destroy_fiber(f); \
+  } while (0)
+#define EXASIM_TSAN_FIBER_CURRENT() __tsan_get_current_fiber()
+#define EXASIM_TSAN_FIBER_SWITCH(f) __tsan_switch_to_fiber((f), 0)
+#else
+#define EXASIM_TSAN_FIBER_CREATE() nullptr
+#define EXASIM_TSAN_FIBER_DESTROY(f) (void)(f)
+#define EXASIM_TSAN_FIBER_CURRENT() nullptr
+#define EXASIM_TSAN_FIBER_SWITCH(f) (void)(f)
+#endif
+
 namespace exasim {
 
 // ---------------------------------------------------------------------------
@@ -30,6 +68,8 @@ namespace exasim {
 struct Fiber::Impl {
   void* self_sp = nullptr;    ///< Fiber's saved stack pointer while suspended.
   void* caller_sp = nullptr;  ///< Resumer's saved stack pointer while fiber runs.
+  void* tsan_fiber = nullptr;   ///< TSan fiber handle (sanitizer builds only).
+  void* tsan_caller = nullptr;  ///< TSan handle of the resumer's context.
 };
 
 extern "C" void exasim_ctx_switch(void** save_sp, void* load_sp);
@@ -65,6 +105,8 @@ exasim_ctx_switch:
 struct Fiber::Impl {
   ucontext_t self{};
   ucontext_t caller{};
+  void* tsan_fiber = nullptr;   ///< TSan fiber handle (sanitizer builds only).
+  void* tsan_caller = nullptr;  ///< TSan handle of the resumer's context.
 };
 
 #endif
@@ -101,6 +143,7 @@ void Fiber::run_body_and_exit() {
   finished_ = true;
   t_current = nullptr;
   void* dummy = nullptr;
+  EXASIM_TSAN_FIBER_SWITCH(impl_->tsan_caller);
   exasim_ctx_switch(&dummy, impl_->caller_sp);
   std::abort();  // Unreachable: a finished fiber is never resumed.
 }
@@ -127,6 +170,7 @@ Fiber::Fiber(Body body, std::size_t stack_bytes)
   *slots = reinterpret_cast<void*>(&fiber_entry);
   for (int i = 1; i <= 6; ++i) *(slots - i) = nullptr;  // rbp,rbx,r12-r15.
   impl_->self_sp = slots - 6;
+  impl_->tsan_fiber = EXASIM_TSAN_FIBER_CREATE();
 }
 
 void Fiber::resume() {
@@ -134,6 +178,8 @@ void Fiber::resume() {
   if (t_current != nullptr) throw std::logic_error("nested fiber resume on one thread");
   started_ = true;
   t_current = this;
+  impl_->tsan_caller = EXASIM_TSAN_FIBER_CURRENT();
+  EXASIM_TSAN_FIBER_SWITCH(impl_->tsan_fiber);
   exasim_ctx_switch(&impl_->caller_sp, impl_->self_sp);
   // Either the fiber yielded (t_current reset in yield) or finished
   // (t_current reset in run_body_and_exit).
@@ -143,6 +189,7 @@ void Fiber::yield() {
   Fiber* self = t_current;
   if (self == nullptr) throw std::logic_error("Fiber::yield outside fiber");
   t_current = nullptr;
+  EXASIM_TSAN_FIBER_SWITCH(self->impl_->tsan_caller);
   exasim_ctx_switch(&self->impl_->self_sp, self->impl_->caller_sp);
   // Resumed again.
 }
@@ -184,6 +231,7 @@ Fiber::Fiber(Body body, std::size_t stack_bytes)
   auto ptr = reinterpret_cast<std::uintptr_t>(this);
   ::makecontext(&impl_->self, reinterpret_cast<void (*)()>(&trampoline), 2,
                 static_cast<unsigned>(ptr >> 32), static_cast<unsigned>(ptr & 0xffffffffu));
+  impl_->tsan_fiber = EXASIM_TSAN_FIBER_CREATE();
 }
 
 namespace {
@@ -202,6 +250,8 @@ void Fiber::resume() {
   if (t_current != nullptr) throw std::logic_error("nested fiber resume on one thread");
   started_ = true;
   t_current = this;
+  impl_->tsan_caller = EXASIM_TSAN_FIBER_CURRENT();
+  EXASIM_TSAN_FIBER_SWITCH(impl_->tsan_fiber);
   if (::swapcontext(&impl_->caller, &impl_->self) != 0) {
     t_current = nullptr;
     throw std::runtime_error("swapcontext failed");
@@ -212,6 +262,7 @@ void Fiber::yield() {
   Fiber* self = t_current;
   if (self == nullptr) throw std::logic_error("Fiber::yield outside fiber");
   t_current = nullptr;
+  EXASIM_TSAN_FIBER_SWITCH(self->impl_->tsan_caller);
   if (::swapcontext(&self->impl_->self, &self->impl_->caller) != 0) {
     throw std::runtime_error("swapcontext failed");
   }
@@ -223,6 +274,8 @@ void Fiber::ucontext_body() {
   body_();
   finished_ = true;
   t_current = nullptr;
+  // Returning switches to uc_link (the caller) inside libc; tell TSan first.
+  EXASIM_TSAN_FIBER_SWITCH(impl_->tsan_caller);
 }
 
 Fiber::~Fiber() {
@@ -230,6 +283,7 @@ Fiber::~Fiber() {
   // stack memory itself is reclaimed here. Simulated process teardown always
   // drives fibers to completion (or kills them via an unwind exception), so
   // this is a safety net, not the normal path.
+  EXASIM_TSAN_FIBER_DESTROY(impl_->tsan_fiber);
   if (stack_ != nullptr) ::munmap(stack_, stack_bytes_);
 }
 

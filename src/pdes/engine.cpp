@@ -1,5 +1,6 @@
 #include "pdes/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -27,8 +28,16 @@ std::uint64_t Engine::schedule(SimTime time, LpId target, int kind,
   ev.target = target;
   ev.kind = kind;
   ev.payload = std::move(payload);
-  queue_.push(std::move(ev));
+  queue_.push_back(std::move(ev));
+  std::push_heap(queue_.begin(), queue_.end(), QueueOrder{});
   return seq;
+}
+
+Event Engine::pop_next_event() {
+  std::pop_heap(queue_.begin(), queue_.end(), QueueOrder{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
 }
 
 void Engine::mark_dead(LpId id) { dead_.insert(id); }
@@ -37,10 +46,7 @@ void Engine::run() {
   stop_requested_ = false;
   for (;;) {
     while (!queue_.empty() && !stop_requested_) {
-      // priority_queue::top() is const; the event is moved out and popped —
-      // safe because nothing observes the moved-from copy inside the queue.
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
+      Event ev = pop_next_event();
       if (dead_.count(ev.target) != 0) {
         ++events_dropped_dead_;
         continue;

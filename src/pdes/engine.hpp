@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -80,12 +79,15 @@ class Engine {
 
  private:
   struct QueueOrder {
-    // std::priority_queue is a max-heap; invert EventOrder.
+    // std::push_heap/pop_heap build a max-heap; invert EventOrder.
     bool operator()(const Event& a, const Event& b) const { return EventOrder{}(b, a); }
   };
 
+  /// Pops the earliest event off queue_ (a binary heap under QueueOrder).
+  Event pop_next_event();
+
   std::vector<LogicalProcess*> processes_;
-  std::priority_queue<Event, std::vector<Event>, QueueOrder> queue_;
+  std::vector<Event> queue_;  ///< Heap-ordered via std::push_heap/pop_heap.
   std::unordered_set<LpId> dead_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;

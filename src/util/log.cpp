@@ -26,7 +26,18 @@ LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 void Log::set_level(LogLevel lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 
 void Log::write(LogLevel lvl, const std::string& msg) {
-  std::fprintf(stderr, "[exasim %s] %s\n", level_name(lvl), msg.c_str());
+  // Emit the whole record as ONE stdio call so concurrent writers (the
+  // parallel experiment executor runs one simulation per thread) cannot
+  // interleave fragments of each other's lines: stdio locks the stream per
+  // call, which makes a single fwrite line-atomic.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[exasim ";
+  line += level_name(lvl);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace exasim

@@ -11,6 +11,11 @@
 //       --slowdown=1000 --ns-per-unit=1281
 //       --app-params="nx=256,px=16,iters=400,interval=50" --mttf=500s
 //   EXASIM_FAILURES="12@1.5s,77@2s" exasim_run ring --ranks=128 --verbose
+//
+// `--replicates=N` repeats the whole experiment with seeds seed..seed+N-1
+// (an exp::ParallelExecutor campaign — add `--jobs=M` or set EXASIM_JOBS to
+// run M replicates concurrently) and reports per-replicate rows plus
+// mean/stddev statistics. Output is identical for any job count.
 
 #include <cstdio>
 #include <string>
@@ -19,6 +24,10 @@
 #include "apps/heat3d.hpp"
 #include "apps/ring.hpp"
 #include "core/cli.hpp"
+#include "exp/executor.hpp"
+#include "exp/plan.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
 #include "util/log.hpp"
 #include "util/parse.hpp"
 
@@ -88,6 +97,61 @@ int main(int argc, char** argv) {
     app = apps::make_ring(p);
   } else {
     return die_usage("unknown app: " + app_name);
+  }
+
+  if (options->replicates > 1) {
+    // Replication campaign: one full simulation per replicate, seeds
+    // seed..seed+N-1, on the experiment executor.
+    auto plan = exp::ExperimentPlan::explicit_points(
+        1, options->replicates, options->seed);
+    plan.set_seed_mode(exp::SeedMode::kSequentialPerReplicate);
+    exp::ParallelExecutor pool(exp::ExecutorOptions{options->jobs, {}});
+    auto outcomes = pool.run(plan, [&](const exp::Point&, const exp::WorkItem& item) {
+      core::RunnerConfig rc = core::runner_config_from(*options);
+      rc.seed = item.seed;
+      return core::ResilientRunner(rc, app).run();
+    });
+
+    std::printf("app            : %s on %d simulated ranks (%s)\n", app_name.c_str(),
+                options->machine.ranks, options->machine.topology.c_str());
+    // No job count in the output: it must be byte-identical for any --jobs.
+    std::printf("replicates     : %d (seeds %llu..%llu)\n", options->replicates,
+                static_cast<unsigned long long>(options->seed),
+                static_cast<unsigned long long>(options->seed) +
+                    static_cast<unsigned long long>(options->replicates) - 1);
+    TablePrinter table({"seed", "completed", "launches", "E2", "F", "MTTF_a"});
+    RunningStats e2, f, mttfa;
+    bool all_completed = true;
+    int campaign_errors = 0;
+    for (std::size_t i = 0; i < plan.item_count(); ++i) {
+      if (!outcomes[i].ok()) {
+        std::fprintf(stderr, "exasim_run: replicate %zu: %s\n", i, outcomes[i].error.c_str());
+        ++campaign_errors;
+        all_completed = false;
+        continue;
+      }
+      const core::RunnerResult& res = *outcomes[i];
+      all_completed = all_completed && res.completed;
+      e2.add(to_seconds(res.total_time));
+      f.add(res.failures);
+      if (res.failures > 0) mttfa.add(res.app_mttf_seconds);
+      table.add_row({std::to_string(plan.item(i).seed), res.completed ? "yes" : "NO",
+                     TablePrinter::integer(res.launches),
+                     TablePrinter::num(to_seconds(res.total_time), 6) + " s",
+                     TablePrinter::integer(res.failures),
+                     res.failures > 0 ? TablePrinter::num(res.app_mttf_seconds, 3) + " s"
+                                      : "-"});
+    }
+    table.print();
+    if (e2.count() > 0) {
+      std::printf("E2             : mean %.6f s, stddev %.6f s\n", e2.mean(), e2.stddev());
+      std::printf("failures (F)   : mean %.2f, max %.0f\n", f.mean(), f.max());
+      if (mttfa.count() > 0) {
+        std::printf("MTTF_a         : mean %.3f s over %zu replicate(s) with failures\n",
+                    mttfa.mean(), static_cast<std::size_t>(mttfa.count()));
+      }
+    }
+    return all_completed && campaign_errors == 0 ? 0 : 1;
   }
 
   core::RunnerResult res;
