@@ -1,7 +1,10 @@
 #!/bin/sh
 # Tier-1 verification: full build + test suite, then the thread-safety gate —
-# a ThreadSanitizer build of the experiment executor and PDES engine tests
-# (the two suites that exercise the parallel campaign machinery end to end).
+# a ThreadSanitizer build of the experiment executor, PDES engine, and MPI
+# point-to-point tests (the suites that exercise the parallel campaign
+# machinery and the sharded engine end to end). The TSan suites run twice:
+# once as-is and once with EXASIM_SIM_WORKERS=4 so every engine run inside
+# them is forced onto multiple worker threads.
 #
 # Usage: scripts/tier1.sh [jobs]   (jobs defaults to nproc)
 set -eu
@@ -14,9 +17,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== tier 1: ThreadSanitizer (test_exp + test_pdes) =="
+echo "== tier 1: ThreadSanitizer (test_exp + test_pdes + test_vmpi_p2p) =="
 cmake -B build-tsan -S . -DEXASIM_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_exp test_pdes
-(cd build-tsan && ctest --output-on-failure -R 'test_exp|test_pdes')
+cmake --build build-tsan -j "$JOBS" --target test_exp test_pdes test_vmpi_p2p
+(cd build-tsan && ctest --output-on-failure -R 'test_exp|test_pdes|test_vmpi_p2p')
+
+echo "== tier 1: ThreadSanitizer, forced multi-worker engine =="
+(cd build-tsan && EXASIM_SIM_WORKERS=4 ctest --output-on-failure -R 'test_pdes|test_vmpi_p2p')
 
 echo "tier 1 OK"

@@ -9,6 +9,7 @@ CheckpointStore::CheckpointStore(int expected_ranks) : expected_ranks_(expected_
 }
 
 void CheckpointStore::begin(std::uint64_t version, int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (rank < 0 || rank >= expected_ranks_) throw std::invalid_argument("bad rank");
   VersionSet& set = versions_[version];
   auto [it, inserted] = set.files.try_emplace(rank);
@@ -20,6 +21,7 @@ void CheckpointStore::begin(std::uint64_t version, int rank) {
 
 void CheckpointStore::append(std::uint64_t version, int rank,
                              std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto vit = versions_.find(version);
   if (vit == versions_.end()) throw std::logic_error("append before begin");
   auto fit = vit->second.files.find(rank);
@@ -29,6 +31,7 @@ void CheckpointStore::append(std::uint64_t version, int rank,
 }
 
 void CheckpointStore::finalize(std::uint64_t version, int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto vit = versions_.find(version);
   if (vit == versions_.end()) throw std::logic_error("finalize before begin");
   auto fit = vit->second.files.find(rank);
@@ -40,11 +43,13 @@ void CheckpointStore::finalize(std::uint64_t version, int rank) {
 }
 
 bool CheckpointStore::file_exists(std::uint64_t version, int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto vit = versions_.find(version);
   return vit != versions_.end() && vit->second.files.count(rank) != 0;
 }
 
 bool CheckpointStore::file_finalized(std::uint64_t version, int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto vit = versions_.find(version);
   if (vit == versions_.end()) return false;
   auto fit = vit->second.files.find(rank);
@@ -52,6 +57,11 @@ bool CheckpointStore::file_finalized(std::uint64_t version, int rank) const {
 }
 
 bool CheckpointStore::set_complete(std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return set_complete_unlocked(version);
+}
+
+bool CheckpointStore::set_complete_unlocked(std::uint64_t version) const {
   auto vit = versions_.find(version);
   if (vit == versions_.end()) return false;
   return static_cast<int>(vit->second.files.size()) == expected_ranks_ &&
@@ -59,13 +69,15 @@ bool CheckpointStore::set_complete(std::uint64_t version) const {
 }
 
 std::optional<std::uint64_t> CheckpointStore::latest_complete() const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
-    if (set_complete(it->first)) return it->first;
+    if (set_complete_unlocked(it->first)) return it->first;
   }
   return std::nullopt;
 }
 
 std::vector<std::byte> CheckpointStore::read(std::uint64_t version, int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto vit = versions_.find(version);
   if (vit == versions_.end()) return {};
   auto fit = vit->second.files.find(rank);
@@ -74,6 +86,7 @@ std::vector<std::byte> CheckpointStore::read(std::uint64_t version, int rank) co
 }
 
 void CheckpointStore::remove_file(std::uint64_t version, int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto vit = versions_.find(version);
   if (vit == versions_.end()) return;
   auto fit = vit->second.files.find(rank);
@@ -83,18 +96,23 @@ void CheckpointStore::remove_file(std::uint64_t version, int rank) {
   if (vit->second.files.empty()) versions_.erase(vit);
 }
 
-void CheckpointStore::remove_version(std::uint64_t version) { versions_.erase(version); }
+void CheckpointStore::remove_version(std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  versions_.erase(version);
+}
 
 int CheckpointStore::scrub() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::uint64_t> doomed;
   for (const auto& [version, files] : versions_) {
-    if (!set_complete(version)) doomed.push_back(version);
+    if (!set_complete_unlocked(version)) doomed.push_back(version);
   }
   for (auto v : doomed) versions_.erase(v);
   return static_cast<int>(doomed.size());
 }
 
 std::vector<std::uint64_t> CheckpointStore::versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::uint64_t> out;
   out.reserve(versions_.size());
   for (const auto& [v, files] : versions_) out.push_back(v);
@@ -102,6 +120,7 @@ std::vector<std::uint64_t> CheckpointStore::versions() const {
 }
 
 std::size_t CheckpointStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
   for (const auto& [v, set] : versions_) {
     for (const auto& [r, f] : set.files) total += f.data.size();
@@ -110,6 +129,7 @@ std::size_t CheckpointStore::total_bytes() const {
 }
 
 std::size_t CheckpointStore::file_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
   for (const auto& [v, set] : versions_) total += set.files.size();
   return total;

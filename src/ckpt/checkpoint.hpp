@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -24,7 +25,8 @@ namespace exasim::ckpt {
 /// finalized are valid restart candidates.
 ///
 /// The store outlives individual simulation runs — it is the persistent
-/// state that survives an abort/restart cycle.
+/// state that survives an abort/restart cycle. All methods are thread-safe:
+/// ranks checkpointing concurrently live on different engine workers.
 class CheckpointStore {
  public:
   explicit CheckpointStore(int expected_ranks);
@@ -81,7 +83,10 @@ class CheckpointStore {
     std::map<int, File> files;
     int finalized_count = 0;
   };
+  bool set_complete_unlocked(std::uint64_t version) const;
+
   int expected_ranks_;
+  mutable std::mutex mu_;
   std::map<std::uint64_t, VersionSet> versions_;
 };
 

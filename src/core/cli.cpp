@@ -45,7 +45,11 @@ std::string cli_usage() {
       "  --measured-compute --sim-time-file=PATH --verbose\n"
       "  --replicates=N   (repeat with seeds seed..seed+N-1, report stats)\n"
       "  --jobs=N         (worker threads for replicates; 0 = all cores,\n"
-      "                    default from EXASIM_JOBS)\n";
+      "                    default from EXASIM_JOBS)\n"
+      "  --sim-workers=N|auto\n"
+      "                   (engine LP-group threads inside one simulation;\n"
+      "                    1 = sequential, auto = all cores, default from\n"
+      "                    EXASIM_SIM_WORKERS; identical results for any N)\n";
 }
 
 std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::string* error) {
@@ -138,6 +142,14 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::stri
       opts.replicates = static_cast<int>(ll);
     } else if (key == "jobs" && parse_int(value, &ll)) {
       opts.jobs = static_cast<int>(ll);
+    } else if (key == "sim-workers") {
+      if (value == "auto") {
+        opts.machine.sim_workers = -1;
+      } else if (parse_int(value, &ll) && ll >= 1) {
+        opts.machine.sim_workers = static_cast<int>(ll);
+      } else {
+        return fail("bad --sim-workers");
+      }
     } else if (key == "stack-bytes" && parse_int(value, &ll)) {
       opts.machine.process.fiber_stack_bytes = static_cast<std::size_t>(ll);
     } else if (key == "measured-compute") {

@@ -29,6 +29,7 @@ namespace exasim::core {
 ///   --stack-bytes=N           --measured-compute
 ///   --sim-time-file=PATH      --verbose
 ///   --replicates=N            --jobs=N
+///   --sim-workers=N|auto      (or environment EXASIM_SIM_WORKERS)
 struct CliOptions {
   SimConfig machine;
   std::optional<SimTime> mttf;

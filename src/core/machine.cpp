@@ -1,9 +1,11 @@
 #include "core/machine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "netmodel/topology.hpp"
+#include "pdes/sim_workers.hpp"
 #include "util/log.hpp"
 #include "vmpi/context.hpp"
 
@@ -84,6 +86,21 @@ SimResult Machine::run() {
     engine_.schedule(config_.initial_time, r, vmpi::kEvStart, nullptr);
   }
 
+  // Engine sharding: LP groups aligned to nodes so that only cross-node
+  // traffic — which the network model bounds below by min_remote_latency()
+  // — crosses groups. Causality mode is counting, not throwing: the
+  // simulator-internal failure/abort/revoke notices broadcast "at now" can
+  // cross groups below the window bound; they arrive at most one
+  // conservative window (µs-scale) late, which the ms-scale failure
+  // timeouts governing observable behavior absorb.
+  const auto* hier = dynamic_cast<const HierarchicalNetwork*>(network_.get());
+  Engine::ShardingOptions shard;
+  shard.workers = resolve_sim_workers(config_.sim_workers);
+  shard.lookahead = network_->min_remote_latency();
+  shard.block_alignment = hier ? hier->ranks_per_node() : config_.ranks_per_node;
+  engine_.set_sharding(std::move(shard));
+  engine_.set_causality_mode(Engine::CausalityMode::kCount);
+
   engine_.run();
 
   // Collect results.
@@ -103,10 +120,18 @@ SimResult Machine::run() {
   }
   result.min_end_time = sim_seconds(end_times.min());
   result.avg_end_time_sec = end_times.mean();
+  // Hook order across LP groups is scheduling-dependent; (time, rank) is the
+  // order the sequential engine produces, so sorting makes the report
+  // identical for every worker count.
+  std::sort(activated_.begin(), activated_.end(),
+            [](const FailureSpec& a, const FailureSpec& b) {
+              return a.time != b.time ? a.time < b.time : a.rank < b.rank;
+            });
   result.activated_failures = activated_;
   result.abort_time = abort_time_;
   result.abort_origin = abort_origin_;
   result.events_processed = engine_.events_processed();
+  result.causality_violations = engine_.causality_violations();
   if (energy_) result.total_energy_joules = energy_->total_joules();
   for (const auto& proc : processes_) {
     result.total_busy_time += proc->busy_time();
@@ -149,7 +174,10 @@ void Machine::process_failed(vmpi::SimProcess& proc, SimTime when) {
   EXASIM_INFO() << "simulated MPI process failure: rank " << proc.world_rank() << " at "
                 << format_sim_time(when);
   engine_.mark_dead(proc.world_rank());
-  activated_.push_back(FailureSpec{proc.world_rank(), when});
+  {
+    std::lock_guard<std::mutex> lock(hooks_mutex_);
+    activated_.push_back(FailureSpec{proc.world_rank(), when});
+  }
 
   // Simulator-internal broadcast: every simulated process learns the rank
   // and time of failure (paper §IV-B).
@@ -166,9 +194,15 @@ void Machine::process_failed(vmpi::SimProcess& proc, SimTime when) {
 void Machine::abort_called(vmpi::SimProcess& proc, SimTime when) {
   EXASIM_INFO() << "simulated MPI_Abort: rank " << proc.world_rank() << " at "
                 << format_sim_time(when);
-  if (!abort_time_.has_value() || when < *abort_time_) {
-    abort_time_ = when;
-    abort_origin_ = proc.world_rank();
+  {
+    std::lock_guard<std::mutex> lock(hooks_mutex_);
+    // (when, rank) tie-break keeps the reported origin deterministic when
+    // two groups abort at the same virtual time.
+    if (!abort_time_.has_value() || when < *abort_time_ ||
+        (when == *abort_time_ && proc.world_rank() < abort_origin_)) {
+      abort_time_ = when;
+      abort_origin_ = proc.world_rank();
+    }
   }
   for (const auto& p : processes_) {
     if (p->world_rank() == proc.world_rank()) continue;
@@ -193,7 +227,7 @@ void Machine::comm_revoked(vmpi::SimProcess& proc, int comm_id, SimTime when) {
 
 void Machine::process_terminated(vmpi::SimProcess& proc) {
   (void)proc;
-  if (++terminated_count_ == config_.ranks) {
+  if (terminated_count_.fetch_add(1, std::memory_order_relaxed) + 1 == config_.ranks) {
     // "The simulator terminates after all simulated MPI processes aborted"
     // (§IV-D) — or finished/failed.
     engine_.request_stop();

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -60,6 +62,13 @@ struct SimConfig {
   /// Record every MPI-level operation into an in-memory trace (expensive at
   /// scale; for performance investigation on small/medium machines).
   bool trace = false;
+
+  /// Engine worker threads (LP groups): 1 = sequential engine, N > 1 =
+  /// conservative-window parallel engine with N groups, 0 = defer to the
+  /// EXASIM_SIM_WORKERS environment variable, -1 = one per hardware thread
+  /// (exasim::resolve_sim_workers). Every setting delivers the identical
+  /// simulated schedule.
+  int sim_workers = 0;
 };
 
 /// Result of one simulated application execution.
@@ -89,6 +98,11 @@ struct SimResult {
   std::vector<LpId> deadlocked_ranks;  ///< Non-empty only for kDeadlock.
 
   std::uint64_t events_processed = 0;
+  /// Events scheduled before the scheduler's local clock (Engine causality
+  /// guard in counting mode). Nonzero values come from simulator-internal
+  /// notices broadcast "at now" across LP groups; they are delivered at most
+  /// one conservative window late, which the failure-timeout scale absorbs.
+  std::uint64_t causality_violations = 0;
   double total_energy_joules = 0;  ///< 0 unless power modeling enabled.
 
   /// Aggregate performance breakdown: virtual time spent computing vs in
@@ -158,10 +172,13 @@ class Machine final : public vmpi::SystemHooks {
   std::unique_ptr<vmpi::MemoryTraceSink> trace_;
   std::vector<std::unique_ptr<vmpi::SimProcess>> processes_;
 
+  /// Guards activated_/abort_time_/abort_origin_: SystemHooks fire from
+  /// whichever engine worker owns the reporting rank's LP group.
+  mutable std::mutex hooks_mutex_;
   std::vector<FailureSpec> activated_;
   std::optional<SimTime> abort_time_;
   int abort_origin_ = -1;
-  int terminated_count_ = 0;
+  std::atomic<int> terminated_count_{0};
 };
 
 }  // namespace exasim::core

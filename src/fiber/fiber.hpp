@@ -25,6 +25,13 @@ namespace exasim {
 /// On x86-64 the context switch is a hand-rolled callee-saved-register swap
 /// (~20 ns); elsewhere it falls back to ucontext (whose glibc implementation
 /// pays two rt_sigprocmask system calls per switch).
+///
+/// Threading contract: a fiber is pinned to one native thread at a time —
+/// yield() returns control to whichever thread last called resume(), via
+/// that thread's thread-local resumer slot. The sharded engine satisfies
+/// this by construction: each simulated process's fiber is only ever resumed
+/// by the worker thread owning its LP group (creation happens lazily on the
+/// first kEvStart delivery, i.e. already on the owning worker).
 class Fiber {
  public:
   using Body = std::function<void()>;

@@ -37,6 +37,10 @@ SimTime NetworkModel::failure_timeout(int src, int dst) const {
   return params_.failure_timeout;
 }
 
+SimTime NetworkModel::min_remote_latency() const {
+  return params_.per_message_overhead + params_.link_latency;
+}
+
 HierarchicalNetwork::HierarchicalNetwork(std::shared_ptr<const Topology> system_topology,
                                          NetworkParams system, NetworkParams on_node,
                                          NetworkParams on_chip, int ranks_per_chip,

@@ -55,6 +55,14 @@ class NetworkModel {
   /// Failure-detection timeout for the (src, dst) pair.
   virtual SimTime failure_timeout(int src, int dst) const;
 
+  /// Lower bound on the delivery time of any message between two distinct
+  /// nodes (o + at least one hop of L, with zero payload) — the engine's
+  /// conservative-window lookahead: no cross-node event scheduled at virtual
+  /// time t can arrive before t + min_remote_latency(). For a
+  /// HierarchicalNetwork this is the system level, matching the engine's
+  /// node-aligned LP grouping (intra-node traffic never crosses groups).
+  virtual SimTime min_remote_latency() const;
+
   virtual ~NetworkModel() = default;
 
  protected:

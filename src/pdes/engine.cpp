@@ -1,10 +1,30 @@
 #include "pdes/engine.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "pdes/lp_group.hpp"
+#include "pdes/window_sync.hpp"
+
 namespace exasim {
+
+namespace {
+
+/// Identifies the group worker the current thread is driving, so that
+/// Engine::schedule / Engine::now called from inside an LP handler resolve
+/// against the group-local state without locks.
+struct WorkerCtx {
+  Engine* engine = nullptr;
+  LpGroup* group = nullptr;
+};
+
+thread_local WorkerCtx t_worker;
+
+}  // namespace
 
 void Engine::add_process(LpId id, LogicalProcess* lp) {
   if (id < 0) throw std::invalid_argument("negative LP id");
@@ -17,37 +37,150 @@ void Engine::add_process(LpId id, LogicalProcess* lp) {
   processes_[static_cast<std::size_t>(id)] = lp;
 }
 
+void Engine::set_sharding(ShardingOptions opts) {
+  if (opts.workers < 1) opts.workers = 1;
+  if (opts.lookahead < 1) opts.lookahead = 1;  // windows must make progress
+  if (opts.block_alignment < 1) opts.block_alignment = 1;
+  sharding_ = std::move(opts);
+}
+
+std::uint64_t Engine::next_seq_for(LpId source) {
+  const std::size_t idx = static_cast<std::size_t>(source) + 1;
+  // Growth only happens pre-run or in sequential mode; parallel runs presize
+  // the vector so worker threads only touch their own LPs' slots.
+  if (idx >= seq_by_source_.size()) seq_by_source_.resize(idx + 1, 0);
+  return seq_by_source_[idx]++;
+}
+
+void Engine::note_causality_violation(SimTime time, SimTime local_now) {
+  CausalityMode mode = causality_mode_;
+  if (mode == CausalityMode::kDefault) {
+#ifdef NDEBUG
+    mode = CausalityMode::kCount;
+#else
+    mode = CausalityMode::kThrow;
+#endif
+  }
+  if (mode == CausalityMode::kThrow) {
+    throw std::logic_error("causality violation: scheduled event at " +
+                           std::to_string(time) + " ns before local time " +
+                           std::to_string(local_now) + " ns");
+  }
+  causality_violations_.fetch_add(1, std::memory_order_relaxed);
+  if (!causality_warned_.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "[exasim] warning: causality violation (event at %" PRIu64
+                 " ns before local time %" PRIu64
+                 " ns); counting further ones silently\n",
+                 static_cast<std::uint64_t>(time),
+                 static_cast<std::uint64_t>(local_now));
+  }
+}
+
 std::uint64_t Engine::schedule(SimTime time, LpId target, int kind,
                                std::unique_ptr<EventPayload> payload,
                                EventPriority priority) {
-  const std::uint64_t seq = next_seq_++;
+  LpGroup* grp = (t_worker.engine == this) ? t_worker.group : nullptr;
+  const LpId source = grp ? grp->current_source() : current_source_;
+  const SimTime local_now = grp ? grp->now() : now_;
+  if (time < local_now) note_causality_violation(time, local_now);
+
   Event ev;
   ev.time = time;
   ev.priority = priority;
-  ev.seq = seq;
+  ev.source = source;
+  ev.seq = next_seq_for(source);
   ev.target = target;
   ev.kind = kind;
   ev.payload = std::move(payload);
-  queue_.push_back(std::move(ev));
-  std::push_heap(queue_.begin(), queue_.end(), QueueOrder{});
-  return seq;
+
+  if (grp != nullptr) {
+    if (target < 0 || static_cast<std::size_t>(target) >= group_of_.size()) {
+      throw std::logic_error("event for unknown LP");
+    }
+    const int dst = group_of_[static_cast<std::size_t>(target)];
+    if (dst == grp->index()) {
+      grp->queue().push(std::move(ev));
+    } else {
+      grp->outbox_for(dst).push_back(std::move(ev));
+    }
+  } else {
+    queue_.push(std::move(ev));
+  }
+  return ev.seq;
 }
 
-Event Engine::pop_next_event() {
-  std::pop_heap(queue_.begin(), queue_.end(), QueueOrder{});
-  Event ev = std::move(queue_.back());
-  queue_.pop_back();
-  return ev;
+void Engine::mark_dead(LpId id) {
+  if (id < 0) return;
+  const std::size_t idx = static_cast<std::size_t>(id);
+  // Growth only happens pre-run or in sequential mode; parallel runs presize.
+  if (idx >= dead_.size()) dead_.resize(idx + 1, 0);
+  dead_[idx] = 1;
 }
 
-void Engine::mark_dead(LpId id) { dead_.insert(id); }
+SimTime Engine::now() const {
+  if (t_worker.engine == this) return t_worker.group->now();
+  return now_;
+}
+
+int Engine::plan_groups() const {
+  const std::size_t n = processes_.size();
+  const std::size_t align = static_cast<std::size_t>(sharding_.block_alignment);
+  const std::size_t blocks = (n + align - 1) / align;
+  std::size_t g = static_cast<std::size_t>(sharding_.workers);
+  if (g > blocks) g = blocks;
+  return g < 1 ? 1 : static_cast<int>(g);
+}
+
+std::vector<int> Engine::plan_partition(int group_count) const {
+  const std::size_t n = processes_.size();
+  std::vector<int> map(n, 0);
+  if (sharding_.group_of) {
+    for (std::size_t id = 0; id < n; ++id) {
+      const int g = sharding_.group_of(static_cast<LpId>(id));
+      if (g < 0 || g >= group_count) {
+        throw std::invalid_argument("ShardingOptions::group_of returned a group out of range");
+      }
+      map[id] = g;
+    }
+    return map;
+  }
+  // Contiguous blocks of `align` LPs, distributed over the groups as evenly
+  // as possible with the first `rem` groups holding one extra block.
+  const std::size_t align = static_cast<std::size_t>(sharding_.block_alignment);
+  const std::size_t blocks = (n + align - 1) / align;
+  const std::size_t groups = static_cast<std::size_t>(group_count);
+  const std::size_t base = blocks / groups;
+  const std::size_t rem = blocks % groups;
+  for (std::size_t id = 0; id < n; ++id) {
+    const std::size_t b = id / align;
+    std::size_t g;
+    if (b < rem * (base + 1)) {
+      g = b / (base + 1);
+    } else {
+      g = rem + (b - rem * (base + 1)) / base;
+    }
+    map[id] = static_cast<int>(g);
+  }
+  return map;
+}
 
 void Engine::run() {
-  stop_requested_ = false;
+  const int group_count = plan_groups();
+  last_groups_ = group_count;
+  if (group_count <= 1) {
+    run_sequential();
+  } else {
+    run_parallel(group_count);
+  }
+}
+
+void Engine::run_sequential() {
+  stop_requested_.store(false, std::memory_order_relaxed);
   for (;;) {
-    while (!queue_.empty() && !stop_requested_) {
-      Event ev = pop_next_event();
-      if (dead_.count(ev.target) != 0) {
+    while (!queue_.empty() && !stop_requested_.load(std::memory_order_relaxed)) {
+      Event ev = queue_.pop();
+      if (is_dead(ev.target)) {
         ++events_dropped_dead_;
         continue;
       }
@@ -57,9 +190,11 @@ void Engine::run() {
       }
       now_ = ev.time;
       ++events_processed_;
+      current_source_ = ev.target;
       processes_[static_cast<std::size_t>(ev.target)]->on_event(*this, std::move(ev));
+      current_source_ = kExternalSource;
     }
-    if (stop_requested_) return;
+    if (stop_requested_.load(std::memory_order_relaxed)) return;
 
     // Quiescence: give stalled LPs a chance to make progress (release failed
     // ANY_SOURCE waits etc.). If nobody progresses, stop — unterminated()
@@ -67,20 +202,154 @@ void Engine::run() {
     bool progressed = false;
     for (std::size_t id = 0; id < processes_.size(); ++id) {
       LogicalProcess* lp = processes_[id];
-      if (lp == nullptr || lp->terminated() || dead_.count(static_cast<LpId>(id)) != 0) {
+      if (lp == nullptr || lp->terminated() || is_dead(static_cast<LpId>(id))) {
         continue;
       }
+      current_source_ = static_cast<LpId>(id);
       if (lp->on_stall(*this)) progressed = true;
+      current_source_ = kExternalSource;
     }
     if (!progressed && queue_.empty()) return;
   }
+}
+
+void Engine::run_parallel(int group_count) {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  const std::size_t n = processes_.size();
+  group_of_ = plan_partition(group_count);
+  // Presize shared vectors so worker threads never reallocate them.
+  if (dead_.size() < n) dead_.resize(n, 0);
+  if (seq_by_source_.size() < n + 1) seq_by_source_.resize(n + 1, 0);
+
+  std::vector<std::unique_ptr<LpGroup>> groups;
+  groups.reserve(static_cast<std::size_t>(group_count));
+  for (int g = 0; g < group_count; ++g) {
+    groups.push_back(std::make_unique<LpGroup>(g, group_count));
+  }
+  for (std::size_t id = 0; id < n; ++id) {
+    groups[static_cast<std::size_t>(group_of_[id])]->members().push_back(
+        static_cast<LpId>(id));
+  }
+  while (!queue_.empty()) {
+    Event ev = queue_.pop();
+    if (ev.target < 0 || static_cast<std::size_t>(ev.target) >= n) {
+      throw std::logic_error("event for unknown LP");
+    }
+    groups[static_cast<std::size_t>(group_of_[static_cast<std::size_t>(ev.target)])]
+        ->queue()
+        .push(std::move(ev));
+  }
+  // Carry the engine clock into every group (relevant when run() is called
+  // again after a previous run advanced the clock).
+  for (auto& grp : groups) grp->advance_now(now_);
+
+  WindowSync sync(group_count, sharding_.lookahead, &stop_requested_);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(group_count) - 1);
+  for (int g = 1; g < group_count; ++g) {
+    threads.emplace_back([this, &groups, &sync, &first_error, &error_mu, g] {
+      worker_main(groups, *groups[static_cast<std::size_t>(g)], sync, first_error, error_mu);
+    });
+  }
+  worker_main(groups, *groups[0], sync, first_error, error_mu);
+  for (std::thread& t : threads) t.join();
+
+  // Fold group-local state back into the engine for the post-run accessors.
+  for (auto& grp : groups) {
+    events_processed_ += grp->events_processed;
+    events_dropped_dead_ += grp->events_dropped_dead;
+    if (grp->now() > now_) now_ = grp->now();
+    while (!grp->queue().empty()) queue_.push(grp->queue().pop());
+    for (int dst = 0; dst < group_count; ++dst) {
+      for (Event& ev : grp->outbox_for(dst)) queue_.push(std::move(ev));
+      grp->outbox_for(dst).clear();
+    }
+  }
+  group_of_.clear();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Engine::worker_main(std::vector<std::unique_ptr<LpGroup>>& groups, LpGroup& grp,
+                         WindowSync& sync, std::exception_ptr& first_error,
+                         std::mutex& error_mu) {
+  t_worker = WorkerCtx{this, &grp};
+  try {
+    for (;;) {
+      sync.sync_outboxes();
+      for (auto& src : groups) {
+        if (src.get() == &grp) continue;
+        grp.merge_inbox(src->outbox_for(grp.index()));
+      }
+      sync.publish_min(grp.index(), grp.queue().min_time());
+      sync.publish_progressed(grp.index(), grp.stall_progressed);
+      sync.sync_decide();
+      switch (sync.phase()) {
+        case WindowSync::Phase::kWindow:
+          run_window(grp, sync.bound());
+          grp.stall_progressed = false;
+          break;
+        case WindowSync::Phase::kStall:
+          grp.stall_progressed = run_stall(grp);
+          break;
+        case WindowSync::Phase::kExit:
+          t_worker = WorkerCtx{};
+          return;
+      }
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    // Stop before withdrawing so the next decide() already observes it; the
+    // early barrier arrivals then stand in for this worker's missing ones.
+    stop_requested_.store(true, std::memory_order_release);
+    sync.withdraw();
+    t_worker = WorkerCtx{};
+  }
+}
+
+void Engine::run_window(LpGroup& grp, SimTime bound) {
+  EventQueue& q = grp.queue();
+  // Deliberately no stop check inside the window: every group finishes the
+  // full window, so the delivered set stays deterministic per worker count.
+  while (!q.empty() && q.min_time() < bound) {
+    Event ev = q.pop();
+    if (dead_[static_cast<std::size_t>(ev.target)] != 0) {
+      ++grp.events_dropped_dead;
+      continue;
+    }
+    LogicalProcess* lp = processes_[static_cast<std::size_t>(ev.target)];
+    if (lp == nullptr) throw std::logic_error("event for unknown LP");
+    grp.advance_now(ev.time);
+    ++grp.events_processed;
+    grp.set_current_source(ev.target);
+    lp->on_event(*this, std::move(ev));
+    grp.set_current_source(kExternalSource);
+  }
+}
+
+bool Engine::run_stall(LpGroup& grp) {
+  bool progressed = false;
+  for (LpId id : grp.members()) {
+    LogicalProcess* lp = processes_[static_cast<std::size_t>(id)];
+    if (lp == nullptr || lp->terminated() || dead_[static_cast<std::size_t>(id)] != 0) {
+      continue;
+    }
+    grp.set_current_source(id);
+    if (lp->on_stall(*this)) progressed = true;
+    grp.set_current_source(kExternalSource);
+  }
+  return progressed;
 }
 
 std::vector<LpId> Engine::unterminated() const {
   std::vector<LpId> out;
   for (std::size_t id = 0; id < processes_.size(); ++id) {
     LogicalProcess* lp = processes_[id];
-    if (lp != nullptr && !lp->terminated() && dead_.count(static_cast<LpId>(id)) == 0) {
+    if (lp != nullptr && !lp->terminated() && !is_dead(static_cast<LpId>(id))) {
       out.push_back(static_cast<LpId>(id));
     }
   }

@@ -1,15 +1,23 @@
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <unordered_set>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "pdes/event.hpp"
+#include "pdes/event_queue.hpp"
 #include "util/time.hpp"
 
 namespace exasim {
 
 class Engine;
+class LpGroup;
+class WindowSync;
 
 /// A logical process driven by the engine. The simulated MPI layer implements
 /// one LP per simulated MPI process; the LP reacts to message arrivals,
@@ -33,14 +41,52 @@ class LogicalProcess {
   virtual bool terminated() const = 0;
 };
 
-/// Sequential conservative discrete-event engine.
+/// Conservative discrete-event engine, sharded over LP groups.
 ///
-/// Events execute in deterministic (time, priority, seq) order. This is the
-/// single-native-process degenerate case of xSim's PDES: all simulated
-/// processes are sequentialized and interleaved on one native process using a
-/// schedule based on message receive time stamps (paper §IV-A).
+/// Events execute in deterministic (time, priority, source, per-source seq)
+/// order — a key that does not depend on cross-LP scheduling interleaving, so
+/// the delivered schedule is a pure function of the simulated communication
+/// plan. With `ShardingOptions::workers == 1` (the default) the engine is the
+/// original sequential loop: all simulated processes interleaved on one
+/// native thread using a schedule based on message receive time stamps
+/// (paper §IV-A). With N > 1 workers the LPs are partitioned into N
+/// contiguous groups (aligned to `block_alignment`, normally ranks-per-node,
+/// so intra-node traffic stays group-local), each group runs on its own
+/// native thread with its own event heap, and the groups advance in
+/// lock-step conservative windows of width `lookahead` — the minimum
+/// cross-node delivery latency. Cross-group events ride per-(source →
+/// target) mailboxes merged at the window barrier; because the window bound
+/// and the ordering key are both partition-independent, every worker count
+/// delivers the identical event schedule.
 class Engine {
  public:
+  /// How to shard the LPs over worker threads. Applies to the next run().
+  struct ShardingOptions {
+    /// Worker threads (= LP groups). 1 selects the sequential engine;
+    /// clamped down to the number of alignment blocks.
+    int workers = 1;
+    /// Conservative window width, normally
+    /// NetworkModel::min_remote_latency(). Clamped up to 1 ns so windows
+    /// always make progress.
+    SimTime lookahead = 1;
+    /// Partition granularity in LPs: groups are unions of contiguous blocks
+    /// of this many LPs (normally ranks-per-node, keeping sub-lookahead
+    /// intra-node traffic inside one group).
+    int block_alignment = 1;
+    /// Optional explicit partition override mapping LP id → group index in
+    /// [0, workers); when set it replaces the contiguous-block partition.
+    std::function<int(LpId)> group_of;
+  };
+
+  /// What Engine::schedule does when an event is scheduled before the
+  /// scheduling group's local clock (a causality violation — conservative
+  /// windows only stay exact for events at or after "now").
+  enum class CausalityMode : std::uint8_t {
+    kDefault,  ///< kThrow in debug builds, kCount when NDEBUG.
+    kThrow,    ///< Throw std::logic_error at the offending schedule() call.
+    kCount,    ///< Count (see causality_violations()) and warn once.
+  };
+
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -49,7 +95,10 @@ class Engine {
   /// does not own the LP.
   void add_process(LpId id, LogicalProcess* lp);
 
-  /// Schedules an event; returns its sequence number.
+  /// Schedules an event; returns its per-source sequence number. Callable
+  /// from any worker thread during a parallel run: the event is routed to
+  /// the target's group-local heap or, cross-group, to the scheduling
+  /// group's outbox for merge at the next window barrier.
   std::uint64_t schedule(SimTime time, LpId target, int kind,
                          std::unique_ptr<EventPayload> payload,
                          EventPriority priority = EventPriority::kMessage);
@@ -58,17 +107,36 @@ class Engine {
   /// dropped at delivery ("all messages directed to this simulated MPI
   /// process are deleted", paper §IV-B).
   void mark_dead(LpId id);
-  bool is_dead(LpId id) const { return dead_.count(id) != 0; }
+  bool is_dead(LpId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < dead_.size() &&
+           dead_[static_cast<std::size_t>(id)] != 0;
+  }
 
-  /// Runs until the queue drains and no stalled LP makes progress.
+  void set_sharding(ShardingOptions opts);
+  void set_causality_mode(CausalityMode mode) { causality_mode_ = mode; }
+
+  /// Number of schedule() calls that targeted a time before the scheduler's
+  /// local clock (only counted in CausalityMode::kCount).
+  std::uint64_t causality_violations() const {
+    return causality_violations_.load(std::memory_order_relaxed);
+  }
+
+  /// Group count the most recent run() used (1 = sequential loop).
+  int worker_groups() const { return last_groups_; }
+
+  /// Runs until every queue drains and no stalled LP makes progress.
   void run();
 
-  /// Requests run() to stop after the current event (used once every
-  /// simulated process has aborted and the simulator shuts down).
-  void request_stop() { stop_requested_ = true; }
+  /// Requests run() to stop (used once every simulated process has aborted
+  /// and the simulator shuts down). Sequential runs stop after the current
+  /// event; parallel runs stop at the next window boundary, so that the set
+  /// of delivered events stays deterministic for a given worker count.
+  void request_stop() { stop_requested_.store(true, std::memory_order_release); }
 
-  /// Time of the most recently delivered event.
-  SimTime now() const { return now_; }
+  /// Time of the most recently delivered event — group-local when called
+  /// from a worker thread during a parallel run, the global maximum after
+  /// run() returns.
+  SimTime now() const;
 
   /// LPs that had not terminated when run() returned (deadlock diagnostics).
   std::vector<LpId> unterminated() const;
@@ -78,22 +146,38 @@ class Engine {
   std::uint64_t events_dropped_dead() const { return events_dropped_dead_; }
 
  private:
-  struct QueueOrder {
-    // std::push_heap/pop_heap build a max-heap; invert EventOrder.
-    bool operator()(const Event& a, const Event& b) const { return EventOrder{}(b, a); }
-  };
+  void run_sequential();
+  void run_parallel(int group_count);
+  void worker_main(std::vector<std::unique_ptr<LpGroup>>& groups, LpGroup& grp,
+                   WindowSync& sync, std::exception_ptr& first_error,
+                   std::mutex& error_mu);
+  void run_window(LpGroup& grp, SimTime bound);
+  bool run_stall(LpGroup& grp);
+  int plan_groups() const;
+  std::vector<int> plan_partition(int group_count) const;
+  std::uint64_t next_seq_for(LpId source);
+  void note_causality_violation(SimTime time, SimTime local_now);
 
-  /// Pops the earliest event off queue_ (a binary heap under QueueOrder).
-  Event pop_next_event();
-
+  ShardingOptions sharding_;
+  CausalityMode causality_mode_ = CausalityMode::kDefault;
   std::vector<LogicalProcess*> processes_;
-  std::vector<Event> queue_;  ///< Heap-ordered via std::push_heap/pop_heap.
-  std::unordered_set<LpId> dead_;
+  EventQueue queue_;  ///< Sequential heap; staging/leftover area otherwise.
+  /// Liveness flags indexed by LP id. Preallocated before worker threads
+  /// start; each slot is then written only by the owning group's worker.
+  std::vector<std::uint8_t> dead_;
+  /// Per-source sequence counters, indexed source + 1 (slot 0 is
+  /// kExternalSource). Preallocated before worker threads start; each LP
+  /// slot is then touched only by the owning group's worker.
+  std::vector<std::uint64_t> seq_by_source_;
+  std::vector<int> group_of_;  ///< LP id → group index; set during run().
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  LpId current_source_ = kExternalSource;  ///< Sequential-mode source tracking.
   std::uint64_t events_processed_ = 0;
   std::uint64_t events_dropped_dead_ = 0;
-  bool stop_requested_ = false;
+  int last_groups_ = 1;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> causality_violations_{0};
+  std::atomic<bool> causality_warned_{false};
 };
 
 }  // namespace exasim

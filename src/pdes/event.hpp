@@ -11,6 +11,11 @@ namespace exasim {
 /// simulated MPI rank. Negative ids are reserved for engine-internal LPs.
 using LpId = std::int32_t;
 
+/// Event source for schedules made from outside any LP's event handler
+/// (machine setup, tests). Sorts before every real LP at equal
+/// (time, priority), so pre-run setup events keep their schedule order.
+inline constexpr LpId kExternalSource = -1;
+
 /// Event delivery class at equal timestamps. Control events (simulator-
 /// internal failure/abort notifications) sort before regular messages so a
 /// process learns of a peer's death before it would match a message that was
@@ -27,12 +32,17 @@ struct EventPayload {
   virtual ~EventPayload() = default;
 };
 
-/// A scheduled simulation event. Ordering is (time, priority, seq): seq is a
-/// globally monotonic sequence number, which makes the simulation
-/// deterministic (paper §V-E requires repeatable experiments).
+/// A scheduled simulation event. Ordering is (time, priority, source, seq):
+/// `source` is the LP whose handler scheduled the event (kExternalSource for
+/// setup events) and `seq` is a per-source sequence number. The key is a pure
+/// function of the simulation plan — independent of how LP groups interleave
+/// on native threads — which is what makes the sharded engine's schedule
+/// bit-reproducible for any worker count (paper §V-E requires repeatable
+/// experiments).
 struct Event {
   SimTime time = 0;
   EventPriority priority = EventPriority::kMessage;
+  LpId source = kExternalSource;
   std::uint64_t seq = 0;
   LpId target = 0;
   int kind = 0;
@@ -43,6 +53,7 @@ struct EventOrder {
   bool operator()(const Event& a, const Event& b) const {
     if (a.time != b.time) return a.time < b.time;
     if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.source != b.source) return a.source < b.source;
     return a.seq < b.seq;
   }
 };

@@ -1,0 +1,20 @@
+#include "pdes/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace exasim {
+
+void EventQueue::push(Event&& ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), QueueOrder{});
+}
+
+Event EventQueue::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), QueueOrder{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+}  // namespace exasim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pdes/event.hpp"
+#include "util/time.hpp"
+
+namespace exasim {
+
+/// Min-priority queue of events under EventOrder — the per-LP-group event
+/// heap of the sharded engine (one per group; the sequential engine is the
+/// one-group degenerate case). Not thread-safe: each queue is owned by
+/// exactly one worker thread.
+class EventQueue {
+ public:
+  void push(Event&& ev);
+
+  /// Pops the earliest event; undefined on an empty queue.
+  Event pop();
+
+  /// Timestamp of the earliest event, kSimTimeNever when empty — the value a
+  /// group publishes for the conservative window-bound computation.
+  SimTime min_time() const { return heap_.empty() ? kSimTimeNever : heap_.front().time; }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct QueueOrder {
+    // std::push_heap/pop_heap build a max-heap; invert EventOrder.
+    bool operator()(const Event& a, const Event& b) const { return EventOrder{}(b, a); }
+  };
+
+  std::vector<Event> heap_;  ///< Heap-ordered via std::push_heap/pop_heap.
+};
+
+}  // namespace exasim

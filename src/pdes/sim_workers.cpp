@@ -1,0 +1,30 @@
+#include "pdes/sim_workers.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace exasim {
+
+int hardware_sim_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int default_sim_workers() {
+  const char* env = std::getenv("EXASIM_SIM_WORKERS");
+  if (env == nullptr || *env == '\0') return 1;
+  if (std::strcmp(env, "auto") == 0) return hardware_sim_workers();
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 1) return 1;
+  return static_cast<int>(parsed);
+}
+
+int resolve_sim_workers(int requested) {
+  if (requested > 0) return requested;
+  if (requested < 0) return hardware_sim_workers();
+  return default_sim_workers();
+}
+
+}  // namespace exasim

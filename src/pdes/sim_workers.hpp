@@ -1,0 +1,19 @@
+#pragma once
+
+namespace exasim {
+
+/// Number of hardware threads, never less than 1.
+int hardware_sim_workers();
+
+/// Worker count implied by the environment: EXASIM_SIM_WORKERS set to a
+/// positive integer wins, "auto" means hardware_sim_workers(), anything else
+/// (including unset) means 1 — the sequential engine.
+int default_sim_workers();
+
+/// Resolves a configured worker count (e.g. SimConfig::sim_workers) to the
+/// count the engine should use: a positive request is taken literally, 0
+/// defers to the environment via default_sim_workers(), and a negative value
+/// means "auto" (one worker per hardware thread).
+int resolve_sim_workers(int requested);
+
+}  // namespace exasim

@@ -1,0 +1,34 @@
+#include "pdes/window_sync.hpp"
+
+#include <algorithm>
+
+namespace exasim {
+
+WindowSync::WindowSync(int groups, SimTime lookahead, const std::atomic<bool>* stop)
+    : lookahead_(lookahead),
+      stop_(stop),
+      mins_(static_cast<std::size_t>(groups), kSimTimeNever),
+      progressed_(static_cast<std::size_t>(groups), 0),
+      pre_merge_(groups),
+      decide_barrier_(groups, RunDecide{this}) {}
+
+void WindowSync::decide() noexcept {
+  if (stop_->load(std::memory_order_acquire)) {
+    phase_ = Phase::kExit;
+    return;
+  }
+  SimTime global_min = kSimTimeNever;
+  for (SimTime t : mins_) global_min = std::min(global_min, t);
+  if (global_min != kSimTimeNever) {
+    phase_ = Phase::kWindow;
+    bound_ = global_min > kSimTimeNever - lookahead_ ? kSimTimeNever : global_min + lookahead_;
+    return;
+  }
+  // All heaps and mailboxes drained. If the previous phase was already a
+  // stall round and nobody progressed, the remaining LPs are deadlocked.
+  bool progressed = false;
+  for (std::uint8_t p : progressed_) progressed = progressed || p != 0;
+  phase_ = (phase_ == Phase::kStall && !progressed) ? Phase::kExit : Phase::kStall;
+}
+
+}  // namespace exasim

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace exasim {
+
+/// Lock-step conservative window synchronization for the sharded engine
+/// (paper §IV-A: simulated MPI processes advance under conservative
+/// synchronization).
+///
+/// Each iteration every group worker performs the same cycle:
+///
+///   sync_outboxes();          // barrier: all previous-window writes done
+///   <merge inbound mailboxes, publish queue-min + stall progress>
+///   sync_decide();            // barrier; completion runs decide() once
+///   switch (phase()) { process window < bound() | run stall | exit }
+///
+/// decide() — executed exactly once per cycle, by the barrier completion, so
+/// every group observes an identical snapshot — picks the next phase:
+///   * stop requested → kExit
+///   * any event pending → kWindow with bound = global-min + lookahead
+///     (every group processes strictly below the bound; cross-group events
+///     generated inside the window land at ≥ bound by the lookahead
+///     guarantee, so merging them at the next barrier loses nothing)
+///   * all queues empty → kStall (the two-phase global deadlock check: each
+///     group runs its own LPs' on_stall hooks, then the next decide() sees
+///     the OR of their progress); a stall round with no progress → kExit.
+///
+/// The window partition depends only on event timestamps and the lookahead —
+/// not on the number of groups or thread interleaving — which is what makes
+/// the delivered schedule reproducible across `--sim-workers` values.
+class WindowSync {
+ public:
+  enum class Phase : std::uint8_t { kWindow, kStall, kExit };
+
+  /// `stop` is the engine's stop flag, sampled once per decide() so that all
+  /// groups observe a stop request at the same window boundary.
+  WindowSync(int groups, SimTime lookahead, const std::atomic<bool>* stop);
+
+  void publish_min(int group, SimTime t) { mins_[static_cast<std::size_t>(group)] = t; }
+  void publish_progressed(int group, bool p) {
+    progressed_[static_cast<std::size_t>(group)] = p ? 1 : 0;
+  }
+
+  /// Pre-merge rendezvous: after it, all groups' outbox writes of the
+  /// previous phase are visible and no new writes happen until sync_decide().
+  void sync_outboxes() { pre_merge_.arrive_and_wait(); }
+
+  /// Post-publish rendezvous; the completion runs decide(). Afterwards read
+  /// phase() / bound().
+  void sync_decide() { decide_barrier_.arrive_and_wait(); }
+
+  /// Withdraws a group from both barriers — called once by a worker that is
+  /// unwinding on an exception, so the surviving groups are not left waiting.
+  /// The caller must set the engine stop flag first.
+  void withdraw() {
+    pre_merge_.arrive_and_drop();
+    decide_barrier_.arrive_and_drop();
+  }
+
+  Phase phase() const { return phase_; }
+  SimTime bound() const { return bound_; }
+
+ private:
+  struct RunDecide {
+    WindowSync* sync;
+    void operator()() noexcept { sync->decide(); }
+  };
+
+  void decide() noexcept;
+
+  SimTime lookahead_;
+  const std::atomic<bool>* stop_;
+  std::vector<SimTime> mins_;
+  std::vector<std::uint8_t> progressed_;
+  Phase phase_ = Phase::kWindow;
+  SimTime bound_ = 0;
+  std::barrier<> pre_merge_;
+  std::barrier<RunDecide> decide_barrier_;
+};
+
+}  // namespace exasim

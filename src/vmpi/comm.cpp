@@ -22,6 +22,7 @@ std::vector<Rank> Comm::members_snapshot() const {
 }
 
 int CommRegistry::id_for(int parent_id, std::uint64_t split_seq, int color) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto key = std::make_tuple(parent_id, split_seq, color);
   auto it = ids_.find(key);
   if (it != ids_.end()) return it->second;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
@@ -82,11 +83,15 @@ class CommRegistry {
   static constexpr int kWorldId = 0;
 
   /// Returns the id for this (parent, seq, color) tuple, allocating on first
-  /// use. Deterministic: ids are assigned in first-request order, which is
-  /// itself deterministic under the engine's deterministic event order.
+  /// use. Thread-safe: processes on different engine workers may create
+  /// communicators concurrently. The *set* of (tuple → id) assignments is
+  /// deterministic because every simulated schedule yields the same tuples;
+  /// only the numeric ids may vary with first-request interleaving — nothing
+  /// observable keys off the raw id value across runs.
   int id_for(int parent_id, std::uint64_t split_seq, int color);
 
  private:
+  mutable std::mutex mu_;
   std::map<std::tuple<int, std::uint64_t, int>, int> ids_;
   int next_id_ = 1;
 };

@@ -164,15 +164,15 @@ std::size_t SimProcess::registered_bytes() const {
 }
 
 void SimProcess::schedule_bit_flip(SimTime t, std::uint64_t bit_index) {
-  pending_flips_.push_back(PendingFlip{t, bit_index});
-  std::sort(pending_flips_.begin(), pending_flips_.end(),
-            [](const PendingFlip& a, const PendingFlip& b) { return a.time < b.time; });
+  pending_flips_.push_back(PendingFlip{t, bit_index, next_flip_seq_++});
+  std::push_heap(pending_flips_.begin(), pending_flips_.end(), flip_after);
 }
 
 void SimProcess::apply_due_bit_flips() {
   while (!pending_flips_.empty() && clock_ >= pending_flips_.front().time) {
-    const PendingFlip flip = pending_flips_.front();
-    pending_flips_.erase(pending_flips_.begin());
+    std::pop_heap(pending_flips_.begin(), pending_flips_.end(), flip_after);
+    const PendingFlip flip = pending_flips_.back();
+    pending_flips_.pop_back();
     const std::size_t total_bits = registered_bytes() * 8;
     if (total_bits == 0) {
       ++flips_dropped_;
@@ -384,6 +384,7 @@ void SimProcess::schedule_error_wakeup(Request& r, SimTime t_fail, Rank peer_wor
 void SimProcess::handle_error_wakeup(ErrorWakeupPayload& p) {
   Request* r = find_request(p.request_serial);
   if (r == nullptr || r->done()) return;  // Completed successfully in the meantime.
+  unindex_posted(*r);
   r->stage = Request::Stage::kDone;
   r->complete_time = p.error_time;
   r->status.error = p.error;
@@ -439,6 +440,7 @@ bool SimProcess::on_stall(Engine& engine) {
       }
     }
     if (failed < 0) continue;
+    unindex_posted(*r);
     r->stage = Request::Stage::kDone;
     r->complete_time =
         std::max(r->post_time, t_fail) + fabric_->failure_timeout(world_rank_, failed);
@@ -471,8 +473,40 @@ bool SimProcess::match(const Envelope& env, const Request& r) const {
   return true;
 }
 
+void SimProcess::index_posted(Request& r) {
+  if (r.peer_comm_rank == kAnySource) {
+    posted_any_.push_back(&r);
+  } else {
+    posted_[{r.comm_id, r.peer_comm_rank}].push_back(&r);
+  }
+}
+
+void SimProcess::unindex_posted(const Request& r) {
+  // Only posted receives are indexed; anything else is a no-op. Callers
+  // invoke this before changing the stage, so the guard sees kPosted.
+  if (r.kind != Request::Kind::kRecv || r.stage != Request::Stage::kPosted) return;
+  auto erase_from = [&r](std::deque<Request*>& dq) {
+    for (auto it = dq.begin(); it != dq.end(); ++it) {
+      if (*it == &r) {
+        dq.erase(it);
+        return;
+      }
+    }
+  };
+  if (r.peer_comm_rank == kAnySource) {
+    erase_from(posted_any_);
+  } else {
+    auto bit = posted_.find({r.comm_id, r.peer_comm_rank});
+    if (bit != posted_.end()) {
+      erase_from(bit->second);
+      if (bit->second.empty()) posted_.erase(bit);
+    }
+  }
+}
+
 void SimProcess::complete_recv_from_msg(Request& r, const Envelope& env,
                                         std::vector<std::byte>&& data, SimTime arrival) {
+  unindex_posted(r);
   if (r.recv_buffer != nullptr && !data.empty()) {
     std::memcpy(r.recv_buffer, data.data(), std::min(r.bytes, data.size()));
   }
@@ -486,6 +520,7 @@ void SimProcess::complete_recv_from_msg(Request& r, const Envelope& env,
 }
 
 void SimProcess::start_rendezvous_recv(Request& r, const Envelope& env, SimTime arrival) {
+  unindex_posted(r);
   // Match time: when this receiver processes the RTS. CTS flies back to the
   // sender; the bulk data will arrive as a kEvDataArrival.
   const SimTime match_time = std::max(r.post_time, arrival) + fabric_->receiver_overhead();
@@ -502,16 +537,34 @@ void SimProcess::start_rendezvous_recv(Request& r, const Envelope& env, SimTime 
 
 bool SimProcess::try_match_posted(const Envelope& env, std::vector<std::byte>&& data,
                                   SimTime arrival) {
-  for (auto& r : requests_) {
-    if (!match(env, *r)) continue;
-    if (env.rendezvous) {
-      start_rendezvous_recv(*r, env, arrival);
-    } else {
-      complete_recv_from_msg(*r, env, std::move(data), arrival);
+  // MPI matching order: the earliest-posted matching receive wins. Serials
+  // are post-ordered and both index structures keep post order, so the
+  // winner is the lower-serial of the first tag-compatible entry in the
+  // explicit (comm, source) bucket and in the ANY_SOURCE side list.
+  Request* best = nullptr;
+  auto bit = posted_.find({env.comm_id, env.src_comm_rank});
+  if (bit != posted_.end()) {
+    for (Request* r : bit->second) {
+      if (match(env, *r)) {
+        best = r;
+        break;
+      }
     }
-    return true;
   }
-  return false;
+  for (Request* r : posted_any_) {
+    if (best != nullptr && r->serial >= best->serial) break;
+    if (match(env, *r)) {
+      best = r;
+      break;
+    }
+  }
+  if (best == nullptr) return false;
+  if (env.rendezvous) {
+    start_rendezvous_recv(*best, env, arrival);
+  } else {
+    complete_recv_from_msg(*best, env, std::move(data), arrival);
+  }
+  return true;
 }
 
 bool SimProcess::try_match_unexpected(Request& r) {
@@ -570,6 +623,7 @@ void SimProcess::record_trace(const Request& r) {
 void SimProcess::release_request(std::uint64_t serial) {
   for (auto it = requests_.begin(); it != requests_.end(); ++it) {
     if ((*it)->serial == serial) {
+      unindex_posted(**it);
       requests_.erase(it);
       return;
     }
@@ -704,7 +758,10 @@ RequestHandle SimProcess::post_recv(Comm& comm, Rank src, int tag, void* buffer,
   }
 
   RequestHandle h{req->serial};
+  Request* raw = req.get();
   requests_.push_back(std::move(req));
+  // Still unmatched: make it findable by future arrivals.
+  if (raw->stage == Request::Stage::kPosted) index_posted(*raw);
   return h;
 }
 
@@ -878,6 +935,7 @@ void SimProcess::apply_revoke(int comm_id, SimTime when) {
   bool any = false;
   for (auto& r : requests_) {
     if (r->done() || r->comm_id != comm_id || r->survives_revoke) continue;
+    unindex_posted(*r);
     r->stage = Request::Stage::kDone;
     r->complete_time = std::max(r->post_time, when);
     r->status.error = Err::kRevoked;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -90,13 +91,13 @@ class SimProcess final : public LogicalProcess {
   // -- LogicalProcess ---------------------------------------------------
   void on_event(Engine& engine, Event&& ev) override;
   bool on_stall(Engine& engine) override;
-  bool terminated() const override { return outcome_ != ProcOutcome::kRunning; }
+  bool terminated() const override { return outcome() != ProcOutcome::kRunning; }
 
   // -- Identity / state --------------------------------------------------
   Rank world_rank() const { return world_rank_; }
   int world_size() const { return world_size_; }
   SimTime clock() const { return clock_; }
-  ProcOutcome outcome() const { return outcome_; }
+  ProcOutcome outcome() const { return outcome_.load(std::memory_order_relaxed); }
   /// Final virtual time (valid once terminated).
   SimTime end_time() const { return end_time_; }
   Comm& world_comm() { return *comms_.front(); }
@@ -278,7 +279,9 @@ class SimProcess final : public LogicalProcess {
   std::unique_ptr<Fiber> fiber_;
   std::unique_ptr<Context> context_;
   SimTime clock_ = 0;
-  ProcOutcome outcome_ = ProcOutcome::kRunning;
+  /// Atomic: Machine::alive_world_ranks reads every rank's outcome from
+  /// whichever engine worker executes MPI_Comm_shrink.
+  std::atomic<ProcOutcome> outcome_{ProcOutcome::kRunning};
   SimTime end_time_ = 0;
   bool started_ = false;
   bool finalized_ = false;
@@ -303,10 +306,17 @@ class SimProcess final : public LogicalProcess {
   struct PendingFlip {
     SimTime time;
     std::uint64_t bit_index;
+    std::uint64_t seq;  ///< Insertion order; deterministic tie-break.
   };
+  /// std::push_heap/pop_heap build a max-heap; invert (time, seq) so the
+  /// earliest pending flip sits at the front.
+  static bool flip_after(const PendingFlip& a, const PendingFlip& b) {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
   void apply_due_bit_flips();
   std::vector<MemRegion> mem_regions_;
-  std::vector<PendingFlip> pending_flips_;  ///< Sorted by time.
+  std::vector<PendingFlip> pending_flips_;  ///< Min-heap by (time, seq).
+  std::uint64_t next_flip_seq_ = 0;
   std::uint64_t flips_applied_ = 0;
   std::uint64_t flips_dropped_ = 0;
 
@@ -316,6 +326,16 @@ class SimProcess final : public LogicalProcess {
   // make its sequential receives O(n^2).
   std::map<std::pair<int, Rank>, std::deque<UnexpectedMsg>> unexpected_;
   std::uint64_t next_arrival_seq_ = 1;
+  // Posted-receive index mirroring the unexpected-queue bucketing: explicit
+  // receives in (comm id, source) buckets plus a post-ordered ANY_SOURCE
+  // side list, so a message arrival matches against the handful of receives
+  // that could accept it instead of scanning every outstanding request.
+  // Entries are raw pointers into requests_ (heap-stable via unique_ptr);
+  // every transition out of Stage::kPosted calls unindex_posted first.
+  void index_posted(Request& r);
+  void unindex_posted(const Request& r);
+  std::map<std::pair<int, Rank>, std::deque<Request*>> posted_;
+  std::deque<Request*> posted_any_;
   std::vector<std::unique_ptr<Request>> requests_;
   std::uint64_t next_serial_ = 1;
   std::uint64_t next_rdv_ = 1;

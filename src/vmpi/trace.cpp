@@ -20,10 +20,13 @@ std::string MemoryTraceSink::render() const {
   std::vector<const TraceRecord*> sorted;
   sorted.reserve(records_.size());
   for (const auto& r : records_) sorted.push_back(&r);
-  std::sort(sorted.begin(), sorted.end(), [](const TraceRecord* a, const TraceRecord* b) {
-    if (a->start != b->start) return a->start < b->start;
-    return a->rank < b->rank;
-  });
+  // Stable: (start, rank) ties are same-rank records, whose relative append
+  // order is that rank's deterministic processing order.
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceRecord* a, const TraceRecord* b) {
+                     if (a->start != b->start) return a->start < b->start;
+                     return a->rank < b->rank;
+                   });
 
   std::ostringstream os;
   char buf[192];

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,8 +28,8 @@ struct TraceRecord {
   std::string marker;     ///< Marker label (markers only).
 };
 
-/// Destination for trace records. The simulation is single-native-threaded,
-/// so sinks need no locking.
+/// Destination for trace records. Implementations must be thread-safe:
+/// simulated processes on different engine workers record concurrently.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -36,13 +37,23 @@ class TraceSink {
 };
 
 /// Accumulates records in memory; render() emits the DUMPI-like text form,
-/// sorted by (start, rank).
+/// sorted by (start, rank). Appends are interleaving-dependent across ranks,
+/// but render()'s stable (start, rank) sort restores a deterministic output:
+/// ties share a rank, and one rank's records are appended in that rank's
+/// deterministic processing order.
 class MemoryTraceSink final : public TraceSink {
  public:
-  void record(const TraceRecord& rec) override { records_.push_back(rec); }
+  void record(const TraceRecord& rec) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(rec);
+  }
 
+  /// Read-side accessors are safe once the simulation has finished.
   const std::vector<TraceRecord>& records() const { return records_; }
-  std::size_t size() const { return records_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
 
   /// One line per record:
   ///   <start_us> <end_us> rank=R op=send peer=P tag=T bytes=B err=SUCCESS
@@ -52,6 +63,7 @@ class MemoryTraceSink final : public TraceSink {
   bool write_file(const std::string& path) const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<TraceRecord> records_;
 };
 

@@ -104,6 +104,24 @@ TEST(Cli, ParsesExperimentOptions) {
   EXPECT_EQ(opts->sim_time_file, "/tmp/t.txt");
 }
 
+TEST(Cli, ParsesSimWorkers) {
+  EnvGuard env(nullptr);
+  auto defaulted = parse({"--ranks=8"});
+  ASSERT_TRUE(defaulted.has_value());
+  EXPECT_EQ(defaulted->machine.sim_workers, 0);  // 0 = EXASIM_SIM_WORKERS env.
+  auto literal = parse({"--sim-workers=4"});
+  ASSERT_TRUE(literal.has_value());
+  EXPECT_EQ(literal->machine.sim_workers, 4);
+  auto automatic = parse({"--sim-workers=auto"});
+  ASSERT_TRUE(automatic.has_value());
+  EXPECT_EQ(automatic->machine.sim_workers, -1);  // -1 = hardware threads.
+  for (auto bad : {"--sim-workers=0", "--sim-workers=-2", "--sim-workers=x"}) {
+    std::string error;
+    EXPECT_FALSE(parse({bad}, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
 TEST(Cli, RejectsMalformedOptions) {
   EnvGuard env(nullptr);
   for (auto bad : {"--ranks=abc", "--mttf=xyz", "--distribution=bogus", "--unknown=1",

@@ -5,6 +5,8 @@
 
 #include <cmath>
 
+#include "apps/heat3d.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "core/failure.hpp"
 #include "sim_test_util.hpp"
 #include "vmpi/context.hpp"
@@ -168,6 +170,49 @@ TEST(Machine, EventsProcessedIsReported) {
   };
   SimResult r = run_app(tiny_config(2), app);
   EXPECT_GE(r.events_processed, 3u);  // 2 starts + >=1 arrival.
+}
+
+TEST(Machine, ShardedRunMatchesSequentialUnderFailure) {
+  // A failing heat3d launch must produce the same SimResult on one engine
+  // worker and on four — the sharded engine delivers the identical event
+  // schedule, so every simulated quantity matches. (events_processed and
+  // causality_violations are excluded: a stop request takes effect after
+  // the current *event* sequentially but after the current *window* in
+  // parallel, so the post-abort drain length may differ.)
+  apps::HeatParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.px = p.py = p.pz = 2;
+  p.total_iterations = 40;
+  p.halo_interval = 10;
+  p.checkpoint_interval = 10;
+  auto run_with = [&](int workers) {
+    core::SimConfig cfg = tiny_config(8);
+    cfg.sim_workers = workers;
+    cfg.ranks_per_node = 2;
+    cfg.failures = {FailureSpec{3, sim_us(50)}};
+    ckpt::CheckpointStore store(8);
+    return run_app(cfg, apps::make_heat3d(p), &store);
+  };
+  const SimResult r1 = run_with(1);
+  const SimResult r4 = run_with(4);
+  EXPECT_EQ(r1.outcome, SimResult::Outcome::kAborted);
+  EXPECT_EQ(r4.outcome, r1.outcome);
+  EXPECT_EQ(r4.max_end_time, r1.max_end_time);
+  EXPECT_EQ(r4.min_end_time, r1.min_end_time);
+  EXPECT_DOUBLE_EQ(r4.avg_end_time_sec, r1.avg_end_time_sec);
+  ASSERT_EQ(r4.activated_failures.size(), r1.activated_failures.size());
+  for (std::size_t i = 0; i < r1.activated_failures.size(); ++i) {
+    EXPECT_EQ(r4.activated_failures[i], r1.activated_failures[i]);
+  }
+  EXPECT_EQ(r4.abort_time, r1.abort_time);
+  EXPECT_EQ(r4.abort_origin, r1.abort_origin);
+  EXPECT_EQ(r4.finished_count, r1.finished_count);
+  EXPECT_EQ(r4.failed_count, r1.failed_count);
+  EXPECT_EQ(r4.aborted_count, r1.aborted_count);
+  EXPECT_EQ(r4.deadlocked_ranks, r1.deadlocked_ranks);
+  EXPECT_EQ(r4.total_busy_time, r1.total_busy_time);
+  EXPECT_EQ(r4.total_comm_time, r1.total_comm_time);
+  EXPECT_DOUBLE_EQ(r4.compute_fraction, r1.compute_fraction);
 }
 
 TEST(ReliabilityModel, Uniform2MttfDrawsInRange) {

@@ -1,14 +1,19 @@
-// pdes: deterministic event ordering, dead-LP dropping, stall hooks, and
-// engine bookkeeping.
+// pdes: deterministic event ordering, dead-LP dropping, stall hooks, engine
+// bookkeeping, and sharded-engine determinism (the parallel engine must
+// deliver the exact same schedule as the sequential one for any worker
+// count).
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "pdes/engine.hpp"
+#include "pdes/sim_workers.hpp"
 
 namespace exasim {
 namespace {
@@ -180,6 +185,209 @@ TEST(Engine, UnknownTargetIsLogicError) {
   EXPECT_THROW(e.run(), std::logic_error);
 }
 
+// ---------------------------------------------------------------------------
+// Sharded engine (--sim-workers): worker-count invariance, window edges,
+// multi-group stall handling, and the causality guard.
+
+constexpr SimTime kLookahead = 10;
+
+Engine::ShardingOptions sharded(int workers) {
+  return Engine::ShardingOptions{workers, kLookahead, 1, {}};
+}
+
+struct StormPayload final : EventPayload {
+  explicit StormPayload(int h) : hops(h) {}
+  int hops;
+};
+
+/// Interleaving-independent pseudo-random stream: depends only on the
+/// delivered event's identity (splitmix64 finalizer).
+std::uint64_t storm_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Records its delivery order and fans out pseudo-random child events: one
+/// self event with any delta >= 0 and one cross-LP event with delta >=
+/// lookahead (the contract that makes the schedule partition-independent).
+class StormLp : public LogicalProcess {
+ public:
+  StormLp(LpId id, int lp_count) : id_(id), lp_count_(lp_count) {}
+
+  void on_event(Engine& engine, Event&& ev) override {
+    trace += std::to_string(ev.time) + "/" + std::to_string(ev.kind) + "/" +
+             std::to_string(ev.source) + ";";
+    auto* p = dynamic_cast<StormPayload*>(ev.payload.get());
+    if (p == nullptr || p->hops <= 0) return;
+    std::uint64_t r = storm_mix((ev.time << 20) ^
+                                (static_cast<std::uint64_t>(ev.kind) << 8) ^
+                                static_cast<std::uint64_t>(id_));
+    engine.schedule(ev.time + r % 3, id_, static_cast<int>(r % 100),
+                    std::make_unique<StormPayload>(p->hops - 1));
+    r = storm_mix(r);
+    engine.schedule(ev.time + kLookahead + r % 7, static_cast<LpId>(r % lp_count_),
+                    static_cast<int>(r % 100), std::make_unique<StormPayload>(p->hops - 1));
+  }
+  bool terminated() const override { return true; }
+
+  std::string trace;
+
+ private:
+  LpId id_;
+  int lp_count_;
+};
+
+std::string run_storm(int workers, std::uint64_t* processed) {
+  constexpr int kLps = 8;
+  Engine e;
+  std::vector<std::unique_ptr<StormLp>> lps;
+  for (LpId i = 0; i < kLps; ++i) {
+    lps.push_back(std::make_unique<StormLp>(i, kLps));
+    e.add_process(i, lps.back().get());
+  }
+  for (LpId i = 0; i < kLps; ++i) {
+    e.schedule(static_cast<SimTime>(i % 3), i, static_cast<int>(i),
+               std::make_unique<StormPayload>(5));
+  }
+  e.set_sharding(sharded(workers));
+  e.run();
+  *processed = e.events_processed();
+  std::string all;
+  for (auto& lp : lps) all += lp->trace + "\n";
+  return all;
+}
+
+TEST(ShardedEngine, EventStormTraceIsWorkerCountInvariant) {
+  std::uint64_t base_count = 0;
+  const std::string base = run_storm(1, &base_count);
+  EXPECT_GT(base_count, 100u);  // 8 seed events, 5 hops, 2 children each.
+  for (int workers : {2, 4, hardware_sim_workers()}) {
+    std::uint64_t count = 0;
+    EXPECT_EQ(run_storm(workers, &count), base) << "workers=" << workers;
+    EXPECT_EQ(count, base_count) << "workers=" << workers;
+  }
+}
+
+TEST(ShardedEngine, EventExactlyAtWindowBoundIsDelivered) {
+  // A cross-group event landing exactly at the window bound (delta ==
+  // lookahead, the minimum legal cross-node delivery) must not be lost or
+  // reordered against a same-instant event from another source.
+  for (int workers : {1, 2}) {
+    Engine e;
+    RecorderLp a, b;
+    a.done = b.done = true;
+    e.add_process(0, &a);
+    e.add_process(1, &b);
+    a.callback = [](Engine& eng, const Event& ev) {
+      if (ev.kind == 1) eng.schedule(ev.time + kLookahead, 1, 42, nullptr);
+    };
+    e.schedule(kLookahead, 1, 99, nullptr);  // External, same instant.
+    e.schedule(0, 0, 1, nullptr);
+    e.set_sharding(sharded(workers));
+    e.run();
+    ASSERT_EQ(b.delivered.size(), 2u) << "workers=" << workers;
+    // Tie at t == lookahead: external source (-1) orders before LP 0.
+    EXPECT_EQ(b.delivered[0].kind, 99) << "workers=" << workers;
+    EXPECT_EQ(b.delivered[1].kind, 42) << "workers=" << workers;
+  }
+}
+
+TEST(ShardedEngine, MultiGroupDeadlockEndsTheRun) {
+  // No events, nothing terminated: every group's stall round runs exactly
+  // once (the two-phase global check), then the run ends as deadlocked.
+  Engine e;
+  RecorderLp lps[4];
+  for (LpId i = 0; i < 4; ++i) e.add_process(i, &lps[i]);
+  e.set_sharding(sharded(4));
+  e.run();
+  for (auto& lp : lps) EXPECT_EQ(lp.stall_calls, 1);
+  EXPECT_EQ(e.unterminated(), (std::vector<LpId>{0, 1, 2, 3}));
+}
+
+TEST(ShardedEngine, StallProgressCrossesGroups) {
+  // Progress made by one group's stall hook (a cross-group wakeup) must keep
+  // the whole run alive until the woken group finishes.
+  Engine e;
+  RecorderLp a, b;
+  a.stall_action = [&](Engine& eng) {
+    eng.schedule(eng.now() + kLookahead, 1, 7, nullptr);
+    a.done = true;
+    return true;
+  };
+  b.callback = [&](Engine&, const Event&) { b.done = true; };
+  e.add_process(0, &a);
+  e.add_process(1, &b);
+  e.set_sharding(sharded(2));
+  e.run();
+  ASSERT_EQ(b.delivered.size(), 1u);
+  EXPECT_EQ(b.delivered[0].kind, 7);
+  EXPECT_TRUE(e.unterminated().empty());
+}
+
+TEST(ShardedEngine, WorkerCountClampsToAlignmentBlocks) {
+  // 3 LPs in blocks of 2 -> 2 blocks -> at most 2 groups, however many
+  // workers were requested.
+  Engine e;
+  RecorderLp lps[3];
+  for (LpId i = 0; i < 3; ++i) {
+    lps[i].done = true;
+    e.add_process(i, &lps[i]);
+  }
+  e.schedule(1, 2, 1, nullptr);
+  e.set_sharding(Engine::ShardingOptions{8, kLookahead, 2, {}});
+  e.run();
+  EXPECT_EQ(e.worker_groups(), 2);
+  EXPECT_EQ(lps[2].delivered.size(), 1u);
+}
+
+TEST(ShardedEngine, ExplicitPartitionOverrideDeliversEverything) {
+  Engine e;
+  RecorderLp lps[4];
+  for (LpId i = 0; i < 4; ++i) {
+    lps[i].done = true;
+    e.add_process(i, &lps[i]);
+  }
+  for (LpId i = 0; i < 4; ++i) {
+    e.schedule(static_cast<SimTime>(1 + i), i, static_cast<int>(i), nullptr);
+  }
+  Engine::ShardingOptions opts = sharded(2);
+  opts.group_of = [](LpId id) { return static_cast<int>(id) % 2; };  // Striped.
+  e.set_sharding(opts);
+  e.run();
+  EXPECT_EQ(e.worker_groups(), 2);
+  for (auto& lp : lps) EXPECT_EQ(lp.delivered.size(), 1u);
+}
+
+TEST(ShardedEngine, CausalityViolationThrowsInThrowMode) {
+  Engine e;
+  e.set_causality_mode(Engine::CausalityMode::kThrow);
+  RecorderLp lp;
+  lp.done = true;
+  lp.callback = [](Engine& eng, const Event& ev) {
+    if (ev.kind == 1) eng.schedule(ev.time - 5, 0, 2, nullptr);  // Into the past.
+  };
+  e.add_process(0, &lp);
+  e.schedule(10, 0, 1, nullptr);
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+TEST(ShardedEngine, CausalityViolationCountsInCountMode) {
+  Engine e;
+  e.set_causality_mode(Engine::CausalityMode::kCount);
+  RecorderLp lp;
+  lp.done = true;
+  lp.callback = [](Engine& eng, const Event& ev) {
+    if (ev.kind == 1) eng.schedule(ev.time - 5, 0, 2, nullptr);
+  };
+  e.add_process(0, &lp);
+  e.schedule(10, 0, 1, nullptr);
+  e.run();
+  EXPECT_EQ(e.causality_violations(), 1u);
+  EXPECT_EQ(lp.delivered.size(), 2u);  // Still delivered, just late.
+}
+
 TEST(EventOrder, OrdersByTimePriositySeq) {
   Event a, b;
   a.time = 1;
@@ -190,6 +398,10 @@ TEST(EventOrder, OrdersByTimePriositySeq) {
   b.priority = EventPriority::kMessage;
   EXPECT_TRUE(EventOrder{}(a, b));
   b.priority = EventPriority::kControl;
+  a.source = kExternalSource;  // External schedules order before any LP's.
+  b.source = 0;
+  EXPECT_TRUE(EventOrder{}(a, b));
+  b.source = kExternalSource;
   a.seq = 1;
   b.seq = 2;
   EXPECT_TRUE(EventOrder{}(a, b));

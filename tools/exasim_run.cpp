@@ -28,6 +28,7 @@
 #include "exp/plan.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
+#include "pdes/sim_workers.hpp"
 #include "util/log.hpp"
 #include "util/parse.hpp"
 
@@ -105,7 +106,12 @@ int main(int argc, char** argv) {
     auto plan = exp::ExperimentPlan::explicit_points(
         1, options->replicates, options->seed);
     plan.set_seed_mode(exp::SeedMode::kSequentialPerReplicate);
-    exp::ParallelExecutor pool(exp::ExecutorOptions{options->jobs, {}});
+    // Each replicate may itself run several engine worker threads
+    // (--sim-workers), so divide the campaign's job budget by the per-run
+    // worker count to keep the total thread count near --jobs.
+    const int workers_per_run = resolve_sim_workers(options->machine.sim_workers);
+    exp::ParallelExecutor pool(
+        exp::ExecutorOptions{exp::compose_jobs(options->jobs, workers_per_run), {}});
     auto outcomes = pool.run(plan, [&](const exp::Point&, const exp::WorkItem& item) {
       core::RunnerConfig rc = core::runner_config_from(*options);
       rc.seed = item.seed;
