@@ -17,6 +17,7 @@
 #include "fiber/fiber.hpp"
 #include "pdes/engine.hpp"
 #include "util/log.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 #include "vmpi/context.hpp"
 
@@ -56,6 +57,103 @@ void BM_EventQueueThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueThroughput)->Arg(1024)->Arg(65536);
 
+// ---- Hot-path memory (DESIGN.md §9) ---------------------------------------
+
+/// Flips pooling for one benchmark run and restores the prior setting.
+/// state.range(0): 0 = heap (pooling off), 1 = pooled.
+struct PoolMode {
+  explicit PoolMode(bool pooled) : before(util::pool_enabled()) {
+    util::set_pool_enabled(pooled);
+  }
+  ~PoolMode() { util::set_pool_enabled(before); }
+  bool before;
+};
+
+struct ChurnPayload final : EventPayload {
+  std::uint64_t vals[4] = {0, 0, 0, 0};
+};
+
+/// What a delivered eager message actually carries: a payload object plus a
+/// copied data buffer (vmpi::MsgPayload shape). 256 B spills past the
+/// PayloadBuf inline capacity, so each event costs two allocations — object
+/// and data — exactly the hot-path traffic the pool exists to absorb.
+struct ChurnMsgPayload final : EventPayload {
+  util::PayloadBuf data;
+};
+constexpr std::size_t kChurnMsgBytes = 256;
+
+/// Raw payload allocate/free cycle — the per-event allocator cost in
+/// isolation. Pooled (steady-state free-list hits) vs heap (::operator new).
+void BM_PayloadAllocFree(benchmark::State& state) {
+  PoolMode mode(state.range(0) != 0);
+  for (auto _ : state) {
+    auto* p = new ChurnPayload;
+    benchmark::DoNotOptimize(p);
+    delete p;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PayloadAllocFree)->Arg(0)->Arg(1)->ArgNames({"pooled"});
+
+/// PayloadBuf assign cost: inline (fits the 64-byte SBO) vs spilled
+/// (pool-backed). range(0) = bytes.
+void BM_PayloadBufAssign(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> src(bytes, std::byte{0x5a});
+  for (auto _ : state) {
+    util::PayloadBuf buf;
+    buf.assign(src.data(), src.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PayloadBufAssign)->Arg(32)->Arg(64)->Arg(256)->Arg(4096)->ArgNames({"bytes"});
+
+/// Steady-state event churn: every delivered event frees its payload and
+/// schedules a successor with a fresh one — the allocation pattern of a
+/// long-running simulation (message payloads birth and die once per event).
+/// This is the headline pooled-vs-heap number for bench_baseline.sh.
+class ChurnLp final : public LogicalProcess {
+ public:
+  explicit ChurnLp(std::uint64_t budget) : remaining_(budget) {
+    scratch_.resize(kChurnMsgBytes, std::byte{0x37});
+  }
+  void on_event(Engine& engine, Event&& ev) override {
+    if (remaining_ == 0) return;
+    --remaining_;
+    auto payload = std::make_unique<ChurnMsgPayload>();
+    payload->data.assign(scratch_.data(), scratch_.size());
+    engine.schedule(ev.time + 1, ev.target, 1, std::move(payload));
+    // The incoming ev.payload dies when ev goes out of scope — one birth and
+    // one death per event, the steady state of a long simulation.
+  }
+  bool terminated() const override { return remaining_ == 0; }
+
+ private:
+  std::uint64_t remaining_;
+  std::vector<std::byte> scratch_;
+};
+
+void BM_EventChurn(benchmark::State& state) {
+  PoolMode mode(state.range(0) != 0);
+  const std::uint64_t events = 100'000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    ChurnLp lp(events);
+    engine.add_process(0, &lp);
+    // Seed four in-flight chains so the queue is never trivially empty.
+    for (int i = 0; i < 4; ++i) {
+      engine.schedule(static_cast<SimTime>(i), 0, 1, std::make_unique<ChurnMsgPayload>());
+    }
+    state.ResumeTiming();
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventChurn)->Arg(0)->Arg(1)->ArgNames({"pooled"});
+
 // ---- Fibers ---------------------------------------------------------------
 
 void BM_FiberSwitch(benchmark::State& state) {
@@ -68,13 +166,16 @@ void BM_FiberSwitch(benchmark::State& state) {
 BENCHMARK(BM_FiberSwitch);
 
 void BM_FiberCreateDestroy(benchmark::State& state) {
+  // Pooled: after the first iteration every stack is a MADV_DONTNEED reuse.
+  // Heap: one mmap/mprotect/munmap triple per fiber.
+  PoolMode mode(state.range(0) != 0);
   for (auto _ : state) {
     Fiber fiber([] {});
     fiber.resume();
     benchmark::DoNotOptimize(fiber.finished());
   }
 }
-BENCHMARK(BM_FiberCreateDestroy);
+BENCHMARK(BM_FiberCreateDestroy)->Arg(0)->Arg(1)->ArgNames({"pooled"});
 
 // ---- Simulated MPI ---------------------------------------------------------
 

@@ -25,4 +25,14 @@ cmake --build build-tsan -j "$JOBS" --target test_exp test_pdes test_vmpi_p2p
 echo "== tier 1: ThreadSanitizer, forced multi-worker engine =="
 (cd build-tsan && EXASIM_SIM_WORKERS=4 ctest --output-on-failure -R 'test_pdes|test_vmpi_p2p')
 
+echo "== tier 1: AddressSanitizer (pool/fiber/engine suites) =="
+# Validates the hot-path memory pools: parked payload blocks and recycled
+# fiber stacks are shadow-poisoned, so stale pointers into either trip ASan
+# even though the memory never went back to the system allocator. Runs both
+# pooled and --no-pool configurations via EXASIM_NO_POOL.
+cmake -B build-asan -S . -DEXASIM_ASAN=ON >/dev/null
+cmake --build build-asan -j "$JOBS" --target test_util test_fiber test_pdes test_vmpi_p2p
+(cd build-asan && ctest --output-on-failure -R 'test_util|test_fiber|test_pdes|test_vmpi_p2p')
+(cd build-asan && EXASIM_NO_POOL=1 ctest --output-on-failure -R 'test_util|test_fiber|test_pdes|test_vmpi_p2p')
+
 echo "tier 1 OK"

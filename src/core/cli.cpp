@@ -5,6 +5,7 @@
 
 #include "util/log.hpp"
 #include "util/parse.hpp"
+#include "util/pool.hpp"
 
 namespace exasim::core {
 namespace {
@@ -49,7 +50,10 @@ std::string cli_usage() {
       "  --sim-workers=N|auto\n"
       "                   (engine LP-group threads inside one simulation;\n"
       "                    1 = sequential, auto = all cores, default from\n"
-      "                    EXASIM_SIM_WORKERS; identical results for any N)\n";
+      "                    EXASIM_SIM_WORKERS; identical results for any N)\n"
+      "  --no-pool        (disable the hot-path memory pools — payloads and\n"
+      "                    fiber stacks fall back to plain heap/mmap; also\n"
+      "                    env EXASIM_NO_POOL=1; identical results either way)\n";
 }
 
 std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::string* error) {
@@ -152,6 +156,11 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::stri
       }
     } else if (key == "stack-bytes" && parse_int(value, &ll)) {
       opts.machine.process.fiber_stack_bytes = static_cast<std::size_t>(ll);
+    } else if (key == "no-pool") {
+      // Escape hatch for debugging/benchmarking: provenance headers let
+      // blocks allocated before the flip still free correctly.
+      util::set_pool_enabled(false);
+      opts.no_pool = true;
     } else if (key == "measured-compute") {
       opts.machine.process.measured_compute = true;
     } else if (key == "sim-time-file") {

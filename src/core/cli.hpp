@@ -30,6 +30,7 @@ namespace exasim::core {
 ///   --sim-time-file=PATH      --verbose
 ///   --replicates=N            --jobs=N
 ///   --sim-workers=N|auto      (or environment EXASIM_SIM_WORKERS)
+///   --no-pool                 (or environment EXASIM_NO_POOL=1)
 struct CliOptions {
   SimConfig machine;
   std::optional<SimTime> mttf;
@@ -47,6 +48,11 @@ struct CliOptions {
   /// 0 = all hardware threads. Interpreted by exp::resolve_jobs() — core
   /// itself only carries the value (layering: core must not depend on exp).
   int jobs = -1;
+
+  /// --no-pool was given: hot-path memory pooling globally disabled (the
+  /// flag also calls util::set_pool_enabled(false) as a parse side effect,
+  /// mirroring the EXASIM_NO_POOL environment variable).
+  bool no_pool = false;
 
   std::vector<std::string> positional;  ///< Non-option arguments.
 };

@@ -1,6 +1,7 @@
 #include "core/machine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -54,6 +55,9 @@ Machine::Machine(SimConfig config, vmpi::AppMain app)
 Machine::~Machine() = default;
 
 SimResult Machine::run() {
+  const PerfSnapshot perf_begin = perf_snapshot();
+  const auto wall_begin = std::chrono::steady_clock::now();
+
   // Build one simulated MPI process per rank. The application entry point is
   // wrapped so every process sees the machine services.
   processes_.clear();
@@ -132,6 +136,17 @@ SimResult Machine::run() {
   result.abort_origin = abort_origin_;
   result.events_processed = engine_.events_processed();
   result.causality_violations = engine_.causality_violations();
+  result.perf = perf_delta(perf_begin, perf_snapshot());
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin).count();
+  if (result.wall_seconds > 0 && result.events_processed > 0) {
+    result.events_per_sec = static_cast<double>(result.events_processed) / result.wall_seconds;
+    result.ns_per_event = 1e9 / result.events_per_sec;
+  }
+  if (result.events_processed > 0) {
+    result.heap_allocs_per_event = static_cast<double>(result.perf.pool_heap_allocs) /
+                                   static_cast<double>(result.events_processed);
+  }
   if (energy_) result.total_energy_joules = energy_->total_joules();
   for (const auto& proc : processes_) {
     result.total_busy_time += proc->busy_time();

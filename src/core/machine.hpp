@@ -10,6 +10,7 @@
 
 #include "ckpt/checkpoint.hpp"
 #include "iomodel/pfs.hpp"
+#include "metrics/perf.hpp"
 #include "metrics/stats.hpp"
 #include "netmodel/network.hpp"
 #include "pdes/engine.hpp"
@@ -111,6 +112,19 @@ struct SimResult {
   SimTime total_comm_time = 0;
   /// Fraction of total accounted time spent computing (1.0 if no comm).
   double compute_fraction = 1.0;
+
+  /// Hot-path memory counters, metered over this run() only (DESIGN.md §9).
+  /// Simulated behavior is identical with pooling on or off; these exist so
+  /// perf regressions in allocator traffic are visible without a profiler.
+  PerfSnapshot perf;
+  /// Host wall-clock seconds spent inside run() — real time, not SimTime.
+  /// Host-dependent: excluded from any determinism comparison.
+  double wall_seconds = 0;
+  double events_per_sec = 0;   ///< events_processed / wall_seconds.
+  double ns_per_event = 0;     ///< Inverse, in nanoseconds.
+  /// Heap allocations (pool misses routed to ::operator new) per processed
+  /// event — the headline "allocs/event" figure of bench_baseline.sh.
+  double heap_allocs_per_event = 0;
 };
 
 /// Services exposed to simulated applications through Context::services.

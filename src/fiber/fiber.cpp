@@ -1,11 +1,12 @@
 #include "fiber/fiber.hpp"
 
-#include <sys/mman.h>
 #include <unistd.h>
 
 #include <cstdint>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "fiber/stack_pool.hpp"
 
 #if !defined(__x86_64__)
 #include <ucontext.h>
@@ -117,11 +118,6 @@ namespace {
 // and the entry trampoline can find its Fiber.
 thread_local Fiber* t_current = nullptr;
 
-std::size_t page_size() {
-  static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
-  return ps;
-}
-
 }  // namespace
 
 #if defined(__x86_64__)
@@ -150,16 +146,11 @@ void Fiber::run_body_and_exit() {
 
 Fiber::Fiber(Body body, std::size_t stack_bytes)
     : impl_(std::make_unique<Impl>()), body_(std::move(body)) {
-  const std::size_t ps = page_size();
   if (stack_bytes < 16 * 1024) stack_bytes = 16 * 1024;
-  stack_bytes_ = (stack_bytes + ps - 1) / ps * ps;
-
-  stack_ = ::mmap(nullptr, stack_bytes_, PROT_READ | PROT_WRITE,
-                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  if (stack_ == MAP_FAILED) {
-    stack_ = nullptr;
-    throw std::bad_alloc();
-  }
+  FiberStackPool::Stack s = FiberStackPool::instance().acquire(stack_bytes);
+  stack_ = s.base;
+  stack_bytes_ = s.bytes;
+  stack_guarded_ = s.guarded;
 
   // Craft the initial stack so the first switch `ret`s into fiber_entry with
   // the ABI-required alignment: the return-address slot sits on a 16-byte
@@ -206,19 +197,15 @@ void trampoline(unsigned hi, unsigned lo);
 
 Fiber::Fiber(Body body, std::size_t stack_bytes)
     : impl_(std::make_unique<Impl>()), body_(std::move(body)) {
-  const std::size_t ps = page_size();
   if (stack_bytes < 16 * 1024) stack_bytes = 16 * 1024;
-  stack_bytes_ = (stack_bytes + ps - 1) / ps * ps;
-
-  stack_ = ::mmap(nullptr, stack_bytes_, PROT_READ | PROT_WRITE,
-                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  if (stack_ == MAP_FAILED) {
-    stack_ = nullptr;
-    throw std::bad_alloc();
-  }
+  FiberStackPool::Stack s = FiberStackPool::instance().acquire(stack_bytes);
+  stack_ = s.base;
+  stack_bytes_ = s.bytes;
+  stack_guarded_ = s.guarded;
 
   if (::getcontext(&impl_->self) != 0) {
-    ::munmap(stack_, stack_bytes_);
+    FiberStackPool::instance().release(
+        FiberStackPool::Stack{stack_, stack_bytes_, stack_guarded_});
     stack_ = nullptr;
     throw std::runtime_error("getcontext failed");
   }
@@ -284,7 +271,10 @@ Fiber::~Fiber() {
   // drives fibers to completion (or kills them via an unwind exception), so
   // this is a safety net, not the normal path.
   EXASIM_TSAN_FIBER_DESTROY(impl_->tsan_fiber);
-  if (stack_ != nullptr) ::munmap(stack_, stack_bytes_);
+  if (stack_ != nullptr) {
+    FiberStackPool::instance().release(
+        FiberStackPool::Stack{stack_, stack_bytes_, stack_guarded_});
+  }
 }
 
 bool Fiber::in_fiber() { return t_current != nullptr; }

@@ -70,6 +70,7 @@ class Fiber {
   Body body_;
   void* stack_ = nullptr;
   std::size_t stack_bytes_ = 0;
+  bool stack_guarded_ = false;  ///< Guard page below stack_ (FiberStackPool).
   bool started_ = false;
   bool finished_ = false;
 };

@@ -1,0 +1,36 @@
+#include "metrics/perf.hpp"
+
+#include "fiber/stack_pool.hpp"
+#include "util/pool.hpp"
+
+namespace exasim {
+
+PerfSnapshot perf_snapshot() {
+  PerfSnapshot s;
+  const util::PoolStats p = util::pool_stats();
+  s.pool_allocs = p.allocs;
+  s.pool_frees = p.frees;
+  s.pool_recycled = p.recycled;
+  s.pool_heap_allocs = p.heap_allocs;
+  s.pool_slab_bytes = p.slab_bytes;
+  const FiberStackPool::Stats f = FiberStackPool::instance().stats();
+  s.stacks_mapped = f.mapped;
+  s.stacks_reused = f.reused;
+  s.stacks_high_water = f.high_water;
+  return s;
+}
+
+PerfSnapshot perf_delta(const PerfSnapshot& begin, const PerfSnapshot& end) {
+  PerfSnapshot d;
+  d.pool_allocs = end.pool_allocs - begin.pool_allocs;
+  d.pool_frees = end.pool_frees - begin.pool_frees;
+  d.pool_recycled = end.pool_recycled - begin.pool_recycled;
+  d.pool_heap_allocs = end.pool_heap_allocs - begin.pool_heap_allocs;
+  d.pool_slab_bytes = end.pool_slab_bytes - begin.pool_slab_bytes;
+  d.stacks_mapped = end.stacks_mapped - begin.stacks_mapped;
+  d.stacks_reused = end.stacks_reused - begin.stacks_reused;
+  d.stacks_high_water = end.stacks_high_water;
+  return d;
+}
+
+}  // namespace exasim

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace exasim {
+
+/// Point-in-time snapshot of the hot-path memory counters (DESIGN.md §9):
+/// the util pool (event payloads, PayloadBuf spills) and the fiber stack
+/// pool. All counters are monotonic process-wide totals; meter one region —
+/// e.g. one Machine::run() — by diffing two snapshots with perf_delta().
+struct PerfSnapshot {
+  // util::pool (size-class free lists; see src/util/pool.hpp).
+  std::uint64_t pool_allocs = 0;       ///< pool_alloc calls (any route).
+  std::uint64_t pool_frees = 0;        ///< pool_free calls.
+  std::uint64_t pool_recycled = 0;     ///< Allocs served from a free list.
+  std::uint64_t pool_heap_allocs = 0;  ///< Allocs routed to ::operator new.
+  std::uint64_t pool_slab_bytes = 0;   ///< Bytes of slab carved so far.
+
+  // FiberStackPool (guard-paged mmapped stacks; see src/fiber/stack_pool.hpp).
+  std::uint64_t stacks_mapped = 0;      ///< Fresh mmaps.
+  std::uint64_t stacks_reused = 0;      ///< Acquires served from the pool.
+  std::uint64_t stacks_high_water = 0;  ///< Max concurrently live stacks.
+};
+
+/// Reads the current process-wide counters. Thread-safe; O(#threads).
+PerfSnapshot perf_snapshot();
+
+/// Component-wise `end - begin` for the monotonic counters; high_water is
+/// carried over from `end` (it is a level, not a flow).
+PerfSnapshot perf_delta(const PerfSnapshot& begin, const PerfSnapshot& end);
+
+}  // namespace exasim

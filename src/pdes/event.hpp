@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <new>
 
+#include "util/pool.hpp"
 #include "util/time.hpp"
 
 namespace exasim {
@@ -28,8 +30,17 @@ enum class EventPriority : std::uint8_t {
 
 /// Base class for event payloads. Layers above the engine (the simulated MPI
 /// layer, timers) derive their own payload types and dispatch on Event::kind.
+///
+/// Payloads are the per-event heap traffic of the hot path, so allocation is
+/// routed through the thread-local slab pool (util::pool_alloc — thread-local
+/// means LP-group-local under the sharded engine; DESIGN.md §9). Derived
+/// classes inherit the class-level operator new/delete; deletion through the
+/// base pointer resolves to them via the virtual destructor.
 struct EventPayload {
   virtual ~EventPayload() = default;
+
+  static void* operator new(std::size_t bytes) { return util::pool_alloc(bytes); }
+  static void operator delete(void* p) { util::pool_free(p); }
 };
 
 /// A scheduled simulation event. Ordering is (time, priority, source, seq):

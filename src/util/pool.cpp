@@ -1,0 +1,212 @@
+#include "util/pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+// ASan integration: blocks parked on a free list are poisoned so that a
+// use-after-free of pooled memory is reported just like one of heap memory
+// (the EXASIM_ASAN tier-1 leg). Without the sanitizer these are no-ops.
+#if defined(__SANITIZE_ADDRESS__)
+#define EXASIM_ASAN_POOL 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define EXASIM_ASAN_POOL 1
+#endif
+#endif
+#if defined(EXASIM_ASAN_POOL)
+extern "C" {
+void __asan_poison_memory_region(void const volatile* addr, std::size_t size);
+void __asan_unpoison_memory_region(void const volatile* addr, std::size_t size);
+}
+#define EXASIM_POISON(p, n) __asan_poison_memory_region((p), (n))
+#define EXASIM_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
+#else
+#define EXASIM_POISON(p, n) ((void)0)
+#define EXASIM_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace exasim::util {
+
+namespace {
+
+// Block layout: [BlockHeader (16 B)][user bytes]. The header keeps the user
+// region 16-byte aligned, records provenance for pool_free, and doubles as
+// the free-list link while the block is parked (so the poisoned region never
+// includes the link).
+struct BlockHeader {
+  std::uint32_t magic;       ///< kPoolMagic or kHeapMagic.
+  std::uint32_t size_class;  ///< Index into the class table (pool blocks).
+  union {
+    std::uint64_t user_bytes;  ///< Heap blocks: original allocation size.
+    BlockHeader* next;         ///< Pool blocks: free-list link while parked.
+  };
+};
+static_assert(sizeof(BlockHeader) == 16, "header must preserve 16-byte alignment");
+
+constexpr std::uint32_t kPoolMagic = 0x50534158u;  // "XASP"
+constexpr std::uint32_t kHeapMagic = 0x48534158u;  // "XASH"
+
+// Size classes for the pooled fast path. Payload objects are 16–120 bytes;
+// spilled PayloadBufs ride the larger classes. Anything above the last class
+// goes straight to the heap (bulk checkpoint payloads — rare and already
+// dominated by the memcpy).
+constexpr std::size_t kClassSizes[] = {32,   64,   128,  256,   512,  1024,
+                                       2048, 4096, 8192, 16384, 32768, 65536};
+constexpr std::size_t kClassCount = sizeof(kClassSizes) / sizeof(kClassSizes[0]);
+constexpr std::size_t kMaxPooled = kClassSizes[kClassCount - 1];
+constexpr std::size_t kSlabBytes = 256 * 1024;
+
+std::size_t class_for(std::size_t bytes) {
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    if (bytes <= kClassSizes[c]) return c;
+  }
+  return kClassCount;  // Oversize: heap.
+}
+
+std::atomic<bool> g_pool_enabled{[] {
+  const char* env = std::getenv("EXASIM_NO_POOL");
+  return env == nullptr || env[0] == '\0' || env[0] == '0';
+}()};
+
+/// Per-thread pool state. Allocated once per thread, never destroyed:
+/// registered in a process-global registry (keeps counters readable after
+/// thread exit and anchors everything for leak checkers). Free-listed blocks
+/// and slabs are process-lifetime, so a block freed by a short-lived worker
+/// thread stays valid wherever it migrated from.
+/// Counters a foreign thread may read (pool_stats) while the owner bumps
+/// them. Only the owner writes, so the increment is a relaxed load+store —
+/// a plain register add on x86, no locked RMW on the hot path.
+struct ThreadCounters {
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> recycled{0};
+  std::atomic<std::uint64_t> heap_allocs{0};
+  std::atomic<std::uint64_t> slab_allocs{0};
+  std::atomic<std::uint64_t> slab_bytes{0};
+};
+
+void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
+  c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+struct ThreadPool {
+  BlockHeader* free_list[kClassCount] = {nullptr};
+  /// Bump region of the current slab per class carve source.
+  std::byte* slab_cursor = nullptr;
+  std::size_t slab_remaining = 0;
+  ThreadCounters stats;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadPool*> pools;
+  std::vector<void*> slabs;  ///< Anchor: slabs are reachable until exit.
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // Immortal: outlives thread_local dtors.
+  return *r;
+}
+
+ThreadPool& thread_pool() {
+  thread_local ThreadPool* pool = [] {
+    auto* p = new ThreadPool;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.pools.push_back(p);
+    return p;
+  }();
+  return *pool;
+}
+
+void* heap_block(std::size_t bytes, ThreadPool& tp) {
+  bump(tp.stats.heap_allocs);
+  auto* h = static_cast<BlockHeader*>(::operator new(sizeof(BlockHeader) + bytes));
+  h->magic = kHeapMagic;
+  h->size_class = 0;
+  h->user_bytes = bytes;
+  return h + 1;
+}
+
+}  // namespace
+
+bool pool_enabled() { return g_pool_enabled.load(std::memory_order_relaxed); }
+
+void set_pool_enabled(bool enabled) {
+  g_pool_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void* pool_alloc(std::size_t bytes) {
+  ThreadPool& tp = thread_pool();
+  bump(tp.stats.allocs);
+  const std::size_t c = class_for(bytes);
+  if (c >= kClassCount || !pool_enabled()) return heap_block(bytes, tp);
+
+  if (BlockHeader* h = tp.free_list[c]; h != nullptr) {
+    tp.free_list[c] = h->next;
+    bump(tp.stats.recycled);
+    EXASIM_UNPOISON(h + 1, kClassSizes[c]);
+    return h + 1;
+  }
+
+  const std::size_t block = sizeof(BlockHeader) + kClassSizes[c];
+  if (tp.slab_remaining < block) {
+    // Carve a fresh slab. Slabs are process-lifetime by design (see header);
+    // anchoring them in the registry keeps cross-thread migration safe and
+    // leak checkers quiet. The tail of the previous slab is abandoned —
+    // bounded waste (< one max-class block per slab turnover).
+    auto* slab = ::operator new(kSlabBytes);
+    {
+      Registry& r = registry();
+      std::lock_guard<std::mutex> lock(r.mu);
+      r.slabs.push_back(slab);
+    }
+    tp.slab_cursor = static_cast<std::byte*>(slab);
+    tp.slab_remaining = kSlabBytes;
+    bump(tp.stats.slab_allocs);
+    bump(tp.stats.slab_bytes, kSlabBytes);
+  }
+  auto* h = reinterpret_cast<BlockHeader*>(tp.slab_cursor);
+  tp.slab_cursor += block;
+  tp.slab_remaining -= block;
+  h->magic = kPoolMagic;
+  h->size_class = static_cast<std::uint32_t>(c);
+  return h + 1;
+}
+
+void pool_free(void* p) {
+  if (p == nullptr) return;
+  ThreadPool& tp = thread_pool();
+  bump(tp.stats.frees);
+  auto* h = static_cast<BlockHeader*>(p) - 1;
+  if (h->magic == kHeapMagic) {
+    ::operator delete(h);
+    return;
+  }
+  // Pool block: park it on *this* thread's free list (migration — see
+  // header). The user region is poisoned while parked; the header holding
+  // the link stays accessible.
+  const std::size_t c = h->size_class;
+  EXASIM_POISON(h + 1, kClassSizes[c]);
+  h->next = tp.free_list[c];
+  tp.free_list[c] = h;
+}
+
+PoolStats pool_stats() {
+  PoolStats total;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const ThreadPool* tp : r.pools) {
+    total.allocs += tp->stats.allocs.load(std::memory_order_relaxed);
+    total.frees += tp->stats.frees.load(std::memory_order_relaxed);
+    total.recycled += tp->stats.recycled.load(std::memory_order_relaxed);
+    total.heap_allocs += tp->stats.heap_allocs.load(std::memory_order_relaxed);
+    total.slab_allocs += tp->stats.slab_allocs.load(std::memory_order_relaxed);
+    total.slab_bytes += tp->stats.slab_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace exasim::util

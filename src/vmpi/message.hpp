@@ -2,9 +2,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 #include "pdes/event.hpp"
+#include "util/pool.hpp"
 #include "util/time.hpp"
 #include "vmpi/types.hpp"
 
@@ -35,10 +35,14 @@ struct Envelope {
   std::uint64_t rdv_id = 0; ///< Rendezvous transaction id (sender-unique).
 };
 
-/// Eager payload / rendezvous RTS.
+/// Eager payload / rendezvous RTS. The byte buffer is a small-buffer-
+/// optimized util::PayloadBuf: modeled (size-only) sends keep it empty, small
+/// real payloads live inline inside the pooled payload block, and only large
+/// payloads spill to one extra pool block — the eager path never touches the
+/// general heap.
 struct MsgPayload final : EventPayload {
   Envelope env;
-  std::vector<std::byte> data;  ///< May be empty for size-only (modeled) sends.
+  util::PayloadBuf data;  ///< May be empty for size-only (modeled) sends.
 };
 
 struct CtsPayload final : EventPayload {
@@ -47,7 +51,7 @@ struct CtsPayload final : EventPayload {
 
 struct DataPayload final : EventPayload {
   std::uint64_t rdv_id = 0;
-  std::vector<std::byte> data;
+  util::PayloadBuf data;
   std::size_t bytes = 0;
 };
 
@@ -77,7 +81,7 @@ struct RevokeNoticePayload final : EventPayload {
 /// that ANY_SOURCE matching across per-source queues stays deterministic.
 struct UnexpectedMsg {
   Envelope env;
-  std::vector<std::byte> data;
+  util::PayloadBuf data;
   SimTime arrival_time = 0;
   std::uint64_t arrival_seq = 0;
 };

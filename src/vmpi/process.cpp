@@ -505,7 +505,7 @@ void SimProcess::unindex_posted(const Request& r) {
 }
 
 void SimProcess::complete_recv_from_msg(Request& r, const Envelope& env,
-                                        std::vector<std::byte>&& data, SimTime arrival) {
+                                        util::PayloadBuf&& data, SimTime arrival) {
   unindex_posted(r);
   if (r.recv_buffer != nullptr && !data.empty()) {
     std::memcpy(r.recv_buffer, data.data(), std::min(r.bytes, data.size()));
@@ -535,7 +535,7 @@ void SimProcess::start_rendezvous_recv(Request& r, const Envelope& env, SimTime 
   r.status.tag = env.tag;
 }
 
-bool SimProcess::try_match_posted(const Envelope& env, std::vector<std::byte>&& data,
+bool SimProcess::try_match_posted(const Envelope& env, util::PayloadBuf&& data,
                                   SimTime arrival) {
   // MPI matching order: the earliest-posted matching receive wins. Serials
   // are post-ordered and both index structures keep post order, so the
@@ -673,10 +673,7 @@ RequestHandle SimProcess::post_send(Comm& comm, Rank dest, int tag, const void* 
     advance_clock(fabric_->occupancy(bytes), /*busy=*/false);
     auto msg = std::make_unique<MsgPayload>();
     msg->env = env;
-    if (data != nullptr && bytes > 0) {
-      const auto* p = static_cast<const std::byte*>(data);
-      msg->data.assign(p, p + bytes);
-    }
+    if (data != nullptr && bytes > 0) msg->data.assign(data, bytes);
     engine_->schedule(t0 + fabric_->delivery(world_rank_, req->peer_world_rank, bytes),
                       req->peer_world_rank, kEvMsgArrival, std::move(msg));
     if (energy_ != nullptr) energy_->add_traffic(world_rank_, bytes);
@@ -689,10 +686,7 @@ RequestHandle SimProcess::post_send(Comm& comm, Rank dest, int tag, const void* 
     env.rendezvous = true;
     env.rdv_id = (static_cast<std::uint64_t>(world_rank_) << 32) | next_rdv_++;
     req->rdv_id = env.rdv_id;
-    if (data != nullptr && bytes > 0) {
-      const auto* p = static_cast<const std::byte*>(data);
-      req->send_data.assign(p, p + bytes);
-    }
+    if (data != nullptr && bytes > 0) req->send_data.assign(data, bytes);
     advance_clock(fabric_->occupancy(0), /*busy=*/false);
     auto rts = std::make_unique<MsgPayload>();
     rts->env = env;

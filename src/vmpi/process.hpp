@@ -244,10 +244,10 @@ class SimProcess final : public LogicalProcess {
   // Matching engine.
   Request* find_request(std::uint64_t serial);
   bool match(const Envelope& env, const Request& r) const;
-  void complete_recv_from_msg(Request& r, const Envelope& env, std::vector<std::byte>&& data,
+  void complete_recv_from_msg(Request& r, const Envelope& env, util::PayloadBuf&& data,
                               SimTime arrival);
   void start_rendezvous_recv(Request& r, const Envelope& env, SimTime arrival);
-  bool try_match_posted(const Envelope& env, std::vector<std::byte>&& data, SimTime arrival);
+  bool try_match_posted(const Envelope& env, util::PayloadBuf&& data, SimTime arrival);
   bool try_match_unexpected(Request& r);
   void release_request(std::uint64_t serial);
   void record_trace(const Request& r);

@@ -2,8 +2,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
+#include "util/pool.hpp"
 #include "util/time.hpp"
 #include "vmpi/types.hpp"
 
@@ -34,7 +34,7 @@ struct Request {
   void* recv_buffer = nullptr;
 
   /// Send payload (captured at post time); empty for modeled sends.
-  std::vector<std::byte> send_data;
+  util::PayloadBuf send_data;
 
   std::uint64_t rdv_id = 0;          ///< Rendezvous transaction, if any.
   SimTime post_time = 0;

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "core/cli.hpp"
+#include "util/pool.hpp"
 
 namespace exasim {
 namespace {
@@ -120,6 +121,21 @@ TEST(Cli, ParsesSimWorkers) {
     EXPECT_FALSE(parse({bad}, &error).has_value()) << bad;
     EXPECT_FALSE(error.empty());
   }
+}
+
+TEST(Cli, ParsesNoPool) {
+  EnvGuard env(nullptr);
+  const bool before = util::pool_enabled();
+  auto defaulted = parse({"--ranks=8"});
+  ASSERT_TRUE(defaulted.has_value());
+  EXPECT_FALSE(defaulted->no_pool);
+  EXPECT_EQ(util::pool_enabled(), before);  // Parsing alone must not flip it.
+
+  auto off = parse({"--no-pool"});
+  ASSERT_TRUE(off.has_value());
+  EXPECT_TRUE(off->no_pool);
+  EXPECT_FALSE(util::pool_enabled());  // Parse side effect: pools disabled.
+  util::set_pool_enabled(before);      // Restore for the rest of the suite.
 }
 
 TEST(Cli, RejectsMalformedOptions) {

@@ -15,6 +15,7 @@
 #include "exp/plan.hpp"
 #include "metrics/table.hpp"
 #include "util/log.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 
 using namespace exasim;
@@ -135,6 +136,26 @@ TEST(ParallelExecutor, ResultTableIdenticalForAnyJobCount) {
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, campaign_csv(4));
   EXPECT_EQ(serial, campaign_csv(exp::hardware_jobs()));
+}
+
+TEST(ParallelExecutor, ResultTableIdenticalWithPoolingOff) {
+  // The hot-path memory pools (DESIGN.md §9) must be invisible to campaign
+  // results: the same table for pooling {on, off} x jobs {1, 4}. The
+  // parallel/pooled case is where per-thread free lists and cross-thread
+  // block migration actually engage.
+  Log::set_level(LogLevel::kOff);
+  const bool before = util::pool_enabled();
+  util::set_pool_enabled(true);
+  const std::string pooled = campaign_csv(1);
+  const std::string pooled_parallel = campaign_csv(4);
+  util::set_pool_enabled(false);
+  const std::string heap = campaign_csv(1);
+  const std::string heap_parallel = campaign_csv(4);
+  util::set_pool_enabled(before);
+  EXPECT_FALSE(pooled.empty());
+  EXPECT_EQ(pooled, pooled_parallel);
+  EXPECT_EQ(pooled, heap);
+  EXPECT_EQ(pooled, heap_parallel);
 }
 
 TEST(ParallelExecutor, ThrowingEvaluateIsReportedPerItem) {

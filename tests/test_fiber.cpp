@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "fiber/fiber.hpp"
+#include "fiber/stack_pool.hpp"
+#include "util/pool.hpp"
 
 namespace exasim {
 namespace {
@@ -147,6 +150,79 @@ TEST(Fiber, DestroyUnstartedAndSuspendedFibersSafely) {
     f->resume();  // Suspended at first yield, then destroyed.
   }
   SUCCEED();
+}
+
+TEST(FiberDeathTest, StackOverflowHitsGuardPage) {
+  // Running off the low end of the stack must fault on the PROT_NONE guard
+  // page (SIGSEGV), not silently scribble over a neighboring mapping.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Fiber f(
+            [] {
+              struct Rec {
+                static std::uint64_t go(std::uint64_t d) {
+                  volatile char pad[1024];
+                  pad[0] = static_cast<char>(d);
+                  if (d > 1'000'000) return d;
+                  return Rec::go(d + 1) + static_cast<std::uint64_t>(pad[0]);
+                }
+              };
+              Rec::go(0);
+            },
+            16 * 1024);
+        f.resume();
+      },
+      "");
+}
+
+TEST(FiberStackPool, RecyclesStacksAndTracksHighWater) {
+  if (!util::pool_enabled()) GTEST_SKIP() << "pooling disabled in this run";
+  auto& pool = FiberStackPool::instance();
+  pool.trim();  // Isolate from earlier tests: start with empty free lists.
+  const auto before = pool.stats();
+
+  constexpr std::size_t kBytes = 128 * 1024;
+  {
+    Fiber a([] {}, kBytes);
+    Fiber b([] {}, kBytes);
+    a.resume();
+    b.resume();
+  }  // Both stacks parked.
+  const auto parked = pool.stats();
+  EXPECT_EQ(parked.mapped - before.mapped, 2u);
+  EXPECT_GE(parked.pooled, 2u);
+  EXPECT_GE(parked.high_water, before.outstanding + 2);
+
+  {
+    Fiber c([] {}, kBytes);  // Must reuse a parked stack, not map.
+    c.resume();
+  }
+  const auto after = pool.stats();
+  EXPECT_EQ(after.mapped, parked.mapped);
+  EXPECT_EQ(after.reused - parked.reused, 1u);
+
+  // trim() unmaps every parked stack and empties the pool.
+  pool.trim();
+  const auto trimmed = pool.stats();
+  EXPECT_EQ(trimmed.pooled, 0u);
+  EXPECT_GT(trimmed.unmapped, after.unmapped);
+}
+
+TEST(FiberStackPool, UnpooledReleaseUnmaps) {
+  const bool before = util::pool_enabled();
+  util::set_pool_enabled(false);
+  auto& pool = FiberStackPool::instance();
+  const auto s0 = pool.stats();
+  {
+    Fiber f([] {}, 64 * 1024);
+    f.resume();
+  }
+  const auto s1 = pool.stats();
+  util::set_pool_enabled(before);
+  EXPECT_EQ(s1.mapped - s0.mapped, 1u);
+  EXPECT_EQ(s1.unmapped - s0.unmapped, 1u);
+  EXPECT_EQ(s1.pooled, s0.pooled);
 }
 
 }  // namespace

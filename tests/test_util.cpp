@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <set>
+#include <vector>
 
 #include "util/parse.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -173,6 +176,104 @@ TEST(ParamMap, SetOverwrites) {
 TEST(ParamMap, RejectsMalformed) {
   EXPECT_FALSE(ParamMap::parse("novalue").has_value());
   EXPECT_FALSE(ParamMap::parse("=x").has_value());
+}
+
+TEST(Pool, RecyclesWithinSizeClass) {
+  if (!util::pool_enabled()) GTEST_SKIP() << "pooling disabled in this run";
+  const auto s0 = util::pool_stats();
+  void* a = util::pool_alloc(48);
+  util::pool_free(a);
+  void* b = util::pool_alloc(40);  // Same 64-byte class: must reuse a's block.
+  EXPECT_EQ(b, a);
+  util::pool_free(b);
+  const auto s1 = util::pool_stats();
+  EXPECT_EQ(s1.allocs - s0.allocs, 2u);
+  EXPECT_EQ(s1.frees - s0.frees, 2u);
+  EXPECT_GE(s1.recycled - s0.recycled, 1u);
+  EXPECT_EQ(s1.heap_allocs, s0.heap_allocs);
+}
+
+TEST(Pool, OversizeAndDisabledFallBackToHeap) {
+  // Larger than the biggest size class: heap-routed, still freed correctly.
+  const auto s0 = util::pool_stats();
+  void* big = util::pool_alloc(1 << 20);
+  ASSERT_NE(big, nullptr);
+  util::pool_free(big);
+  const auto s1 = util::pool_stats();
+  EXPECT_EQ(s1.heap_allocs - s0.heap_allocs, 1u);
+
+  // Blocks allocated while pooling is off carry the heap provenance header,
+  // so freeing them after pooling is re-enabled must route to the heap.
+  const bool before = util::pool_enabled();
+  util::set_pool_enabled(false);
+  void* p = util::pool_alloc(64);
+  util::set_pool_enabled(true);
+  util::pool_free(p);
+  util::set_pool_enabled(before);
+  const auto s2 = util::pool_stats();
+  EXPECT_EQ(s2.heap_allocs - s1.heap_allocs, 1u);
+}
+
+TEST(Pool, AllocationsAreWritableAndDistinct) {
+  std::vector<void*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    void* p = util::pool_alloc(128);
+    std::memset(p, i, 128);
+    blocks.push_back(p);
+  }
+  std::set<void*> unique(blocks.begin(), blocks.end());
+  EXPECT_EQ(unique.size(), blocks.size());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(static_cast<unsigned char*>(blocks[static_cast<std::size_t>(i)])[127],
+              static_cast<unsigned char>(i));
+  }
+  for (void* p : blocks) util::pool_free(p);
+}
+
+TEST(PayloadBuf, InlineSmallBuffers) {
+  util::PayloadBuf buf;
+  EXPECT_TRUE(buf.empty());
+  std::vector<std::byte> src(util::PayloadBuf::kInlineBytes, std::byte{0x2a});
+  buf.assign(src.data(), src.size());
+  EXPECT_EQ(buf.size(), src.size());
+  EXPECT_FALSE(buf.spilled());  // Exactly kInlineBytes still fits inline.
+  EXPECT_EQ(std::memcmp(buf.data(), src.data(), src.size()), 0);
+}
+
+TEST(PayloadBuf, SpillsLargeBuffersAndMoves) {
+  std::vector<std::byte> src(4096);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i & 0xff);
+  util::PayloadBuf buf;
+  buf.assign(src.data(), src.size());
+  EXPECT_TRUE(buf.spilled());
+  EXPECT_EQ(buf.size(), src.size());
+  EXPECT_EQ(std::memcmp(buf.data(), src.data(), src.size()), 0);
+
+  const void* spill_ptr = buf.data();
+  util::PayloadBuf moved(std::move(buf));
+  EXPECT_EQ(moved.data(), spill_ptr);  // Spill storage moves by pointer swap.
+  EXPECT_EQ(moved.size(), src.size());
+  EXPECT_TRUE(buf.empty());  // NOLINT(bugprone-use-after-move): documented state.
+
+  util::PayloadBuf assigned;
+  assigned.assign(src.data(), 16);
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.size(), src.size());
+  EXPECT_EQ(std::memcmp(assigned.data(), src.data(), src.size()), 0);
+}
+
+TEST(PayloadBuf, ReassignShrinksBackInline) {
+  std::vector<std::byte> big(1024, std::byte{0x11});
+  util::PayloadBuf buf;
+  buf.assign(big.data(), big.size());
+  EXPECT_TRUE(buf.spilled());
+  const std::byte small[4] = {std::byte{1}, std::byte{2}, std::byte{3}, std::byte{4}};
+  buf.assign(small, sizeof small);
+  EXPECT_FALSE(buf.spilled());
+  EXPECT_EQ(buf.size(), sizeof small);
+  EXPECT_EQ(std::memcmp(buf.data(), small, sizeof small), 0);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
 }
 
 }  // namespace

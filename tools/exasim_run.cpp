@@ -17,8 +17,10 @@
 // run M replicates concurrently) and reports per-replicate rows plus
 // mean/stddev statistics. Output is identical for any job count.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "apps/cgproxy.hpp"
 #include "apps/heat3d.hpp"
@@ -35,6 +37,49 @@
 using namespace exasim;
 
 namespace {
+
+/// Hot-path memory/throughput counters (DESIGN.md §9), summed over every
+/// launch of every replicate. Written to stderr: stdout is required to be
+/// byte-identical across --jobs and host speeds, and these numbers are
+/// host-dependent (wall clock) by design.
+void print_perf(const std::vector<const core::RunnerResult*>& results) {
+  std::uint64_t events = 0;
+  double wall = 0;
+  PerfSnapshot p;
+  for (const auto* res : results) {
+    for (const auto& run : res->run_results) {
+      events += run.events_processed;
+      wall += run.wall_seconds;
+      p.pool_allocs += run.perf.pool_allocs;
+      p.pool_recycled += run.perf.pool_recycled;
+      p.pool_heap_allocs += run.perf.pool_heap_allocs;
+      p.pool_slab_bytes += run.perf.pool_slab_bytes;
+      p.stacks_mapped += run.perf.stacks_mapped;
+      p.stacks_reused += run.perf.stacks_reused;
+      p.stacks_high_water = std::max(p.stacks_high_water, run.perf.stacks_high_water);
+    }
+  }
+  if (events == 0 || wall <= 0) return;
+  const double rate = static_cast<double>(events) / wall;
+  std::fprintf(stderr,
+               "perf           : %llu events in %.3f s wall = %.0f events/s (%.1f ns/event)\n",
+               static_cast<unsigned long long>(events), wall, rate, 1e9 / rate);
+  const double recycle_pct =
+      p.pool_allocs > 0
+          ? 100.0 * static_cast<double>(p.pool_recycled) / static_cast<double>(p.pool_allocs)
+          : 0.0;
+  std::fprintf(stderr,
+               "pool           : %llu allocs (%.1f%% recycled), %llu heap "
+               "(%.4f/event), %llu slab KiB\n",
+               static_cast<unsigned long long>(p.pool_allocs), recycle_pct,
+               static_cast<unsigned long long>(p.pool_heap_allocs),
+               static_cast<double>(p.pool_heap_allocs) / static_cast<double>(events),
+               static_cast<unsigned long long>(p.pool_slab_bytes / 1024));
+  std::fprintf(stderr, "stacks         : %llu mapped, %llu reused, high-water %llu\n",
+               static_cast<unsigned long long>(p.stacks_mapped),
+               static_cast<unsigned long long>(p.stacks_reused),
+               static_cast<unsigned long long>(p.stacks_high_water));
+}
 
 int die_usage(const std::string& msg) {
   std::fprintf(stderr, "exasim_run: %s\n\nusage: exasim_run <heat3d|cgproxy|ring> [options]\n%s"
@@ -149,6 +194,13 @@ int main(int argc, char** argv) {
                                       : "-"});
     }
     table.print();
+    {
+      std::vector<const core::RunnerResult*> all;
+      for (std::size_t i = 0; i < plan.item_count(); ++i) {
+        if (outcomes[i].ok()) all.push_back(&*outcomes[i]);
+      }
+      print_perf(all);
+    }
     if (e2.count() > 0) {
       std::printf("E2             : mean %.6f s, stddev %.6f s\n", e2.mean(), e2.stddev());
       std::printf("failures (F)   : mean %.2f, max %.0f\n", f.mean(), f.max());
@@ -178,5 +230,6 @@ int main(int argc, char** argv) {
   if (res.failures > 0) {
     std::printf("MTTF_a         : %.3f s  (= E2/(F+1))\n", res.app_mttf_seconds);
   }
+  print_perf({&res});
   return res.completed ? 0 : 1;
 }
