@@ -1,10 +1,11 @@
 #!/bin/sh
 # Tier-1 verification: full build + test suite, then the thread-safety gate —
-# a ThreadSanitizer build of the experiment executor, PDES engine, and MPI
-# point-to-point tests (the suites that exercise the parallel campaign
-# machinery and the sharded engine end to end). The TSan suites run twice:
-# once as-is and once with EXASIM_SIM_WORKERS=4 so every engine run inside
-# them is forced onto multiple worker threads.
+# a ThreadSanitizer build of the experiment executor, PDES engine, MPI
+# point-to-point, and resilience tests (the suites that exercise the parallel
+# campaign machinery, the sharded engine, and the failure-notification bus
+# end to end). The TSan suites run twice: once as-is and once with
+# EXASIM_SIM_WORKERS=4 so every engine run inside them is forced onto
+# multiple worker threads.
 #
 # Usage: scripts/tier1.sh [jobs]   (jobs defaults to nproc)
 set -eu
@@ -17,22 +18,22 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== tier 1: ThreadSanitizer (test_exp + test_pdes + test_vmpi_p2p) =="
+echo "== tier 1: ThreadSanitizer (test_exp + test_pdes + test_vmpi_p2p + test_resilience) =="
 cmake -B build-tsan -S . -DEXASIM_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_exp test_pdes test_vmpi_p2p
-(cd build-tsan && ctest --output-on-failure -R 'test_exp|test_pdes|test_vmpi_p2p')
+cmake --build build-tsan -j "$JOBS" --target test_exp test_pdes test_vmpi_p2p test_resilience
+(cd build-tsan && ctest --output-on-failure -R 'test_exp|test_pdes|test_vmpi_p2p|test_resilience')
 
 echo "== tier 1: ThreadSanitizer, forced multi-worker engine =="
-(cd build-tsan && EXASIM_SIM_WORKERS=4 ctest --output-on-failure -R 'test_pdes|test_vmpi_p2p')
+(cd build-tsan && EXASIM_SIM_WORKERS=4 ctest --output-on-failure -R 'test_pdes|test_vmpi_p2p|test_resilience')
 
-echo "== tier 1: AddressSanitizer (pool/fiber/engine suites) =="
+echo "== tier 1: AddressSanitizer (pool/fiber/engine/resilience suites) =="
 # Validates the hot-path memory pools: parked payload blocks and recycled
 # fiber stacks are shadow-poisoned, so stale pointers into either trip ASan
 # even though the memory never went back to the system allocator. Runs both
 # pooled and --no-pool configurations via EXASIM_NO_POOL.
 cmake -B build-asan -S . -DEXASIM_ASAN=ON >/dev/null
-cmake --build build-asan -j "$JOBS" --target test_util test_fiber test_pdes test_vmpi_p2p
-(cd build-asan && ctest --output-on-failure -R 'test_util|test_fiber|test_pdes|test_vmpi_p2p')
-(cd build-asan && EXASIM_NO_POOL=1 ctest --output-on-failure -R 'test_util|test_fiber|test_pdes|test_vmpi_p2p')
+cmake --build build-asan -j "$JOBS" --target test_util test_fiber test_pdes test_vmpi_p2p test_resilience
+(cd build-asan && ctest --output-on-failure -R 'test_util|test_fiber|test_pdes|test_vmpi_p2p|test_resilience')
+(cd build-asan && EXASIM_NO_POOL=1 ctest --output-on-failure -R 'test_util|test_fiber|test_pdes|test_vmpi_p2p|test_resilience')
 
 echo "tier 1 OK"

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "core/failure.hpp"
+#include "resilience/detector.hpp"
 #include "util/log.hpp"
 #include "util/parse.hpp"
 #include "util/pool.hpp"
@@ -41,6 +43,9 @@ std::string cli_usage() {
       "  --slowdown=X --ns-per-unit=X\n"
       "  --pfs-bandwidth=B/s --pfs-latency=DUR\n"
       "  --failures=R@T,R@T   (or env EXASIM_FAILURES)\n"
+      "  --failure-detector=paper-instant|timeout|heartbeat[:period=DUR][,miss=N]\n"
+      "                   (or env EXASIM_FAILURE_DETECTOR; when survivors\n"
+      "                    learn of a failure; default paper-instant)\n"
       "  --mttf=DUR --distribution=uniform2m|exponential|weibull\n"
       "  --seed=N --max-restarts=N --stack-bytes=N\n"
       "  --measured-compute --sim-time-file=PATH --verbose\n"
@@ -63,12 +68,17 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::stri
     return std::nullopt;
   };
 
-  // Environment schedule first; an explicit --failures= overrides it
-  // (command line wins over environment, like xSim).
-  if (const char* env = std::getenv(kFailureScheduleEnvVar)) {
-    auto specs = parse_failure_schedule(env);
-    if (!specs) return fail(std::string("malformed ") + kFailureScheduleEnvVar);
-    opts.machine.failures = *specs;
+  // Environment first; explicit flags override (command line wins over
+  // environment, like xSim).
+  {
+    auto schedule = FailureSchedule::from_env();
+    if (!schedule) return fail(std::string("malformed ") + kFailureScheduleEnvVar);
+    opts.machine.failures = schedule->specs();
+  }
+  if (const char* env = std::getenv(resilience::kDetectorEnvVar)) {
+    auto spec = resilience::parse_detector_spec(env);
+    if (!spec) return fail(std::string("malformed ") + resilience::kDetectorEnvVar);
+    opts.machine.detector = *spec;
   }
 
   for (int i = 1; i < argc; ++i) {
@@ -120,9 +130,13 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::stri
       if (!t) return fail("bad --pfs-latency");
       opts.machine.pfs.metadata_latency = *t;
     } else if (key == "failures") {
-      auto specs = parse_failure_schedule(value);
-      if (!specs) return fail("bad --failures");
-      opts.machine.failures = *specs;
+      auto schedule = FailureSchedule::parse(value);
+      if (!schedule) return fail("bad --failures");
+      opts.machine.failures = schedule->specs();
+    } else if (key == "failure-detector") {
+      auto spec = resilience::parse_detector_spec(value);
+      if (!spec) return fail("bad --failure-detector");
+      opts.machine.detector = *spec;
     } else if (key == "mttf") {
       auto t = parse_duration(value);
       if (!t) return fail("bad --mttf");
@@ -181,10 +195,8 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::stri
     opts.machine.topology = "star:" + std::to_string(nodes);
   }
 
-  for (const auto& f : opts.machine.failures) {
-    if (f.rank < 0 || f.rank >= opts.machine.ranks) {
-      return fail("failure schedule rank out of range");
-    }
+  if (auto bad = FailureSchedule(opts.machine.failures).first_invalid_rank(opts.machine.ranks)) {
+    return fail("failure schedule rank out of range: " + std::to_string(*bad));
   }
   return opts;
 }

@@ -1,54 +1,16 @@
 #pragma once
 
-#include <cstdint>
-#include <vector>
+// Compatibility shim: the reliability/failure-schedule machinery moved into
+// the resilience subsystem (src/resilience/schedule.hpp). Core-layer code and
+// applications keep the core:: spellings.
 
-#include "util/parse.hpp"
-#include "util/rng.hpp"
-#include "util/time.hpp"
+#include "resilience/schedule.hpp"
 
 namespace exasim::core {
 
-/// How failure times are drawn for random injection.
-enum class FailureDistribution : std::uint8_t {
-  /// The paper's worst-case scenario (§V-C): time uniform in [0, 2*MTTF),
-  /// one draw per application launch, rank uniform.
-  kUniform2Mttf,
-  /// First arrival of a Poisson process with the given system MTTF.
-  kExponential,
-  /// Weibull with shape 0.7 (infant-mortality-heavy, a common HPC fit)
-  /// scaled so the mean equals the system MTTF.
-  kWeibull,
-};
-
-/// Component-based system reliability model (paper future-work item 2, in
-/// its simplest useful form): the system fails when its least-lucky node
-/// fails; we expose the equivalent single-draw system-level model plus
-/// explicit deterministic schedules.
-class ReliabilityModel {
- public:
-  ReliabilityModel(FailureDistribution dist, SimTime system_mttf, int ranks,
-                   std::uint64_t seed);
-
-  /// Draws the next application launch's failure (rank + time relative to
-  /// launch start). The caller decides whether the time lands inside the
-  /// run. Each call advances the deterministic RNG stream.
-  FailureSpec draw();
-
-  /// Expected failures for an execution of the given length (diagnostics).
-  double expected_failures(SimTime run_length) const;
-
-  SimTime system_mttf() const { return system_mttf_; }
-  FailureDistribution distribution() const { return dist_; }
-
- private:
-  FailureDistribution dist_;
-  SimTime system_mttf_;
-  int ranks_;
-  Rng rng_;
-};
-
-/// Weibull shape used by FailureDistribution::kWeibull.
-inline constexpr double kWeibullShape = 0.7;
+using FailureDistribution = resilience::FailureDistribution;
+using ReliabilityModel = resilience::ReliabilityModel;
+using FailureSchedule = resilience::FailureSchedule;
+using resilience::kWeibullShape;
 
 }  // namespace exasim::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -38,6 +39,24 @@ Machine::Machine(SimConfig config, vmpi::AppMain app)
     network_ = std::make_shared<NetworkModel>(std::move(topo), config_.net);
   }
   fabric_ = std::make_unique<vmpi::Fabric>(network_, config_.ranks_per_node);
+
+  // Resilience pipeline: the detector model decides when each survivor
+  // learns of a failure; the notification bus performs the broadcasts. The
+  // timeout detector consults the fabric's per-pair (per-network-level)
+  // failure timeout; a zero heartbeat period defaults to the network's
+  // largest failure-detection timeout.
+  detector_model_ = resilience::make_detector(
+      config_.detector,
+      [f = fabric_.get()](int observer, int failed) { return f->failure_timeout(observer, failed); },
+      network_->max_failure_timeout());
+  resilience::NotificationBus::Wiring wiring;
+  wiring.engine = &engine_;
+  wiring.ranks = config_.ranks;
+  wiring.detector = detector_model_.get();
+  wiring.failure_kind = vmpi::kEvFailureNotice;
+  wiring.abort_kind = vmpi::kEvAbortNotice;
+  wiring.revoke_kind = vmpi::kEvRevokeNotice;
+  bus_ = std::make_unique<resilience::NotificationBus>(wiring);
   proc_model_ = std::make_unique<ProcessorModel>(config_.proc);
   pfs_model_ = std::make_unique<PfsModel>(config_.pfs);
   if (config_.power) {
@@ -67,6 +86,7 @@ SimResult Machine::run() {
         r, config_.ranks, &engine_, fabric_.get(), proc_model_.get(), this, &registry_, app_,
         config_.process, config_.initial_time);
     proc->context().services = &services_;
+    proc->context().set_error_handler(proc->context().world(), config_.default_error_handler);
     if (energy_) proc->attach_energy(energy_.get());
     if (trace_) proc->attach_trace(trace_.get());
     engine_.add_process(r, proc.get());
@@ -134,6 +154,12 @@ SimResult Machine::run() {
   result.activated_failures = activated_;
   result.abort_time = abort_time_;
   result.abort_origin = abort_origin_;
+  result.detector = resilience::to_string(config_.detector);
+  result.error_policy = resilience::to_string(config_.default_error_handler);
+  const auto det_stats = bus_->detection_stats();
+  result.failure_notices = det_stats.notices;
+  result.max_detection_latency = det_stats.max_latency;
+  result.mean_detection_latency_sec = det_stats.mean_latency_sec();
   result.events_processed = engine_.events_processed();
   result.causality_violations = engine_.causality_violations();
   result.perf = perf_delta(perf_begin, perf_snapshot());
@@ -195,15 +221,9 @@ void Machine::process_failed(vmpi::SimProcess& proc, SimTime when) {
   }
 
   // Simulator-internal broadcast: every simulated process learns the rank
-  // and time of failure (paper §IV-B).
-  for (const auto& p : processes_) {
-    if (p->world_rank() == proc.world_rank()) continue;
-    auto payload = std::make_unique<vmpi::FailureNoticePayload>();
-    payload->failed_rank = proc.world_rank();
-    payload->time_of_failure = when;
-    engine_.schedule(when, p->world_rank(), vmpi::kEvFailureNotice, std::move(payload),
-                     EventPriority::kControl);
-  }
+  // and time of failure (paper §IV-B), delivered at the detector model's
+  // per-observer detection time.
+  bus_->broadcast_failure(proc.world_rank(), when);
 }
 
 void Machine::abort_called(vmpi::SimProcess& proc, SimTime when) {
@@ -219,25 +239,11 @@ void Machine::abort_called(vmpi::SimProcess& proc, SimTime when) {
       abort_origin_ = proc.world_rank();
     }
   }
-  for (const auto& p : processes_) {
-    if (p->world_rank() == proc.world_rank()) continue;
-    auto payload = std::make_unique<vmpi::AbortNoticePayload>();
-    payload->origin_rank = proc.world_rank();
-    payload->time_of_abort = when;
-    engine_.schedule(when, p->world_rank(), vmpi::kEvAbortNotice, std::move(payload),
-                     EventPriority::kControl);
-  }
+  bus_->broadcast_abort(proc.world_rank(), when);
 }
 
 void Machine::comm_revoked(vmpi::SimProcess& proc, int comm_id, SimTime when) {
-  for (const auto& p : processes_) {
-    if (p->world_rank() == proc.world_rank()) continue;
-    auto payload = std::make_unique<vmpi::RevokeNoticePayload>();
-    payload->comm_id = comm_id;
-    payload->time = when;
-    engine_.schedule(when, p->world_rank(), vmpi::kEvRevokeNotice, std::move(payload),
-                     EventPriority::kControl);
-  }
+  bus_->broadcast_revoke(proc.world_rank(), comm_id, when);
 }
 
 void Machine::process_terminated(vmpi::SimProcess& proc) {
@@ -247,6 +253,49 @@ void Machine::process_terminated(vmpi::SimProcess& proc) {
     // (§IV-D) — or finished/failed.
     engine_.request_stop();
   }
+}
+
+std::string sim_result_json(const SimResult& r) {
+  auto outcome_str = [](SimResult::Outcome o) {
+    switch (o) {
+      case SimResult::Outcome::kCompleted: return "completed";
+      case SimResult::Outcome::kAborted: return "aborted";
+      case SimResult::Outcome::kDeadlock: return "deadlock";
+    }
+    return "?";
+  };
+  std::ostringstream os;
+  os << "{";
+  os << "\"outcome\":\"" << outcome_str(r.outcome) << "\",";
+  os << "\"max_end_time_ns\":" << r.max_end_time << ",";
+  os << "\"max_end_time_sec\":" << to_seconds(r.max_end_time) << ",";
+  os << "\"avg_end_time_sec\":" << r.avg_end_time_sec << ",";
+  os << "\"detector\":\"" << r.detector << "\",";
+  os << "\"error_policy\":\"" << r.error_policy << "\",";
+  os << "\"failure_notices\":" << r.failure_notices << ",";
+  os << "\"max_detection_latency_ns\":" << r.max_detection_latency << ",";
+  os << "\"mean_detection_latency_sec\":" << r.mean_detection_latency_sec << ",";
+  os << "\"activated_failures\":[";
+  for (std::size_t i = 0; i < r.activated_failures.size(); ++i) {
+    const auto& f = r.activated_failures[i];
+    os << (i == 0 ? "" : ",") << "{\"rank\":" << f.rank << ",\"time_ns\":" << f.time << "}";
+  }
+  os << "],";
+  if (r.abort_time.has_value()) {
+    os << "\"abort_time_ns\":" << *r.abort_time << ",";
+    os << "\"abort_origin\":" << r.abort_origin << ",";
+  }
+  os << "\"finished\":" << r.finished_count << ",";
+  os << "\"failed\":" << r.failed_count << ",";
+  os << "\"aborted\":" << r.aborted_count << ",";
+  os << "\"deadlocked\":" << r.deadlocked_ranks.size() << ",";
+  os << "\"events_processed\":" << r.events_processed << ",";
+  os << "\"total_energy_joules\":" << r.total_energy_joules << ",";
+  os << "\"compute_fraction\":" << r.compute_fraction << ",";
+  os << "\"wall_seconds\":" << r.wall_seconds << ",";
+  os << "\"events_per_sec\":" << r.events_per_sec;
+  os << "}";
+  return os.str();
 }
 
 std::vector<vmpi::Rank> Machine::alive_world_ranks() const {

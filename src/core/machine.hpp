@@ -16,6 +16,8 @@
 #include "pdes/engine.hpp"
 #include "powermodel/power.hpp"
 #include "procmodel/processor.hpp"
+#include "resilience/bus.hpp"
+#include "resilience/detector.hpp"
 #include "util/parse.hpp"
 #include "util/time.hpp"
 #include "vmpi/process.hpp"
@@ -48,10 +50,19 @@ struct SimConfig {
   vmpi::ProcessConfig process;
 
   /// Injected MPI process failure schedule (rank/time pairs, absolute
-  /// virtual time; paper §IV-B). Also parsable from a string/environment
-  /// variable via exasim::parse_failure_schedule.
+  /// virtual time; paper §IV-B). Owned/derived by resilience::FailureSchedule
+  /// (CLI flag, EXASIM_FAILURES, or reliability-model draws).
   std::vector<FailureSpec> failures;
   std::vector<SoftErrorSpec> soft_errors;
+
+  /// Failure-detector model governing when survivors learn about a failure
+  /// (--failure-detector / EXASIM_FAILURE_DETECTOR). The default paper-instant
+  /// detector reproduces the paper's simulator-internal broadcast exactly.
+  resilience::DetectorSpec detector;
+
+  /// Error-handler policy installed on every process's world communicator at
+  /// startup (paper §IV-D; applications may override per communicator).
+  vmpi::ErrorHandlerKind default_error_handler = vmpi::ErrorHandlerKind::kFatal;
 
   /// Initial virtual clock for every process — the restart-continuity value
   /// read back from a SimTimeFile (paper §IV-E).
@@ -87,6 +98,15 @@ struct SimResult {
   /// Failures that actually activated (rank + *actual* failure time, which
   /// is >= the scheduled time; §IV-B).
   std::vector<FailureSpec> activated_failures;
+
+  /// Resolved resilience configuration (canonical spec strings) and the
+  /// detection-latency accounting from the notification bus: one notice per
+  /// (survivor, failure) pair; latency = delivery time - time of failure.
+  std::string detector;
+  std::string error_policy;
+  std::uint64_t failure_notices = 0;
+  SimTime max_detection_latency = 0;
+  double mean_detection_latency_sec = 0;
 
   /// First MPI_Abort, if any.
   std::optional<SimTime> abort_time;
@@ -126,6 +146,10 @@ struct SimResult {
   /// event — the headline "allocs/event" figure of bench_baseline.sh.
   double heap_allocs_per_event = 0;
 };
+
+/// Serializes a SimResult as a single JSON object (machine-readable run
+/// summary for tooling; exasim_run --result-json).
+std::string sim_result_json(const SimResult& r);
 
 /// Services exposed to simulated applications through Context::services.
 struct Services {
@@ -180,6 +204,8 @@ class Machine final : public vmpi::SystemHooks {
   vmpi::CommRegistry registry_;
   std::shared_ptr<const NetworkModel> network_;
   std::unique_ptr<vmpi::Fabric> fabric_;
+  std::unique_ptr<resilience::DetectorModel> detector_model_;
+  std::unique_ptr<resilience::NotificationBus> bus_;
   std::unique_ptr<ProcessorModel> proc_model_;
   std::unique_ptr<PfsModel> pfs_model_;
   std::unique_ptr<EnergyLedger> energy_;

@@ -34,19 +34,17 @@ RunnerResult ResilientRunner::run() {
     SimConfig cfg = config_.base;
     cfg.initial_time = accumulated;
 
-    // Random failure draw for this launch (paper §V-C: rank uniform, time
-    // uniform within 2*MTTF, applied to each run separately).
-    if (reliability) {
-      FailureSpec f = reliability->draw();
-      f.time += accumulated;  // Relative to launch start.
-      cfg.failures.push_back(f);
-    }
+    // Per-launch failure schedule: one random draw per launch (paper §V-C:
+    // rank uniform, time uniform within 2*MTTF, applied to each run
+    // separately), plus the deterministic first-launch extras; drawn relative
+    // to launch start, then shifted to absolute virtual time (§IV-E).
+    FailureSchedule schedule;
+    if (reliability) schedule.add_draw(*reliability);
     if (launch == 0) {
-      for (FailureSpec f : config_.first_run_failures) {
-        f.time += accumulated;
-        cfg.failures.push_back(f);
-      }
+      for (const FailureSpec& f : config_.first_run_failures) schedule.add(f);
     }
+    schedule.shift(accumulated);
+    cfg.failures = schedule.specs();
 
     Machine machine(std::move(cfg), app_);
     machine.set_checkpoint_store(&store_);

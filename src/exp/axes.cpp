@@ -1,0 +1,22 @@
+#include "exp/axes.hpp"
+
+#include <stdexcept>
+
+namespace exasim::exp {
+
+Axis failure_detector_axis() {
+  Axis axis;
+  axis.name = "failure_detector";
+  for (const auto& d : resilience::list_detectors()) axis.values.push_back(d.name);
+  return axis;
+}
+
+resilience::DetectorSpec detector_spec_for(std::size_t value_index) {
+  const auto& detectors = resilience::list_detectors();
+  if (value_index >= detectors.size()) throw std::out_of_range("detector axis index");
+  auto spec = resilience::parse_detector_spec(detectors[value_index].name);
+  if (!spec) throw std::logic_error("unparsable registered detector name");
+  return *spec;
+}
+
+}  // namespace exasim::exp

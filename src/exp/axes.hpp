@@ -1,0 +1,17 @@
+#pragma once
+
+#include "exp/plan.hpp"
+#include "resilience/detector.hpp"
+
+namespace exasim::exp {
+
+/// The canonical failure-detector axis: one value per registered detector
+/// family (paper-instant, timeout, heartbeat), in registry order. Benches
+/// resolve a point's value with `detector_spec_for(point.at(axis))`.
+Axis failure_detector_axis();
+
+/// DetectorSpec for a failure_detector_axis() value index (defaults for the
+/// parameterized families: heartbeat period auto, miss 3).
+resilience::DetectorSpec detector_spec_for(std::size_t value_index);
+
+}  // namespace exasim::exp

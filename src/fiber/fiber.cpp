@@ -50,6 +50,44 @@ void* __tsan_get_current_fiber(void);
 #define EXASIM_TSAN_FIBER_SWITCH(f) (void)(f)
 #endif
 
+// ---------------------------------------------------------------------------
+// AddressSanitizer fiber support
+//
+// ASan tracks the current thread's stack bounds; switching to a fiber stack
+// behind its back leaves those bounds stale. That is survivable for plain
+// execution, but the moment an exception unwinds on a fiber stack (the
+// process-failure/abort unwind signals of vmpi::SimProcess), the unwinder's
+// __asan_handle_no_return consults the stale bounds and corrupts sanitizer
+// state. The __sanitizer_*_switch_fiber interface publishes every stack
+// switch: start_switch declares the target stack before leaving the current
+// one, finish_switch commits on arrival (and reports the previous bounds,
+// which we keep to switch back). Compiled in only under -fsanitize=address
+// (the EXASIM_ASAN build preset).
+// ---------------------------------------------------------------------------
+#if defined(__SANITIZE_ADDRESS__)
+#define EXASIM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define EXASIM_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(EXASIM_ASAN_FIBERS)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#define EXASIM_ASAN_START_SWITCH(save, bottom, size) \
+  __sanitizer_start_switch_fiber((save), (bottom), (size))
+#define EXASIM_ASAN_FINISH_SWITCH(fake, bottom_old, size_old) \
+  __sanitizer_finish_switch_fiber((fake), (bottom_old), (size_old))
+#else
+#define EXASIM_ASAN_START_SWITCH(save, bottom, size) ((void)0)
+#define EXASIM_ASAN_FINISH_SWITCH(fake, bottom_old, size_old) ((void)0)
+#endif
+
 namespace exasim {
 
 // ---------------------------------------------------------------------------
@@ -71,6 +109,10 @@ struct Fiber::Impl {
   void* caller_sp = nullptr;  ///< Resumer's saved stack pointer while fiber runs.
   void* tsan_fiber = nullptr;   ///< TSan fiber handle (sanitizer builds only).
   void* tsan_caller = nullptr;  ///< TSan handle of the resumer's context.
+  void* asan_self_fake = nullptr;    ///< Fiber's ASan fake stack while suspended.
+  void* asan_caller_fake = nullptr;  ///< Resumer's fake stack while fiber runs.
+  const void* asan_caller_bottom = nullptr;  ///< Resumer's stack bounds, learned
+  std::size_t asan_caller_size = 0;          ///< on each entry into the fiber.
 };
 
 extern "C" void exasim_ctx_switch(void** save_sp, void* load_sp);
@@ -108,6 +150,10 @@ struct Fiber::Impl {
   ucontext_t caller{};
   void* tsan_fiber = nullptr;   ///< TSan fiber handle (sanitizer builds only).
   void* tsan_caller = nullptr;  ///< TSan handle of the resumer's context.
+  void* asan_self_fake = nullptr;    ///< Fiber's ASan fake stack while suspended.
+  void* asan_caller_fake = nullptr;  ///< Resumer's fake stack while fiber runs.
+  const void* asan_caller_bottom = nullptr;  ///< Resumer's stack bounds, learned
+  std::size_t asan_caller_size = 0;          ///< on each entry into the fiber.
 };
 
 #endif
@@ -135,11 +181,24 @@ namespace {
 }  // namespace
 
 void Fiber::run_body_and_exit() {
-  body_();
+  // First instructions on the fiber stack: commit the switch the resumer
+  // started (asan_self_fake is null on first entry) and record where to
+  // switch back to.
+  EXASIM_ASAN_FINISH_SWITCH(impl_->asan_self_fake, &impl_->asan_caller_bottom,
+                            &impl_->asan_caller_size);
+  try {
+    body_();
+  } catch (const Unwind&) {
+    // ~Fiber is draining an abandoned fiber; the unwind already ran the
+    // suspended frames' destructors — just exit the fiber.
+  }
   finished_ = true;
   t_current = nullptr;
   void* dummy = nullptr;
   EXASIM_TSAN_FIBER_SWITCH(impl_->tsan_caller);
+  // Null save slot: the fiber is exiting for good, so ASan may free its fake
+  // stack frames instead of preserving them.
+  EXASIM_ASAN_START_SWITCH(nullptr, impl_->asan_caller_bottom, impl_->asan_caller_size);
   exasim_ctx_switch(&dummy, impl_->caller_sp);
   std::abort();  // Unreachable: a finished fiber is never resumed.
 }
@@ -171,7 +230,9 @@ void Fiber::resume() {
   t_current = this;
   impl_->tsan_caller = EXASIM_TSAN_FIBER_CURRENT();
   EXASIM_TSAN_FIBER_SWITCH(impl_->tsan_fiber);
+  EXASIM_ASAN_START_SWITCH(&impl_->asan_caller_fake, stack_, stack_bytes_);
   exasim_ctx_switch(&impl_->caller_sp, impl_->self_sp);
+  EXASIM_ASAN_FINISH_SWITCH(impl_->asan_caller_fake, nullptr, nullptr);
   // Either the fiber yielded (t_current reset in yield) or finished
   // (t_current reset in run_body_and_exit).
 }
@@ -181,8 +242,13 @@ void Fiber::yield() {
   if (self == nullptr) throw std::logic_error("Fiber::yield outside fiber");
   t_current = nullptr;
   EXASIM_TSAN_FIBER_SWITCH(self->impl_->tsan_caller);
+  EXASIM_ASAN_START_SWITCH(&self->impl_->asan_self_fake, self->impl_->asan_caller_bottom,
+                           self->impl_->asan_caller_size);
   exasim_ctx_switch(&self->impl_->self_sp, self->impl_->caller_sp);
-  // Resumed again.
+  // Resumed again, possibly from a different caller stack than last time.
+  EXASIM_ASAN_FINISH_SWITCH(self->impl_->asan_self_fake, &self->impl_->asan_caller_bottom,
+                            &self->impl_->asan_caller_size);
+  if (self->unwinding_) throw Unwind{};
 }
 
 #else  // ucontext fallback
@@ -239,10 +305,13 @@ void Fiber::resume() {
   t_current = this;
   impl_->tsan_caller = EXASIM_TSAN_FIBER_CURRENT();
   EXASIM_TSAN_FIBER_SWITCH(impl_->tsan_fiber);
+  EXASIM_ASAN_START_SWITCH(&impl_->asan_caller_fake, stack_, stack_bytes_);
   if (::swapcontext(&impl_->caller, &impl_->self) != 0) {
+    EXASIM_ASAN_FINISH_SWITCH(impl_->asan_caller_fake, nullptr, nullptr);
     t_current = nullptr;
     throw std::runtime_error("swapcontext failed");
   }
+  EXASIM_ASAN_FINISH_SWITCH(impl_->asan_caller_fake, nullptr, nullptr);
 }
 
 void Fiber::yield() {
@@ -250,26 +319,52 @@ void Fiber::yield() {
   if (self == nullptr) throw std::logic_error("Fiber::yield outside fiber");
   t_current = nullptr;
   EXASIM_TSAN_FIBER_SWITCH(self->impl_->tsan_caller);
+  EXASIM_ASAN_START_SWITCH(&self->impl_->asan_self_fake, self->impl_->asan_caller_bottom,
+                           self->impl_->asan_caller_size);
   if (::swapcontext(&self->impl_->self, &self->impl_->caller) != 0) {
+    EXASIM_ASAN_FINISH_SWITCH(self->impl_->asan_self_fake, &self->impl_->asan_caller_bottom,
+                              &self->impl_->asan_caller_size);
     throw std::runtime_error("swapcontext failed");
   }
+  // Resumed again, possibly from a different caller stack than last time.
+  EXASIM_ASAN_FINISH_SWITCH(self->impl_->asan_self_fake, &self->impl_->asan_caller_bottom,
+                            &self->impl_->asan_caller_size);
+  if (self->unwinding_) throw Unwind{};
 }
 
 #endif
 
 void Fiber::ucontext_body() {
-  body_();
+  // First statements on the fiber stack: commit the switch the resumer
+  // started (asan_self_fake is null on first entry).
+  EXASIM_ASAN_FINISH_SWITCH(impl_->asan_self_fake, &impl_->asan_caller_bottom,
+                            &impl_->asan_caller_size);
+  try {
+    body_();
+  } catch (const Unwind&) {
+    // ~Fiber is draining an abandoned fiber; the unwind already ran the
+    // suspended frames' destructors — just exit the fiber.
+  }
   finished_ = true;
   t_current = nullptr;
-  // Returning switches to uc_link (the caller) inside libc; tell TSan first.
+  // Returning switches to uc_link (the caller) inside libc; tell the
+  // sanitizers first. Null save slot: the fiber is exiting for good, so ASan
+  // may free its fake stack frames instead of preserving them.
   EXASIM_TSAN_FIBER_SWITCH(impl_->tsan_caller);
+  EXASIM_ASAN_START_SWITCH(nullptr, impl_->asan_caller_bottom, impl_->asan_caller_size);
 }
 
 Fiber::~Fiber() {
-  // Destroying a started-but-unfinished fiber abandons its stack frame; the
-  // stack memory itself is reclaimed here. Simulated process teardown always
-  // drives fibers to completion (or kills them via an unwind exception), so
-  // this is a safety net, not the normal path.
+  // A started-but-unfinished fiber (e.g. a simulated process still blocked
+  // when the run ends in deadlock) holds live objects in its suspended
+  // frames; resume it one last time so yield() throws Unwind and ordinary
+  // stack unwinding releases them. Destroying from inside a fiber cannot
+  // resume another one, so there the frame is abandoned (stack memory is
+  // still reclaimed below).
+  if (started_ && !finished_ && t_current == nullptr) {
+    unwinding_ = true;
+    resume();
+  }
   EXASIM_TSAN_FIBER_DESTROY(impl_->tsan_fiber);
   if (stack_ != nullptr) {
     FiberStackPool::instance().release(

@@ -36,8 +36,19 @@ class Fiber {
  public:
   using Body = std::function<void()>;
 
+  /// Thrown through a suspended fiber's frames when the fiber is destroyed
+  /// before its body finished (see ~Fiber), so frame-held resources are
+  /// released by ordinary stack unwinding. The entry trampoline catches it;
+  /// bodies must let it propagate (don't swallow it in a catch(...)).
+  struct Unwind {};
+
   /// stack_bytes is rounded up to the page size; minimum 16 KiB.
   explicit Fiber(Body body, std::size_t stack_bytes = 128 * 1024);
+
+  /// If the fiber started but never finished, resumes it one last time with
+  /// the unwind flag set: yield() throws Unwind, destructors in the
+  /// suspended frames run, and the body exits. Skipped when called from
+  /// inside a fiber (the stack frame is then abandoned unreleased).
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
@@ -73,6 +84,7 @@ class Fiber {
   bool stack_guarded_ = false;  ///< Guard page below stack_ (FiberStackPool).
   bool started_ = false;
   bool finished_ = false;
+  bool unwinding_ = false;  ///< Set by ~Fiber; makes yield() throw Unwind.
 };
 
 }  // namespace exasim

@@ -1,5 +1,6 @@
 #include "netmodel/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -86,6 +87,11 @@ SimTime HierarchicalNetwork::delivery_time_ranks(int src_rank, int dst_rank,
 
 SimTime HierarchicalNetwork::failure_timeout(int src, int dst) const {
   return params_for(level_for(src, dst)).failure_timeout;
+}
+
+SimTime HierarchicalNetwork::max_failure_timeout() const {
+  return std::max({params_.failure_timeout, on_node_.failure_timeout,
+                   on_chip_.failure_timeout});
 }
 
 }  // namespace exasim

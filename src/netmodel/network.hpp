@@ -55,6 +55,12 @@ class NetworkModel {
   /// Failure-detection timeout for the (src, dst) pair.
   virtual SimTime failure_timeout(int src, int dst) const;
 
+  /// Largest failure-detection timeout across all network levels — the
+  /// conservative system-wide detection bound. Used by the resilience layer
+  /// as the default heartbeat period (a heartbeat slower than the worst-case
+  /// timeout would detect later than the timeout detector).
+  virtual SimTime max_failure_timeout() const { return params_.failure_timeout; }
+
   /// Lower bound on the delivery time of any message between two distinct
   /// nodes (o + at least one hop of L, with zero payload) — the engine's
   /// conservative-window lookahead: no cross-node event scheduled at virtual
@@ -95,6 +101,7 @@ class HierarchicalNetwork final : public NetworkModel {
 
   SimTime delivery_time_ranks(int src_rank, int dst_rank, std::size_t bytes) const;
   SimTime failure_timeout(int src, int dst) const override;
+  SimTime max_failure_timeout() const override;
 
  private:
   NetworkParams on_node_;

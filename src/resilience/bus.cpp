@@ -1,0 +1,67 @@
+#include "resilience/bus.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace exasim::resilience {
+
+NotificationBus::NotificationBus(Wiring wiring) : wiring_(wiring) {
+  if (wiring_.engine == nullptr) throw std::invalid_argument("null engine");
+  if (wiring_.ranks <= 0) throw std::invalid_argument("ranks <= 0");
+}
+
+void NotificationBus::broadcast_failure(int failed_rank, SimTime t_fail) {
+  SimTime max_latency = 0;
+  double total_latency_sec = 0;
+  std::uint64_t notices = 0;
+  for (int rank = 0; rank < wiring_.ranks; ++rank) {
+    if (rank == failed_rank) continue;
+    const SimTime detect = wiring_.detector != nullptr
+                               ? wiring_.detector->detection_time(rank, failed_rank, t_fail)
+                               : t_fail;
+    auto payload = std::make_unique<FailureNoticePayload>();
+    payload->failed_rank = failed_rank;
+    payload->time_of_failure = t_fail;
+    payload->detect_time = detect;
+    wiring_.engine->schedule(detect, rank, wiring_.failure_kind, std::move(payload),
+                             EventPriority::kControl);
+    const SimTime latency = detect - t_fail;
+    max_latency = std::max(max_latency, latency);
+    total_latency_sec += to_seconds(latency);
+    ++notices;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.notices += notices;
+  stats_.max_latency = std::max(stats_.max_latency, max_latency);
+  stats_.total_latency_sec += total_latency_sec;
+}
+
+void NotificationBus::broadcast_abort(int origin_rank, SimTime t_abort) {
+  for (int rank = 0; rank < wiring_.ranks; ++rank) {
+    if (rank == origin_rank) continue;
+    auto payload = std::make_unique<AbortNoticePayload>();
+    payload->origin_rank = origin_rank;
+    payload->time_of_abort = t_abort;
+    wiring_.engine->schedule(t_abort, rank, wiring_.abort_kind, std::move(payload),
+                             EventPriority::kControl);
+  }
+}
+
+void NotificationBus::broadcast_revoke(int origin_rank, int comm_id, SimTime when) {
+  for (int rank = 0; rank < wiring_.ranks; ++rank) {
+    if (rank == origin_rank) continue;
+    auto payload = std::make_unique<RevokeNoticePayload>();
+    payload->comm_id = comm_id;
+    payload->time = when;
+    wiring_.engine->schedule(when, rank, wiring_.revoke_kind, std::move(payload),
+                             EventPriority::kControl);
+  }
+}
+
+NotificationBus::DetectionStats NotificationBus::detection_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace exasim::resilience

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "pdes/engine.hpp"
+#include "resilience/detector.hpp"
+#include "resilience/notice.hpp"
+#include "util/time.hpp"
+
+namespace exasim::resilience {
+
+/// Carries the simulator-internal failure/abort/revoke notices to every
+/// simulated process (paper §IV-B/§IV-D/§VI), replacing the ad-hoc payload
+/// broadcasts that used to live in core::Machine.
+///
+/// Ordering contract: one broadcast schedules its notices in ascending rank
+/// order from the LP whose handler is running, at EventPriority::kControl.
+/// The engine's (time, priority, source LP, per-source seq) key therefore
+/// delivers same-time notices in rank order, and — because the key is
+/// partition-independent — the delivery order is identical for every
+/// `--sim-workers` setting. Failure notices are delivered at the detector
+/// model's per-observer detection time (>= the failure time); abort and
+/// revoke notices at the event time itself, as in the paper.
+class NotificationBus {
+ public:
+  struct Wiring {
+    Engine* engine = nullptr;
+    int ranks = 0;
+    /// Delivery-time model for failure notices; nullptr = instant.
+    const DetectorModel* detector = nullptr;
+    /// Event kinds the MPI layer dispatches on (vmpi::kEvFailureNotice etc.
+    /// — passed as ints so this library stays below vmpi in the link order).
+    int failure_kind = 0;
+    int abort_kind = 0;
+    int revoke_kind = 0;
+  };
+
+  explicit NotificationBus(Wiring wiring);
+
+  /// Broadcasts a failure notice to every rank except the failed one; each
+  /// observer's notice is delivered at detector->detection_time(...).
+  void broadcast_failure(int failed_rank, SimTime t_fail);
+  /// Broadcasts an abort notice to every rank except the origin.
+  void broadcast_abort(int origin_rank, SimTime t_abort);
+  /// Broadcasts a ULFM revoke notice to every rank except the origin.
+  void broadcast_revoke(int origin_rank, int comm_id, SimTime when);
+
+  /// Detection-latency accounting over all failure notices broadcast so far
+  /// (latency = detect_time - time_of_failure per observer). Thread-safe:
+  /// broadcasts run on whichever engine worker owns the reporting LP group.
+  struct DetectionStats {
+    std::uint64_t notices = 0;
+    SimTime max_latency = 0;
+    double total_latency_sec = 0;
+    double mean_latency_sec() const {
+      return notices == 0 ? 0.0 : total_latency_sec / static_cast<double>(notices);
+    }
+  };
+  DetectionStats detection_stats() const;
+
+ private:
+  Wiring wiring_;
+  mutable std::mutex stats_mutex_;
+  DetectionStats stats_;
+};
+
+}  // namespace exasim::resilience

@@ -1,0 +1,155 @@
+#include "resilience/detector.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/parse.hpp"
+
+namespace exasim::resilience {
+
+std::optional<DetectorSpec> parse_detector_spec(const std::string& text) {
+  DetectorSpec spec;
+  std::string head = text;
+  std::string opts;
+  if (auto colon = text.find(':'); colon != std::string::npos) {
+    head = text.substr(0, colon);
+    opts = text.substr(colon + 1);
+  }
+
+  if (head == "paper-instant") {
+    spec.kind = DetectorKind::kPaperInstant;
+  } else if (head == "timeout") {
+    spec.kind = DetectorKind::kTimeout;
+  } else if (head == "heartbeat") {
+    spec.kind = DetectorKind::kHeartbeat;
+  } else {
+    return std::nullopt;
+  }
+  if (opts.empty()) return spec;
+  if (spec.kind != DetectorKind::kHeartbeat) return std::nullopt;  // No options.
+
+  std::size_t pos = 0;
+  while (pos < opts.size()) {
+    std::size_t comma = opts.find(',', pos);
+    if (comma == std::string::npos) comma = opts.size();
+    const std::string item = opts.substr(pos, comma - pos);
+    pos = comma + 1;
+
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "period") {
+      if (value == "auto") {
+        spec.heartbeat_period = 0;  // Resolved to the network timeout later.
+        continue;
+      }
+      auto t = parse_duration(value);
+      if (!t || *t == 0) return std::nullopt;
+      spec.heartbeat_period = *t;
+    } else if (key == "miss") {
+      try {
+        std::size_t used = 0;
+        const long n = std::stol(value, &used);
+        if (used != value.size() || n < 1) return std::nullopt;
+        spec.heartbeat_miss = static_cast<int>(n);
+      } catch (...) {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  return spec;
+}
+
+namespace {
+
+/// Canonical duration spelling ("100ms", "2s", "750ns") that
+/// parse_detector_spec reads back — unlike the human-facing format_sim_time,
+/// which inserts spaces and fixed decimals.
+std::string canonical_duration(SimTime t) {
+  if (t >= sim_seconds(1.0) && t % sim_seconds(1.0) == 0) {
+    return std::to_string(t / sim_seconds(1.0)) + "s";
+  }
+  if (t >= sim_ms(1) && t % sim_ms(1) == 0) return std::to_string(t / sim_ms(1)) + "ms";
+  if (t >= sim_us(1) && t % sim_us(1) == 0) return std::to_string(t / sim_us(1)) + "us";
+  return std::to_string(t) + "ns";
+}
+
+}  // namespace
+
+std::string to_string(const DetectorSpec& spec) {
+  switch (spec.kind) {
+    case DetectorKind::kPaperInstant:
+      return "paper-instant";
+    case DetectorKind::kTimeout:
+      return "timeout";
+    case DetectorKind::kHeartbeat: {
+      std::string out = "heartbeat:period=";
+      out += spec.heartbeat_period == 0 ? std::string("auto")
+                                        : canonical_duration(spec.heartbeat_period);
+      out += ",miss=" + std::to_string(spec.heartbeat_miss);
+      return out;
+    }
+  }
+  return "?";
+}
+
+const std::vector<DetectorInfo>& list_detectors() {
+  static const std::vector<DetectorInfo> infos = {
+      {"paper-instant",
+       "simulator-internal broadcast at the failure time (paper SIV-B, default)"},
+      {"timeout",
+       "notice after the per-pair network failure-detection timeout (paper SIV-C)"},
+      {"heartbeat",
+       "declared dead after N missed heartbeats; options :period=DUR,miss=N "
+       "(default period=network timeout, miss=3)"},
+  };
+  return infos;
+}
+
+SimTime InstantDetector::detection_time(int observer, int failed, SimTime t_fail) const {
+  (void)observer;
+  (void)failed;
+  return t_fail;
+}
+
+TimeoutDetector::TimeoutDetector(PairTimeoutFn pair_timeout)
+    : pair_timeout_(std::move(pair_timeout)) {
+  if (!pair_timeout_) throw std::invalid_argument("null pair timeout");
+}
+
+SimTime TimeoutDetector::detection_time(int observer, int failed, SimTime t_fail) const {
+  return t_fail + pair_timeout_(observer, failed);
+}
+
+HeartbeatDetector::HeartbeatDetector(SimTime period, int miss) : period_(period), miss_(miss) {
+  if (period_ == 0) throw std::invalid_argument("zero heartbeat period");
+  if (miss_ < 1) throw std::invalid_argument("heartbeat miss < 1");
+}
+
+SimTime HeartbeatDetector::detection_time(int observer, int failed, SimTime t_fail) const {
+  (void)observer;
+  (void)failed;
+  return (t_fail / period_ + static_cast<SimTime>(miss_)) * period_;
+}
+
+std::unique_ptr<DetectorModel> make_detector(const DetectorSpec& spec,
+                                             PairTimeoutFn pair_timeout,
+                                             SimTime default_heartbeat_period) {
+  switch (spec.kind) {
+    case DetectorKind::kPaperInstant:
+      return std::make_unique<InstantDetector>();
+    case DetectorKind::kTimeout:
+      return std::make_unique<TimeoutDetector>(std::move(pair_timeout));
+    case DetectorKind::kHeartbeat: {
+      const SimTime period =
+          spec.heartbeat_period != 0 ? spec.heartbeat_period : default_heartbeat_period;
+      return std::make_unique<HeartbeatDetector>(period, spec.heartbeat_miss);
+    }
+  }
+  throw std::invalid_argument("bad detector kind");
+}
+
+}  // namespace exasim::resilience

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace exasim::resilience {
+
+/// Failure-detector families (the pipeline stage between a process failure
+/// and the moment each survivor learns about it):
+///
+///  - kPaperInstant: xSim's simulator-internal broadcast — every survivor is
+///    notified at the failure time itself (paper §IV-B). Zero detection
+///    latency; the observable failure semantics are produced entirely by the
+///    per-request communication timeouts of §IV-C. The default.
+///  - kTimeout: the notice reaches each observer one network failure-detection
+///    timeout after the failure, using the per-pair timeout of the network
+///    level connecting observer and failed rank (§IV-C: "each simulated
+///    network ... has its own network communication timeout").
+///  - kHeartbeat: the failed process emits heartbeats every `period`; an
+///    observer declares it dead after `miss` consecutive missed beats, giving
+///    a detection latency between (miss-1) and miss periods (the
+///    fault-scenario literature's model of real deployed detectors).
+enum class DetectorKind : std::uint8_t { kPaperInstant, kTimeout, kHeartbeat };
+
+/// Parsed `--failure-detector` configuration. heartbeat_period == 0 means
+/// "derive from the network": the machine substitutes the network model's
+/// largest failure-detection timeout as the period.
+struct DetectorSpec {
+  DetectorKind kind = DetectorKind::kPaperInstant;
+  SimTime heartbeat_period = 0;
+  int heartbeat_miss = 3;
+
+  friend bool operator==(const DetectorSpec&, const DetectorSpec&) = default;
+};
+
+/// Grammar: `paper-instant` | `timeout` | `heartbeat[:period=DUR][,miss=N]`
+/// (options separated by ',' after a ':'). Returns nullopt on malformed text.
+std::optional<DetectorSpec> parse_detector_spec(const std::string& text);
+
+/// Canonical round-trippable form, e.g. "heartbeat:period=100ms,miss=3".
+std::string to_string(const DetectorSpec& spec);
+
+/// Environment variable consulted when no --failure-detector is given.
+inline constexpr const char* kDetectorEnvVar = "EXASIM_FAILURE_DETECTOR";
+
+/// One row of `exasim_run --list-failure-detectors`.
+struct DetectorInfo {
+  std::string name;
+  std::string summary;
+};
+const std::vector<DetectorInfo>& list_detectors();
+
+/// Per-pair failure-detection timeout supplied by the layer that owns the
+/// network model (core wires Fabric::failure_timeout in) — keeps this library
+/// below vmpi/core in the link order.
+using PairTimeoutFn = std::function<SimTime(int observer_rank, int failed_rank)>;
+
+/// A detector model answers one question: at what virtual time does
+/// `observer` learn that `failed` died at `t_fail`? The NotificationBus uses
+/// the answer as the delivery time of the failure notice. Implementations
+/// must be pure functions of their arguments (no internal state): the bus
+/// may invoke them from any engine worker thread, and determinism across
+/// `--sim-workers` settings depends on it.
+class DetectorModel {
+ public:
+  virtual ~DetectorModel() = default;
+  virtual const char* name() const = 0;
+  /// Must return a time >= t_fail (a notice cannot precede the failure).
+  virtual SimTime detection_time(int observer, int failed, SimTime t_fail) const = 0;
+};
+
+/// paper-instant: detection_time == t_fail.
+class InstantDetector final : public DetectorModel {
+ public:
+  const char* name() const override { return "paper-instant"; }
+  SimTime detection_time(int observer, int failed, SimTime t_fail) const override;
+};
+
+/// timeout: detection_time == t_fail + pair_timeout(observer, failed).
+class TimeoutDetector final : public DetectorModel {
+ public:
+  explicit TimeoutDetector(PairTimeoutFn pair_timeout);
+  const char* name() const override { return "timeout"; }
+  SimTime detection_time(int observer, int failed, SimTime t_fail) const override;
+
+ private:
+  PairTimeoutFn pair_timeout_;
+};
+
+/// heartbeat: the failed process's last beat is at the last period boundary
+/// at/before t_fail; the observer declares death after `miss` missed beats:
+/// detection_time == (floor(t_fail / period) + miss) * period.
+class HeartbeatDetector final : public DetectorModel {
+ public:
+  HeartbeatDetector(SimTime period, int miss);
+  const char* name() const override { return "heartbeat"; }
+  SimTime detection_time(int observer, int failed, SimTime t_fail) const override;
+
+  SimTime period() const { return period_; }
+  int miss() const { return miss_; }
+
+ private:
+  SimTime period_;
+  int miss_;
+};
+
+/// Builds the detector for a spec. `pair_timeout` feeds the timeout detector;
+/// `default_heartbeat_period` replaces a zero heartbeat_period (callers pass
+/// the network's largest failure-detection timeout).
+std::unique_ptr<DetectorModel> make_detector(const DetectorSpec& spec,
+                                             PairTimeoutFn pair_timeout,
+                                             SimTime default_heartbeat_period);
+
+}  // namespace exasim::resilience

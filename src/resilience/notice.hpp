@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "pdes/event.hpp"
+#include "util/time.hpp"
+
+namespace exasim::resilience {
+
+/// Typed payloads for the simulator-internal resilience notices carried by
+/// the NotificationBus (paper §IV-B: "each simulated MPI process is notified
+/// using a simulator-internal broadcast mechanism"; §IV-D for aborts; §VI for
+/// ULFM revocation). The simulated MPI layer aliases these into its own
+/// namespace and dispatches on its event kinds; the bus itself only needs the
+/// engine, which is why these live below vmpi in the layering.
+struct FailureNoticePayload final : EventPayload {
+  int failed_rank = -1;
+  /// Actual virtual time the process failed (>= its scheduled time, §IV-B).
+  SimTime time_of_failure = 0;
+  /// Virtual time this observer's detector declared the failure — equal to
+  /// time_of_failure for the paper's instant detector, later for timeout or
+  /// heartbeat detection. The notice event itself is delivered at this time.
+  SimTime detect_time = 0;
+};
+
+struct AbortNoticePayload final : EventPayload {
+  int origin_rank = -1;
+  SimTime time_of_abort = 0;
+};
+
+struct RevokeNoticePayload final : EventPayload {
+  int comm_id = 0;
+  SimTime time = 0;
+};
+
+}  // namespace exasim::resilience

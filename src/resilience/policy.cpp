@@ -1,0 +1,26 @@
+#include "resilience/policy.hpp"
+
+namespace exasim::resilience {
+
+std::string to_string(ErrorPolicy p) {
+  switch (p) {
+    case ErrorPolicy::kFatal: return "errors-are-fatal";
+    case ErrorPolicy::kReturn: return "errors-return";
+    case ErrorPolicy::kUser: return "user-handler";
+  }
+  return "?";
+}
+
+ErrorAction ErrorHandlerPolicy::dispatch(ErrorPolicy policy, bool has_user_handler) {
+  switch (policy) {
+    case ErrorPolicy::kFatal:
+      return ErrorAction::kAbort;
+    case ErrorPolicy::kUser:
+      return has_user_handler ? ErrorAction::kInvokeUserThenReturn : ErrorAction::kReturn;
+    case ErrorPolicy::kReturn:
+      return ErrorAction::kReturn;
+  }
+  return ErrorAction::kReturn;
+}
+
+}  // namespace exasim::resilience

@@ -1,9 +1,10 @@
-#include "core/failure.hpp"
+#include "resilience/schedule.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
-namespace exasim::core {
+namespace exasim::resilience {
 
 ReliabilityModel::ReliabilityModel(FailureDistribution dist, SimTime system_mttf, int ranks,
                                    std::uint64_t seed)
@@ -49,4 +50,27 @@ double ReliabilityModel::expected_failures(SimTime run_length) const {
   return 0;
 }
 
-}  // namespace exasim::core
+std::optional<FailureSchedule> FailureSchedule::parse(const std::string& text) {
+  auto specs = parse_failure_schedule(text);
+  if (!specs) return std::nullopt;
+  return FailureSchedule(std::move(*specs));
+}
+
+std::optional<FailureSchedule> FailureSchedule::from_env(const char* var) {
+  const char* env = std::getenv(var);
+  if (env == nullptr) return FailureSchedule{};
+  return parse(env);
+}
+
+void FailureSchedule::shift(SimTime offset) {
+  for (auto& f : specs_) f.time += offset;
+}
+
+std::optional<int> FailureSchedule::first_invalid_rank(int ranks) const {
+  for (const auto& f : specs_) {
+    if (f.rank < 0 || f.rank >= ranks) return f.rank;
+  }
+  return std::nullopt;
+}
+
+}  // namespace exasim::resilience

@@ -91,7 +91,9 @@ Err tree_bcast(SimProcess& p, Context& ctx, Comm& comm, Rank root, void* data,
   return Err::kSuccess;
 }
 
-/// Binomial reduce to `root` (commutative ops). `out` holds the local
+/// Binomial reduce to `root`. Combines contributions in mask order, so it is
+/// only valid for commutative ops — callers must check is_commutative(op)
+/// and fall back to the linear algorithm otherwise. `out` holds the local
 /// contribution on entry at every rank; on exit the root holds the result.
 Err tree_reduce(SimProcess& p, Comm& comm, Rank root, ReduceOp op, Dtype dtype, void* out,
                 std::size_t count, int tag) {
@@ -182,7 +184,10 @@ Err Context::reduce(Comm& comm, Rank root, ReduceOp op, Dtype dtype, const void*
   const int tag = coll_tag(comm, 0);
 
   Err e = Err::kSuccess;
-  if (proc_->config().collective_algo == CollectiveAlgo::kBinomialTree) {
+  // Non-commutative ops (kReplace) combine in rank order, which the binomial
+  // tree does not preserve — they always take the linear algorithm.
+  if (proc_->config().collective_algo == CollectiveAlgo::kBinomialTree &&
+      is_commutative(op)) {
     // Every rank seeds `out` with its contribution; the tree folds upward.
     if (out != nullptr && in != nullptr) std::memcpy(out, in, bytes);
     std::vector<std::byte> scratch;

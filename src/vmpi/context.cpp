@@ -173,7 +173,11 @@ void Context::finalize() {
 
 void Context::abort() { proc_->abort_now(); }
 
-void Context::inject_failure_at(SimTime t) { proc_->set_time_of_failure(t); }
+void Context::inject_failure_at(SimTime t) { proc_->inject_failure_at(t); }
+
+void Context::inject_failure(SimTime delay) {
+  proc_->inject_failure_at(proc_->clock() + delay);
+}
 
 void Context::fail_now() { proc_->fail_now(); }
 

@@ -128,6 +128,9 @@ class Context {
   /// process's failure at virtual time t (>= current clock fires at the next
   /// clock update; pass now() to fail immediately at the next update).
   void inject_failure_at(SimTime t);
+  /// Programmatic injection relative to now: schedules this process's failure
+  /// `delay` after the current clock (delay 0 fires at the next clock update).
+  void inject_failure(SimTime delay = 0);
   /// Fails this process right now. Does not return.
   [[noreturn]] void fail_now();
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "pdes/event.hpp"
+#include "resilience/notice.hpp"
 #include "util/pool.hpp"
 #include "util/time.hpp"
 #include "vmpi/types.hpp"
@@ -55,25 +56,17 @@ struct DataPayload final : EventPayload {
   std::size_t bytes = 0;
 };
 
-struct FailureNoticePayload final : EventPayload {
-  Rank failed_rank = -1;
-  SimTime time_of_failure = 0;
-};
-
-struct AbortNoticePayload final : EventPayload {
-  Rank origin_rank = -1;
-  SimTime time_of_abort = 0;
-};
+// Failure/abort/revoke notices are owned by the resilience subsystem (the
+// NotificationBus schedules them); aliased here so the MPI layer's event
+// dispatch reads naturally.
+using FailureNoticePayload = resilience::FailureNoticePayload;
+using AbortNoticePayload = resilience::AbortNoticePayload;
+using RevokeNoticePayload = resilience::RevokeNoticePayload;
 
 struct ErrorWakeupPayload final : EventPayload {
   std::uint64_t request_serial = 0;
   Err error = Err::kProcFailed;
   SimTime error_time = 0;  ///< Virtual time at which the request fails.
-};
-
-struct RevokeNoticePayload final : EventPayload {
-  int comm_id = 0;
-  SimTime time = 0;
 };
 
 /// A message sitting in a process's unexpected queue (arrived before a

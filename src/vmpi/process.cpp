@@ -7,6 +7,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "resilience/policy.hpp"
 #include "util/log.hpp"
 #include "util/parse.hpp"
 #include "vmpi/context.hpp"
@@ -95,14 +96,14 @@ void SimProcess::run_fiber() {
 
 void SimProcess::block_until(const std::function<bool()>& ready) {
   for (;;) {
-    if (forced_failure_ != kSimTimeNever) {
-      clock_ = std::max(clock_, forced_failure_);
-      forced_failure_ = kSimTimeNever;
+    if (fault_.forced_failure != kSimTimeNever) {
+      clock_ = std::max(clock_, fault_.forced_failure);
+      fault_.forced_failure = kSimTimeNever;
       throw ProcessFailedSignal{};
     }
-    if (forced_abort_ != kSimTimeNever) {
-      clock_ = std::max(clock_, forced_abort_);
-      forced_abort_ = kSimTimeNever;
+    if (fault_.forced_abort != kSimTimeNever) {
+      clock_ = std::max(clock_, fault_.forced_abort);
+      fault_.forced_abort = kSimTimeNever;
       throw ProcessAbortSignal{};
     }
     if (ready()) return;
@@ -138,58 +139,22 @@ void SimProcess::advance_clock(SimTime dt, bool busy) {
     }
   }
   clock_ += dt;
-  if (!pending_flips_.empty()) apply_due_bit_flips();
+  if (soft_errors_.pending()) soft_errors_.apply_due(clock_);
   check_signals();
 }
 
 void SimProcess::register_memory(const std::string& name, void* ptr, std::size_t bytes) {
-  for (auto& r : mem_regions_) {
-    if (r.name == name) {
-      r.ptr = ptr;
-      r.bytes = bytes;
-      return;
-    }
-  }
-  mem_regions_.push_back(MemRegion{name, ptr, bytes});
+  soft_errors_.register_region(name, ptr, bytes);
 }
 
 void SimProcess::unregister_memory(const std::string& name) {
-  std::erase_if(mem_regions_, [&](const MemRegion& r) { return r.name == name; });
+  soft_errors_.unregister_region(name);
 }
 
-std::size_t SimProcess::registered_bytes() const {
-  std::size_t total = 0;
-  for (const auto& r : mem_regions_) total += r.bytes;
-  return total;
-}
+std::size_t SimProcess::registered_bytes() const { return soft_errors_.registered_bytes(); }
 
 void SimProcess::schedule_bit_flip(SimTime t, std::uint64_t bit_index) {
-  pending_flips_.push_back(PendingFlip{t, bit_index, next_flip_seq_++});
-  std::push_heap(pending_flips_.begin(), pending_flips_.end(), flip_after);
-}
-
-void SimProcess::apply_due_bit_flips() {
-  while (!pending_flips_.empty() && clock_ >= pending_flips_.front().time) {
-    std::pop_heap(pending_flips_.begin(), pending_flips_.end(), flip_after);
-    const PendingFlip flip = pending_flips_.back();
-    pending_flips_.pop_back();
-    const std::size_t total_bits = registered_bytes() * 8;
-    if (total_bits == 0) {
-      ++flips_dropped_;
-      continue;
-    }
-    std::uint64_t bit = flip.bit_index % total_bits;
-    for (auto& region : mem_regions_) {
-      const std::uint64_t region_bits = static_cast<std::uint64_t>(region.bytes) * 8;
-      if (bit < region_bits) {
-        auto* bytes = static_cast<unsigned char*>(region.ptr);
-        bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
-        ++flips_applied_;
-        break;
-      }
-      bit -= region_bits;
-    }
-  }
+  soft_errors_.schedule_flip(t, bit_index);
 }
 
 void SimProcess::raise_clock_to(SimTime t, bool busy) {
@@ -198,12 +163,12 @@ void SimProcess::raise_clock_to(SimTime t, bool busy) {
 
 void SimProcess::check_signals() {
   // Failure takes precedence over abort at the same activation point.
-  if (clock_ >= time_of_failure_) throw ProcessFailedSignal{};
-  if (clock_ >= pending_abort_) throw ProcessAbortSignal{};
+  if (clock_ >= fault_.time_of_failure) throw ProcessFailedSignal{};
+  if (clock_ >= fault_.pending_abort) throw ProcessAbortSignal{};
 }
 
 void SimProcess::fail_now() {
-  time_of_failure_ = std::min(time_of_failure_, clock_);
+  fault_.time_of_failure = std::min(fault_.time_of_failure, clock_);
   throw ProcessFailedSignal{};
 }
 
@@ -216,13 +181,15 @@ void SimProcess::abort_now() {
 
 Err SimProcess::apply_error_handler(Comm& comm, Err e) {
   if (e == Err::kSuccess) return e;
-  switch (comm.handler) {
-    case ErrorHandlerKind::kFatal:
+  using resilience::ErrorAction;
+  switch (resilience::ErrorHandlerPolicy::dispatch(comm.handler,
+                                                   static_cast<bool>(comm.user_handler))) {
+    case ErrorAction::kAbort:
       abort_now();  // does not return
-    case ErrorHandlerKind::kUser:
-      if (comm.user_handler) comm.user_handler(*context_, comm, e);
+    case ErrorAction::kInvokeUserThenReturn:
+      comm.user_handler(*context_, comm, e);
       return e;
-    case ErrorHandlerKind::kReturn:
+    case ErrorAction::kReturn:
       return e;
   }
   return e;
@@ -325,10 +292,16 @@ void SimProcess::handle_data(DataPayload& p, SimTime t) {
   }
 }
 
+void SimProcess::inject_failure_at(SimTime t) {
+  const SimTime when = std::max(t, clock_);
+  fault_.time_of_failure = std::min(fault_.time_of_failure, when);
+  engine_->schedule(when, world_rank_, kEvFailureActivation, nullptr, EventPriority::kControl);
+}
+
 void SimProcess::handle_failure_activation(SimTime t) {
   // The scheduled time is the *earliest* failure time; the process actually
   // fails when the simulator has control with clock >= that time (§IV-B).
-  if (time_of_failure_ == kSimTimeNever) time_of_failure_ = t;
+  if (fault_.time_of_failure == kSimTimeNever) fault_.time_of_failure = t;
   if (!started_) {
     // Failure before the process ever ran.
     terminate(ProcOutcome::kFailed, std::max(clock_, t));
@@ -337,17 +310,17 @@ void SimProcess::handle_failure_activation(SimTime t) {
   // The process is blocked (a started, non-terminated process is always
   // parked in block_until between events). Force the unwind at
   // max(clock, scheduled time).
-  forced_failure_ = std::max(clock_, t);
+  fault_.forced_failure = std::max(clock_, t);
   run_fiber();
 }
 
 void SimProcess::handle_failure_notice(FailureNoticePayload& p, SimTime t) {
   (void)t;
-  failed_peers_[p.failed_rank] = p.time_of_failure;
-  fail_requests_on_notice(p.failed_rank, p.time_of_failure);
+  fault_.record_peer_failure(p.failed_rank, p.time_of_failure, p.detect_time);
+  fail_requests_on_notice(p.failed_rank, p.time_of_failure, p.detect_time);
 }
 
-void SimProcess::fail_requests_on_notice(Rank failed_rank, SimTime t_fail) {
+void SimProcess::fail_requests_on_notice(Rank failed_rank, SimTime t_fail, SimTime t_detect) {
   // Release (and fail) blocked requests involving the failed process after a
   // simulated communication timeout (paper §IV-C).
   for (auto& r : requests_) {
@@ -362,17 +335,23 @@ void SimProcess::fail_requests_on_notice(Rank failed_rank, SimTime t_fail) {
                               r->stage == Request::Stage::kAwaitingCts &&
                               r->peer_world_rank == failed_rank;
     if (unmatched_recv || rendezvous_recv || waiting_send) {
-      schedule_error_wakeup(*r, t_fail, failed_rank);
+      schedule_error_wakeup(*r, t_fail, failed_rank, t_detect);
     }
   }
 }
 
-void SimProcess::schedule_error_wakeup(Request& r, SimTime t_fail, Rank peer_world) {
+void SimProcess::schedule_error_wakeup(Request& r, SimTime t_fail, Rank peer_world,
+                                       SimTime t_detect) {
   auto p = std::make_unique<ErrorWakeupPayload>();
   p->request_serial = r.serial;
   p->error = Err::kProcFailed;
-  p->error_time =
-      std::max(r.post_time, t_fail) + fabric_->failure_timeout(world_rank_, peer_world);
+  // §IV-C timeout release, floored at the detector's notice delivery time:
+  // the error cannot surface before this process learned of the failure.
+  // With the paper-instant detector t_detect == t_fail and the floor is a
+  // no-op, preserving the paper's exact release times.
+  p->error_time = std::max(
+      std::max(r.post_time, t_fail) + fabric_->failure_timeout(world_rank_, peer_world),
+      t_detect);
   r.error_wakeup_scheduled = true;
   // Read the time out before std::move(p): parameter construction order is
   // unspecified, and moving first would null p under this call.
@@ -396,7 +375,7 @@ void SimProcess::handle_abort_notice(AbortNoticePayload& p, SimTime t) {
   // Abort activates when the process's clock reaches/passes the abort time
   // (§IV-D). A process with a completion in flight finishes that operation
   // first; one blocked with nothing coming is released at engine stall.
-  pending_abort_ = std::min(pending_abort_, p.time_of_abort);
+  fault_.pending_abort = std::min(fault_.pending_abort, p.time_of_abort);
   if (started_ && !in_fiber_) run_fiber();  // Re-evaluate wait predicates.
 }
 
@@ -406,8 +385,8 @@ bool SimProcess::on_stall(Engine& engine) {
 
   // Pending abort with nothing left in flight: abort now at
   // max(clock, time of abort).
-  if (pending_abort_ != kSimTimeNever) {
-    forced_abort_ = std::max(clock_, pending_abort_);
+  if (fault_.pending_abort != kSimTimeNever) {
+    fault_.forced_abort = std::max(clock_, fault_.pending_abort);
     run_fiber();
     return true;
   }
@@ -433,7 +412,7 @@ bool SimProcess::on_stall(Engine& engine) {
     if (comm == nullptr) continue;
     Rank failed = -1;
     SimTime t_fail = kSimTimeNever;
-    for (const auto& [peer, when] : failed_peers_) {
+    for (const auto& [peer, when] : fault_.failed_peers()) {
       if (comm->rank_of_world(peer) >= 0 && when < t_fail) {
         failed = peer;
         t_fail = when;
@@ -442,8 +421,9 @@ bool SimProcess::on_stall(Engine& engine) {
     if (failed < 0) continue;
     unindex_posted(*r);
     r->stage = Request::Stage::kDone;
-    r->complete_time =
-        std::max(r->post_time, t_fail) + fabric_->failure_timeout(world_rank_, failed);
+    r->complete_time = std::max(
+        std::max(r->post_time, t_fail) + fabric_->failure_timeout(world_rank_, failed),
+        fault_.peer_detect_time(failed));
     r->status.error = Err::kProcFailed;
     progressed = true;
   }
@@ -698,9 +678,10 @@ RequestHandle SimProcess::post_send(Comm& comm, Rank dest, int tag, const void* 
     // schedule the timeout release right away (§IV-C: "any message send
     // requests waited on after receiving the ... notification fail based on
     // this list").
-    auto it = failed_peers_.find(req->peer_world_rank);
-    if (it != failed_peers_.end()) {
-      schedule_error_wakeup(*req, it->second, req->peer_world_rank);
+    if (fault_.knows_failed(req->peer_world_rank)) {
+      schedule_error_wakeup(*req, fault_.peer_failure_time(req->peer_world_rank),
+                            req->peer_world_rank,
+                            fault_.peer_detect_time(req->peer_world_rank));
     }
   }
 
@@ -734,20 +715,20 @@ RequestHandle SimProcess::post_recv(Comm& comm, Rank src, int tag, void* buffer,
   } else if (!try_match_unexpected(*req)) {
     // Unmatched: if the explicit source is already known failed, the receive
     // can only ever time out (§IV-C).
-    if (src != kAnySource) {
-      auto it = failed_peers_.find(req->peer_world_rank);
-      if (it != failed_peers_.end()) {
-        schedule_error_wakeup(*req, it->second, req->peer_world_rank);
-      }
+    if (src != kAnySource && fault_.knows_failed(req->peer_world_rank)) {
+      schedule_error_wakeup(*req, fault_.peer_failure_time(req->peer_world_rank),
+                            req->peer_world_rank,
+                            fault_.peer_detect_time(req->peer_world_rank));
     }
   } else if (req->stage == Request::Stage::kAwaitingData) {
     // Matched a rendezvous RTS from a sender that already failed (the
     // failure notice predates this post): the CTS goes to a dead process and
     // the data will never come -- release by timeout like any other wait on
     // a failed peer.
-    auto it = failed_peers_.find(req->peer_world_rank);
-    if (it != failed_peers_.end()) {
-      schedule_error_wakeup(*req, it->second, req->peer_world_rank);
+    if (fault_.knows_failed(req->peer_world_rank)) {
+      schedule_error_wakeup(*req, fault_.peer_failure_time(req->peer_world_rank),
+                            req->peer_world_rank,
+                            fault_.peer_detect_time(req->peer_world_rank));
     }
   }
 
@@ -835,13 +816,10 @@ Err SimProcess::probe(Comm& comm, Rank src, int tag, MsgStatus* status) {
       }
     }
     if (found != nullptr) return true;
-    if (src != kAnySource) {
-      auto it = failed_peers_.find(comm.world_of(src));
-      if (it != failed_peers_.end()) {
-        failed_peer = comm.world_of(src);
-        t_fail = it->second;
-        return true;
-      }
+    if (src != kAnySource && fault_.knows_failed(comm.world_of(src))) {
+      failed_peer = comm.world_of(src);
+      t_fail = fault_.peer_failure_time(failed_peer);
+      return true;
     }
     return false;
   };
@@ -858,8 +836,10 @@ Err SimProcess::probe(Comm& comm, Rank src, int tag, MsgStatus* status) {
     }
     return Err::kSuccess;
   }
-  raise_clock_to(std::max(post_time, t_fail) + fabric_->failure_timeout(world_rank_, failed_peer),
-                 /*busy=*/false);
+  raise_clock_to(
+      std::max(std::max(post_time, t_fail) + fabric_->failure_timeout(world_rank_, failed_peer),
+               fault_.peer_detect_time(failed_peer)),
+      /*busy=*/false);
   if (status != nullptr) status->error = Err::kProcFailed;
   return Err::kProcFailed;
 }
@@ -939,17 +919,11 @@ void SimProcess::apply_revoke(int comm_id, SimTime when) {
 }
 
 void SimProcess::failure_ack(Comm& comm) {
-  auto& acked = acked_failures_[comm.id];
-  acked.clear();
-  for (const auto& [peer, when] : failed_peers_) {
-    (void)when;
-    if (comm.rank_of_world(peer) >= 0) acked.push_back(peer);
-  }
+  fault_.ack_failures(comm.id, [&comm](int world) { return comm.rank_of_world(world) >= 0; });
 }
 
 std::vector<Rank> SimProcess::failure_get_acked(Comm& comm) const {
-  auto it = acked_failures_.find(comm.id);
-  return it == acked_failures_.end() ? std::vector<Rank>{} : it->second;
+  return fault_.acked(comm.id);
 }
 
 }  // namespace exasim::vmpi

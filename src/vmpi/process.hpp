@@ -12,6 +12,7 @@
 #include "fiber/fiber.hpp"
 #include "pdes/engine.hpp"
 #include "powermodel/power.hpp"
+#include "resilience/fault_state.hpp"
 #include "procmodel/processor.hpp"
 #include "util/time.hpp"
 #include "vmpi/comm.hpp"
@@ -107,13 +108,18 @@ class SimProcess final : public LogicalProcess {
   /// the machine at startup from the failure schedule; also reachable from
   /// the application via Context::inject_failure (the "simulator-internal
   /// function" of §IV-B). kSimTimeNever = never fail.
-  void set_time_of_failure(SimTime t) { time_of_failure_ = t; }
-  SimTime time_of_failure() const { return time_of_failure_; }
+  void set_time_of_failure(SimTime t) { fault_.time_of_failure = t; }
+  SimTime time_of_failure() const { return fault_.time_of_failure; }
+
+  /// Programmatic injection (Context::inject_failure): arms the earliest
+  /// failure time AND schedules the activation event, so the process dies on
+  /// time even while blocked — the same path the machine uses at startup.
+  void inject_failure_at(SimTime t);
 
   /// Failed peers this process has been notified about (paper §IV-B: "each
   /// simulated MPI process maintains its own list of failed simulated MPI
   /// processes and their corresponding time of failure").
-  const std::map<Rank, SimTime>& failed_peers() const { return failed_peers_; }
+  const std::map<Rank, SimTime>& failed_peers() const { return fault_.failed_peers(); }
 
   /// Optional energy accounting (attached by the machine).
   void attach_energy(EnergyLedger* ledger) { energy_ = ledger; }
@@ -221,8 +227,8 @@ class SimProcess final : public LogicalProcess {
   /// activation). Returns false if no memory could ever be registered —
   /// flips with no registered memory at activation are dropped and counted.
   void schedule_bit_flip(SimTime t, std::uint64_t bit_index);
-  std::uint64_t bit_flips_applied() const { return flips_applied_; }
-  std::uint64_t bit_flips_dropped() const { return flips_dropped_; }
+  std::uint64_t bit_flips_applied() const { return soft_errors_.applied(); }
+  std::uint64_t bit_flips_dropped() const { return soft_errors_.dropped(); }
 
  private:
   friend class Context;
@@ -252,10 +258,12 @@ class SimProcess final : public LogicalProcess {
   void release_request(std::uint64_t serial);
   void record_trace(const Request& r);
 
-  // Failure/abort plumbing.
+  // Failure/abort plumbing. Release times honor both the §IV-C per-request
+  // timeout and the detector's notice delivery time (t_detect): an error
+  // cannot surface before the process has been told about the failure.
   void check_signals();  ///< Throws Failed/Abort signals if activation is due.
-  void schedule_error_wakeup(Request& r, SimTime t_fail, Rank peer_world);
-  void fail_requests_on_notice(Rank failed_rank, SimTime t_fail);
+  void schedule_error_wakeup(Request& r, SimTime t_fail, Rank peer_world, SimTime t_detect);
+  void fail_requests_on_notice(Rank failed_rank, SimTime t_fail, SimTime t_detect);
   void terminate(ProcOutcome outcome, SimTime when);
 
   Comm* new_comm(int id, std::vector<Rank> members, const Comm& inherit_from);
@@ -276,7 +284,6 @@ class SimProcess final : public LogicalProcess {
   SimTime comm_time_ = 0;
 
   // Execution state.
-  std::unique_ptr<Fiber> fiber_;
   std::unique_ptr<Context> context_;
   SimTime clock_ = 0;
   /// Atomic: Machine::alive_world_ranks reads every rank's outcome from
@@ -288,37 +295,10 @@ class SimProcess final : public LogicalProcess {
   bool in_fiber_ = false;
   std::uint64_t last_native_ns_ = 0;  ///< Measured-compute snapshot.
 
-  // Failure/abort state.
-  SimTime time_of_failure_ = kSimTimeNever;
-  SimTime pending_abort_ = kSimTimeNever;
-  /// Set by engine-side handlers to unwind a blocked fiber at a given time.
-  SimTime forced_failure_ = kSimTimeNever;
-  SimTime forced_abort_ = kSimTimeNever;
-  std::map<Rank, SimTime> failed_peers_;
-  std::map<int, std::vector<Rank>> acked_failures_;  ///< ULFM ack state per comm.
-
-  // Soft-error state.
-  struct MemRegion {
-    std::string name;
-    void* ptr;
-    std::size_t bytes;
-  };
-  struct PendingFlip {
-    SimTime time;
-    std::uint64_t bit_index;
-    std::uint64_t seq;  ///< Insertion order; deterministic tie-break.
-  };
-  /// std::push_heap/pop_heap build a max-heap; invert (time, seq) so the
-  /// earliest pending flip sits at the front.
-  static bool flip_after(const PendingFlip& a, const PendingFlip& b) {
-    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-  }
-  void apply_due_bit_flips();
-  std::vector<MemRegion> mem_regions_;
-  std::vector<PendingFlip> pending_flips_;  ///< Min-heap by (time, seq).
-  std::uint64_t next_flip_seq_ = 0;
-  std::uint64_t flips_applied_ = 0;
-  std::uint64_t flips_dropped_ = 0;
+  // Failure/abort/ULFM-ack state and soft-error state, owned by the
+  // resilience subsystem; this class is clock + matching + the glue.
+  resilience::FaultState fault_;
+  resilience::SoftErrorState soft_errors_;
 
   // Messaging state. The unexpected queue is indexed by (comm id, source
   // comm rank): a linear-algorithm collective at large scale floods the root
@@ -342,6 +322,11 @@ class SimProcess final : public LogicalProcess {
 
   // Communicators (index 0 = world).
   std::vector<std::unique_ptr<Comm>> comms_;
+
+  // Declared last: destroying the fiber unwinds any frames it still holds
+  // (a process left blocked at teardown, e.g. after a deadlock verdict), and
+  // those frames reference the context/request/comm state above.
+  std::unique_ptr<Fiber> fiber_;
 };
 
 }  // namespace exasim::vmpi

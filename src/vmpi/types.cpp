@@ -28,6 +28,19 @@ std::string to_string(ProcOutcome o) {
   return "?";
 }
 
+bool is_commutative(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+    case ReduceOp::kMin:
+    case ReduceOp::kMax:
+    case ReduceOp::kProd:
+      return true;
+    case ReduceOp::kReplace:
+      return false;
+  }
+  return false;
+}
+
 std::size_t dtype_size(Dtype d) {
   switch (d) {
     case Dtype::kI32: return 4;
@@ -55,6 +68,9 @@ void combine_typed(ReduceOp op, T* acc, const T* in, std::size_t count) {
       break;
     case ReduceOp::kProd:
       for (std::size_t i = 0; i < count; ++i) acc[i] = static_cast<T>(acc[i] * in[i]);
+      break;
+    case ReduceOp::kReplace:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = in[i];
       break;
   }
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "resilience/policy.hpp"
 #include "util/time.hpp"
 
 namespace exasim::vmpi {
@@ -28,9 +29,10 @@ enum class Err : std::uint8_t {
 
 std::string to_string(Err e);
 
-/// Error handler attached to a communicator (paper §IV-D: supports
-/// MPI_ERRORS_ARE_FATAL (default), MPI_ERRORS_RETURN, and user handlers).
-enum class ErrorHandlerKind : std::uint8_t { kFatal, kReturn, kUser };
+/// Error handler attached to a communicator (paper §IV-D) — the resilience
+/// subsystem's ErrorPolicy (kFatal/kReturn/kUser), whose dispatch is decided
+/// by resilience::ErrorHandlerPolicy.
+using ErrorHandlerKind = resilience::ErrorPolicy;
 
 /// Receive/operation status returned by waits and receives.
 struct MsgStatus {
@@ -46,7 +48,15 @@ enum class Dtype : std::uint8_t { kI32, kI64, kU64, kF64, kByte };
 std::size_t dtype_size(Dtype d);
 
 /// Reduction operations (applied element-wise on matching Dtype buffers).
-enum class ReduceOp : std::uint8_t { kSum, kMin, kMax, kProd };
+/// kReplace (MPI_REPLACE) takes the later operand — associative but NOT
+/// commutative, so tree algorithms must not reorder its operands.
+enum class ReduceOp : std::uint8_t { kSum, kMin, kMax, kProd, kReplace };
+
+/// Whether operand order is irrelevant for the op. Tree-shaped reduction
+/// algorithms combine contributions in mask order rather than rank order and
+/// are only valid for commutative ops; non-commutative ops fall back to the
+/// linear algorithm (which combines in ascending rank order).
+bool is_commutative(ReduceOp op);
 
 /// In-place combine: acc[i] = op(acc[i], in[i]) for `count` elements.
 void reduce_combine(ReduceOp op, Dtype dtype, void* acc, const void* in, std::size_t count);

@@ -62,6 +62,32 @@ TEST(Fiber, ResumeAfterFinishThrows) {
 
 TEST(Fiber, YieldOutsideFiberThrows) { EXPECT_THROW(Fiber::yield(), std::logic_error); }
 
+TEST(Fiber, DestroyingSuspendedFiberUnwindsItsFrames) {
+  // Frame-held resources of a fiber abandoned mid-yield must be released via
+  // stack unwinding (Fiber::Unwind), not leaked with the parked stack. This
+  // is what keeps a deadlocked simulation LeakSanitizer-clean.
+  auto resource = std::make_shared<int>(7);
+  std::weak_ptr<int> observer = resource;
+  bool resumed_past_yield = false;
+  {
+    Fiber f([held = std::move(resource), &resumed_past_yield] {
+      Fiber::yield();
+      resumed_past_yield = true;  // Unreachable: the fiber is never resumed.
+    });
+    f.resume();
+    EXPECT_FALSE(f.finished());
+    EXPECT_FALSE(observer.expired());
+  }  // ~Fiber drives the unwind.
+  EXPECT_TRUE(observer.expired());
+  EXPECT_FALSE(resumed_past_yield);
+}
+
+TEST(Fiber, DestroyingUnstartedFiberDoesNotRunBody) {
+  bool ran = false;
+  { Fiber f([&] { ran = true; }); }
+  EXPECT_FALSE(ran);
+}
+
 TEST(Fiber, InFiberReflectsState) {
   bool inside = false;
   EXPECT_FALSE(Fiber::in_fiber());

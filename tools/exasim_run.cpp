@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
 #include "pdes/sim_workers.hpp"
+#include "resilience/detector.hpp"
 #include "util/log.hpp"
 #include "util/parse.hpp"
 
@@ -43,6 +45,14 @@ namespace {
 /// byte-identical across --jobs and host speeds, and these numbers are
 /// host-dependent (wall clock) by design.
 void print_perf(const std::vector<const core::RunnerResult*>& results) {
+  // Resolved resilience configuration (satellite of the perf rollup: which
+  // detector/policy produced these numbers). Identical across launches and
+  // replicates, so the first launch is authoritative.
+  if (!results.empty() && !results.front()->run_results.empty()) {
+    const core::SimResult& first = results.front()->run_results.front();
+    std::fprintf(stderr, "detector       : %s\n", first.detector.c_str());
+    std::fprintf(stderr, "error policy   : %s\n", first.error_policy.c_str());
+  }
   std::uint64_t events = 0;
   double wall = 0;
   PerfSnapshot p;
@@ -86,7 +96,9 @@ int die_usage(const std::string& msg) {
                "  --app-params=k=v,...   application parameters:\n"
                "      heat3d: nx,ny,nz,px,py,pz,iters,interval (halo+ckpt)\n"
                "      cgproxy: iters,interval,elements\n"
-               "      ring: laps,bytes\n",
+               "      ring: laps,bytes\n"
+               "  --list-failure-detectors   print the detector families and exit\n"
+               "  --result-json=PATH     write the final launch's result as JSON\n",
                msg.c_str(), core::cli_usage().c_str());
   return 2;
 }
@@ -94,14 +106,22 @@ int die_usage(const std::string& msg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Split off --app-params before the generic parser sees it.
+  // Split off the tool-level options before the generic parser sees them.
   std::string app_params_text;
+  std::string result_json_path;
   std::vector<const char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--app-params=", 0) == 0) {
       app_params_text = arg.substr(std::string("--app-params=").size());
+    } else if (arg.rfind("--result-json=", 0) == 0) {
+      result_json_path = arg.substr(std::string("--result-json=").size());
+    } else if (arg == "--list-failure-detectors") {
+      for (const auto& d : resilience::list_detectors()) {
+        std::printf("%-14s %s\n", d.name.c_str(), d.summary.c_str());
+      }
+      return 0;
     } else {
       args.push_back(argv[i]);
     }
@@ -201,6 +221,10 @@ int main(int argc, char** argv) {
       }
       print_perf(all);
     }
+    if (!result_json_path.empty()) {
+      std::fprintf(stderr, "exasim_run: --result-json applies to single runs, ignored "
+                           "with --replicates\n");
+    }
     if (e2.count() > 0) {
       std::printf("E2             : mean %.6f s, stddev %.6f s\n", e2.mean(), e2.stddev());
       std::printf("failures (F)   : mean %.2f, max %.0f\n", f.mean(), f.max());
@@ -231,5 +255,16 @@ int main(int argc, char** argv) {
     std::printf("MTTF_a         : %.3f s  (= E2/(F+1))\n", res.app_mttf_seconds);
   }
   print_perf({&res});
+  if (!result_json_path.empty() && !res.run_results.empty()) {
+    // Machine-readable summary of the final launch (the one that completed
+    // or gave up), including the resolved detector/policy and the
+    // detection-latency accounting.
+    std::ofstream out(result_json_path);
+    if (!out) {
+      std::fprintf(stderr, "exasim_run: cannot write %s\n", result_json_path.c_str());
+      return 1;
+    }
+    out << core::sim_result_json(res.run_results.back()) << "\n";
+  }
   return res.completed ? 0 : 1;
 }
