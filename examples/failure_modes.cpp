@@ -94,8 +94,10 @@ int main(int argc, char** argv) {
       {"late compute (iter ~90)", sim_us(90 * 512 + 4000)},
   };
   // Each case runs once per detector model: the paper's instant broadcast vs
-  // a heartbeat detector whose miss x period latency delays the abort.
-  const std::vector<const char*> detectors = {"paper-instant", "heartbeat:period=2ms,miss=3"};
+  // a heartbeat detector whose miss x period latency delays the abort vs a
+  // gossip epidemic whose rounds stagger detection across the survivors.
+  const std::vector<const char*> detectors = {"paper-instant", "heartbeat:period=2ms,miss=3",
+                                              "gossip:period=2ms,fanout=2"};
 
   struct Row {
     std::string abort_at;

@@ -1,0 +1,100 @@
+#!/bin/sh
+# CI perf-regression smoke (a short companion to scripts/bench_baseline.sh):
+#
+#  1. engine_micro pooled-vs-heap microbenchmarks — each rate must stay
+#     within 3x of the committed BENCH_baseline.json reference (CI runners
+#     are slower and noisier than the baseline host, hence the slack).
+#  2. One Table-II-style macro row (the 1024-rank heat3d failure/restart
+#     workload recorded in BENCH_baseline.json): the wall time must stay
+#     within 3x of the baseline, and the deterministic `--result-json`
+#     output — minus the host-dependent wall_seconds/events_per_sec fields —
+#     must byte-match the committed golden in
+#     scripts/bench_smoke_result.golden.json. Any simulated-quantity drift
+#     (end times, event counts, energy) fails the build.
+#
+# Usage: scripts/bench_smoke.sh [jobs]
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+GOLDEN=scripts/bench_smoke_result.golden.json
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target exasim_run engine_micro >/dev/null
+
+echo "== bench smoke: engine_micro (pooled vs heap, 3x tolerance) =="
+./build/bench/engine_micro \
+  --benchmark_filter='BM_EventChurn|BM_PayloadAllocFree' \
+  --benchmark_min_time=0.2 --benchmark_format=json >/tmp/bench_smoke_micro.json
+
+python3 - <<'EOF'
+import json
+
+baseline = json.load(open("BENCH_baseline.json"))
+micro = json.load(open("/tmp/bench_smoke_micro.json"))
+rates = {b["name"]: b.get("items_per_second")
+         for b in micro["benchmarks"]
+         if b.get("run_type", "iteration") == "iteration"}
+
+checks = [
+    ("BM_EventChurn/pooled:0",
+     baseline["engine_micro"]["event_churn_events_per_sec"]["heap"]),
+    ("BM_EventChurn/pooled:1",
+     baseline["engine_micro"]["event_churn_events_per_sec"]["pooled"]),
+    ("BM_PayloadAllocFree/pooled:0",
+     baseline["engine_micro"]["payload_alloc_free_per_sec"]["heap"]),
+    ("BM_PayloadAllocFree/pooled:1",
+     baseline["engine_micro"]["payload_alloc_free_per_sec"]["pooled"]),
+]
+failed = False
+for name, ref in checks:
+    got = rates.get(name)
+    if got is None or ref is None:
+        raise SystemExit(f"missing benchmark rate for {name}")
+    ratio = got / ref
+    status = "ok" if ratio >= 1.0 / 3.0 else "REGRESSION"
+    if status != "ok":
+        failed = True
+    print(f"  {name}: {got:.3e}/s vs baseline {ref:.3e}/s ({ratio:.2f}x) {status}")
+if failed:
+    raise SystemExit("engine_micro rate fell below 1/3 of BENCH_baseline.json")
+EOF
+
+echo "== bench smoke: macro row (wall <= 3x baseline, result-json byte-stable) =="
+WORKLOAD=$(jq -r .workload BENCH_baseline.json)
+# shellcheck disable=SC2086  # the workload string is a flat argument list
+./build/tools/exasim_run $WORKLOAD --result-json=/tmp/bench_smoke_result.json \
+  >/dev/null 2>/tmp/bench_smoke_macro.stderr
+
+python3 - <<'EOF'
+import json, re
+
+baseline = json.load(open("BENCH_baseline.json"))
+err = open("/tmp/bench_smoke_macro.stderr").read()
+m = re.search(r"perf\s*: (\d+) events in ([\d.]+) s wall", err)
+if not m:
+    raise SystemExit("could not parse macro perf output:\n" + err)
+events, wall = int(m.group(1)), float(m.group(2))
+ref = baseline["macro"]["pooled"]
+print(f"  events {events} (baseline {ref['events']}), "
+      f"wall {wall:.2f}s (baseline {ref['wall_seconds']:.2f}s)")
+if wall > 3.0 * ref["wall_seconds"]:
+    raise SystemExit(f"macro wall time {wall:.2f}s exceeds "
+                     f"3x baseline {ref['wall_seconds']:.2f}s")
+EOF
+
+jq -S 'del(.wall_seconds, .events_per_sec)' /tmp/bench_smoke_result.json \
+  >/tmp/bench_smoke_result.stripped.json
+if [ ! -f "$GOLDEN" ]; then
+  echo "bench_smoke.sh: missing golden $GOLDEN" >&2
+  echo "  (generate with: jq -S 'del(.wall_seconds, .events_per_sec)' /tmp/bench_smoke_result.json > $GOLDEN)" >&2
+  exit 2
+fi
+if ! cmp -s /tmp/bench_smoke_result.stripped.json "$GOLDEN"; then
+  echo "bench_smoke.sh: deterministic --result-json drifted from $GOLDEN:" >&2
+  diff "$GOLDEN" /tmp/bench_smoke_result.stripped.json >&2 || true
+  exit 1
+fi
+echo "  result-json matches $GOLDEN"
+
+echo "bench smoke OK"

@@ -5,35 +5,69 @@
 # campaign machinery, the sharded engine, and the failure-notification bus
 # end to end). The TSan suites run twice: once as-is and once with
 # EXASIM_SIM_WORKERS=4 so every engine run inside them is forced onto
-# multiple worker threads.
+# multiple worker threads. The ASan leg runs pooled and EXASIM_NO_POOL=1.
 #
-# Usage: scripts/tier1.sh [jobs]   (jobs defaults to nproc)
+# Usage: scripts/tier1.sh [release|tsan|asan|all] [jobs]
+#   scripts/tier1.sh              # all legs, jobs = nproc
+#   scripts/tier1.sh tsan         # one leg (what each CI job runs)
+#   scripts/tier1.sh all 8        # all legs with 8 build jobs
+#   scripts/tier1.sh 8            # back-compat: numeric first arg = jobs
 set -eu
 
 cd "$(dirname "$0")/.."
-JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "== tier 1: build + ctest =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
-(cd build && ctest --output-on-failure -j "$JOBS")
+LEG="${1:-all}"
+# Back-compat: a bare number as the first argument selects the job count.
+case "$LEG" in
+  ''|*[!0-9]*) ;;
+  *) JOBS="$LEG"; LEG=all ;;
+esac
+JOBS="${JOBS:-${2:-$(nproc 2>/dev/null || echo 2)}}"
 
-echo "== tier 1: ThreadSanitizer (test_exp + test_pdes + test_vmpi_p2p + test_resilience) =="
-cmake -B build-tsan -S . -DEXASIM_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_exp test_pdes test_vmpi_p2p test_resilience
-(cd build-tsan && ctest --output-on-failure -R 'test_exp|test_pdes|test_vmpi_p2p|test_resilience')
+run_release() {
+  echo "== tier 1: build + ctest =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== tier 1: ThreadSanitizer, forced multi-worker engine =="
-(cd build-tsan && EXASIM_SIM_WORKERS=4 ctest --output-on-failure -R 'test_pdes|test_vmpi_p2p|test_resilience')
+  echo "== tier 1: examples smoke =="
+  for ex in quickstart failure_modes checkpoint_restart ulfm_recovery \
+            topology_comparison soft_errors; do
+    if [ -x "build/examples/$ex" ]; then
+      echo "-- examples/$ex"
+      "./build/examples/$ex" >/dev/null
+    fi
+  done
+}
 
-echo "== tier 1: AddressSanitizer (pool/fiber/engine/resilience suites) =="
-# Validates the hot-path memory pools: parked payload blocks and recycled
-# fiber stacks are shadow-poisoned, so stale pointers into either trip ASan
-# even though the memory never went back to the system allocator. Runs both
-# pooled and --no-pool configurations via EXASIM_NO_POOL.
-cmake -B build-asan -S . -DEXASIM_ASAN=ON >/dev/null
-cmake --build build-asan -j "$JOBS" --target test_util test_fiber test_pdes test_vmpi_p2p test_resilience
-(cd build-asan && ctest --output-on-failure -R 'test_util|test_fiber|test_pdes|test_vmpi_p2p|test_resilience')
-(cd build-asan && EXASIM_NO_POOL=1 ctest --output-on-failure -R 'test_util|test_fiber|test_pdes|test_vmpi_p2p|test_resilience')
+run_tsan() {
+  echo "== tier 1: ThreadSanitizer (test_exp + test_pdes + test_vmpi_p2p + test_resilience) =="
+  cmake -B build-tsan -S . -DEXASIM_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_exp test_pdes test_vmpi_p2p test_resilience
+  (cd build-tsan && ctest --output-on-failure -R 'test_exp|test_pdes|test_vmpi_p2p|test_resilience')
 
-echo "tier 1 OK"
+  echo "== tier 1: ThreadSanitizer, forced multi-worker engine =="
+  (cd build-tsan && EXASIM_SIM_WORKERS=4 ctest --output-on-failure -R 'test_pdes|test_vmpi_p2p|test_resilience')
+}
+
+run_asan() {
+  echo "== tier 1: AddressSanitizer (pool/fiber/engine/resilience suites) =="
+  # Validates the hot-path memory pools: parked payload blocks and recycled
+  # fiber stacks are shadow-poisoned, so stale pointers into either trip ASan
+  # even though the memory never went back to the system allocator. Runs both
+  # pooled and --no-pool configurations via EXASIM_NO_POOL.
+  cmake -B build-asan -S . -DEXASIM_ASAN=ON >/dev/null
+  cmake --build build-asan -j "$JOBS" --target test_util test_fiber test_pdes test_vmpi_p2p test_resilience
+  (cd build-asan && ctest --output-on-failure -R 'test_util|test_fiber|test_pdes|test_vmpi_p2p|test_resilience')
+  (cd build-asan && EXASIM_NO_POOL=1 ctest --output-on-failure -R 'test_util|test_fiber|test_pdes|test_vmpi_p2p|test_resilience')
+}
+
+case "$LEG" in
+  release) run_release ;;
+  tsan)    run_tsan ;;
+  asan)    run_asan ;;
+  all)     run_release; run_tsan; run_asan ;;
+  *) echo "tier1.sh: unknown leg '$LEG' (want release|tsan|asan|all)" >&2; exit 2 ;;
+esac
+
+echo "tier 1 OK ($LEG)"

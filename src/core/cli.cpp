@@ -44,6 +44,7 @@ std::string cli_usage() {
       "  --pfs-bandwidth=B/s --pfs-latency=DUR\n"
       "  --failures=R@T,R@T   (or env EXASIM_FAILURES)\n"
       "  --failure-detector=paper-instant|timeout|heartbeat[:period=DUR][,miss=N]\n"
+      "                   |gossip[:period=DUR][,fanout=K][,seed=N]\n"
       "                   (or env EXASIM_FAILURE_DETECTOR; when survivors\n"
       "                    learn of a failure; default paper-instant)\n"
       "  --mttf=DUR --distribution=uniform2m|exponential|weibull\n"

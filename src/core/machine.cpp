@@ -43,12 +43,20 @@ Machine::Machine(SimConfig config, vmpi::AppMain app)
   // Resilience pipeline: the detector model decides when each survivor
   // learns of a failure; the notification bus performs the broadcasts. The
   // timeout detector consults the fabric's per-pair (per-network-level)
-  // failure timeout; a zero heartbeat period defaults to the network's
-  // largest failure-detection timeout.
-  detector_model_ = resilience::make_detector(
-      config_.detector,
-      [f = fabric_.get()](int observer, int failed) { return f->failure_timeout(observer, failed); },
-      network_->max_failure_timeout());
+  // failure timeout; gossip orders observers by the fabric's zero-byte
+  // delivery latency (hop distance under a HierarchicalNetwork); a zero
+  // heartbeat/gossip period defaults to the network's largest
+  // failure-detection timeout.
+  resilience::DetectorWiring det_wiring;
+  det_wiring.pair_timeout = [f = fabric_.get()](int observer, int failed) {
+    return f->failure_timeout(observer, failed);
+  };
+  det_wiring.pair_latency = [f = fabric_.get()](int observer, int failed) {
+    return f->delivery(observer, failed, 0);
+  };
+  det_wiring.default_period = network_->max_failure_timeout();
+  det_wiring.ranks = config_.ranks;
+  detector_model_ = resilience::make_detector(config_.detector, std::move(det_wiring));
   resilience::NotificationBus::Wiring wiring;
   wiring.engine = &engine_;
   wiring.ranks = config_.ranks;

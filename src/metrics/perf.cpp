@@ -1,6 +1,7 @@
 #include "metrics/perf.hpp"
 
 #include "fiber/stack_pool.hpp"
+#include "pdes/engine.hpp"
 #include "util/pool.hpp"
 
 namespace exasim {
@@ -17,6 +18,10 @@ PerfSnapshot perf_snapshot() {
   s.stacks_mapped = f.mapped;
   s.stacks_reused = f.reused;
   s.stacks_high_water = f.high_water;
+  const FanoutStats fo = fanout_stats();
+  s.fanout_notices = fo.notices;
+  s.fanout_relays = fo.relay_events;
+  s.fanout_dead_skips = fo.dead_skips;
   return s;
 }
 
@@ -30,6 +35,9 @@ PerfSnapshot perf_delta(const PerfSnapshot& begin, const PerfSnapshot& end) {
   d.stacks_mapped = end.stacks_mapped - begin.stacks_mapped;
   d.stacks_reused = end.stacks_reused - begin.stacks_reused;
   d.stacks_high_water = end.stacks_high_water;
+  d.fanout_notices = end.fanout_notices - begin.fanout_notices;
+  d.fanout_relays = end.fanout_relays - begin.fanout_relays;
+  d.fanout_dead_skips = end.fanout_dead_skips - begin.fanout_dead_skips;
   return d;
 }
 

@@ -20,6 +20,11 @@ struct PerfSnapshot {
   std::uint64_t stacks_mapped = 0;      ///< Fresh mmaps.
   std::uint64_t stacks_reused = 0;      ///< Acquires served from the pool.
   std::uint64_t stacks_high_water = 0;  ///< Max concurrently live stacks.
+
+  // Engine::schedule_fanout (batched notification fan-out; DESIGN.md §10).
+  std::uint64_t fanout_notices = 0;     ///< Notice events created.
+  std::uint64_t fanout_relays = 0;      ///< Cross-group relay carrier events.
+  std::uint64_t fanout_dead_skips = 0;  ///< Dead-destination items skipped.
 };
 
 /// Reads the current process-wide counters. Thread-safe; O(#threads).

@@ -24,7 +24,22 @@ struct WorkerCtx {
 
 thread_local WorkerCtx t_worker;
 
+// Process-wide fan-out traffic counters (relaxed: they are statistics, not
+// synchronization). Process-wide rather than per-engine so metrics/perf can
+// read them without a handle on the Machine's engine.
+std::atomic<std::uint64_t> g_fanout_notices{0};
+std::atomic<std::uint64_t> g_fanout_relays{0};
+std::atomic<std::uint64_t> g_fanout_dead_skips{0};
+
 }  // namespace
+
+FanoutStats fanout_stats() {
+  FanoutStats s;
+  s.notices = g_fanout_notices.load(std::memory_order_relaxed);
+  s.relay_events = g_fanout_relays.load(std::memory_order_relaxed);
+  s.dead_skips = g_fanout_dead_skips.load(std::memory_order_relaxed);
+  return s;
+}
 
 void Engine::add_process(LpId id, LogicalProcess* lp) {
   if (id < 0) throw std::invalid_argument("negative LP id");
@@ -110,6 +125,113 @@ std::uint64_t Engine::schedule(SimTime time, LpId target, int kind,
   return ev.seq;
 }
 
+void Engine::schedule_fanout(const std::vector<FanoutItem>& items, int kind,
+                             const FanoutPayloadFn& make_payload,
+                             EventPriority priority) {
+  LpGroup* grp = (t_worker.engine == this) ? t_worker.group : nullptr;
+  const LpId source = grp ? grp->current_source() : current_source_;
+  const SimTime local_now = grp ? grp->now() : now_;
+
+  if (grp == nullptr) {
+    // Sequential (or pre-run) path: literally the per-item schedule() loop,
+    // minus events whose target is already dead.
+    for (const FanoutItem& it : items) {
+      if (it.time < local_now) note_causality_violation(it.time, local_now);
+      if (is_dead(it.target)) {
+        ++events_dropped_dead_;
+        g_fanout_dead_skips.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      Event ev;
+      ev.time = it.time;
+      ev.priority = priority;
+      ev.source = source;
+      ev.seq = next_seq_for(source);
+      ev.target = it.target;
+      ev.kind = kind;
+      ev.payload = make_payload(it);
+      queue_.push(std::move(ev));
+      g_fanout_notices.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+
+  // Parallel path: same-group items go straight to our heap; remote items are
+  // grouped into one RelayPayload batch per destination group. Seq values are
+  // drawn in item order for exactly the events that are created, so the
+  // delivered schedule matches the sequential per-item loop (dead flags are
+  // monotonic, hence the skipped set is partition-independent; remote dead
+  // targets are filtered at unpack by their owning worker instead of here).
+  std::vector<std::unique_ptr<RelayPayload>> batches(
+      static_cast<std::size_t>(last_groups_));
+  for (const FanoutItem& it : items) {
+    if (it.time < local_now) note_causality_violation(it.time, local_now);
+    if (it.target < 0 || static_cast<std::size_t>(it.target) >= group_of_.size()) {
+      throw std::logic_error("event for unknown LP");
+    }
+    const int dst = group_of_[static_cast<std::size_t>(it.target)];
+    if (dst == grp->index() &&
+        dead_[static_cast<std::size_t>(it.target)] != 0) {
+      ++grp->events_dropped_dead;
+      g_fanout_dead_skips.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Event ev;
+    ev.time = it.time;
+    ev.priority = priority;
+    ev.source = source;
+    ev.seq = next_seq_for(source);
+    ev.target = it.target;
+    ev.kind = kind;
+    ev.payload = make_payload(it);
+    if (dst == grp->index()) {
+      // Remote items are counted at unpack instead, so a notice either
+      // shows up in fanout_notices or in fanout_dead_skips — never both.
+      g_fanout_notices.fetch_add(1, std::memory_order_relaxed);
+      grp->queue().push(std::move(ev));
+    } else {
+      auto& batch = batches[static_cast<std::size_t>(dst)];
+      if (!batch) batch = std::make_unique<RelayPayload>();
+      batch->batch.push_back(std::move(ev));
+    }
+  }
+  for (int dst = 0; dst < last_groups_; ++dst) {
+    auto& batch = batches[static_cast<std::size_t>(dst)];
+    if (!batch) continue;
+    // The relay carrier adopts the minimum EventOrder key over its batch
+    // (fan-out times are not sorted by rank — gossip detection times depend
+    // on the epidemic order), so it is popped and unpacked in the destination
+    // group before any batch item could have run.
+    const Event* min_ev = &batch->batch.front();
+    for (const Event& ev : batch->batch) {
+      if (EventOrder{}(ev, *min_ev)) min_ev = &ev;
+    }
+    Event relay;
+    relay.time = min_ev->time;
+    relay.priority = min_ev->priority;
+    relay.source = min_ev->source;
+    relay.seq = min_ev->seq;
+    relay.target = min_ev->target;  // Routing address only; never delivered.
+    relay.kind = kRelayEventKind;
+    relay.payload = std::move(batch);
+    grp->outbox_for(dst).push_back(std::move(relay));
+    g_fanout_relays.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Engine::unpack_relay(LpGroup& grp, Event&& relay) {
+  auto* payload = static_cast<RelayPayload*>(relay.payload.get());
+  for (Event& ev : payload->batch) {
+    if (dead_[static_cast<std::size_t>(ev.target)] != 0) {
+      ++grp.events_dropped_dead;
+      g_fanout_dead_skips.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    g_fanout_notices.fetch_add(1, std::memory_order_relaxed);
+    grp.queue().push(std::move(ev));
+  }
+}
+
 void Engine::mark_dead(LpId id) {
   if (id < 0) return;
   const std::size_t idx = static_cast<std::size_t>(id);
@@ -180,6 +302,13 @@ void Engine::run_sequential() {
   for (;;) {
     while (!queue_.empty() && !stop_requested_.load(std::memory_order_relaxed)) {
       Event ev = queue_.pop();
+      if (ev.kind == kRelayEventKind) {
+        // Leftover cross-group batch from a previous parallel run: unpack
+        // into the flat queue and keep going.
+        auto* payload = static_cast<RelayPayload*>(ev.payload.get());
+        for (Event& item : payload->batch) queue_.push(std::move(item));
+        continue;
+      }
       if (is_dead(ev.target)) {
         ++events_dropped_dead_;
         continue;
@@ -232,6 +361,13 @@ void Engine::run_parallel(int group_count) {
   }
   while (!queue_.empty()) {
     Event ev = queue_.pop();
+    if (ev.kind == kRelayEventKind) {
+      // Leftover batch from a previous run: re-route the items individually
+      // (the new partition may split them differently).
+      auto* payload = static_cast<RelayPayload*>(ev.payload.get());
+      for (Event& item : payload->batch) queue_.push(std::move(item));
+      continue;
+    }
     if (ev.target < 0 || static_cast<std::size_t>(ev.target) >= n) {
       throw std::logic_error("event for unknown LP");
     }
@@ -317,6 +453,13 @@ void Engine::run_window(LpGroup& grp, SimTime bound) {
   // full window, so the delivered set stays deterministic per worker count.
   while (!q.empty() && q.min_time() < bound) {
     Event ev = q.pop();
+    if (ev.kind == kRelayEventKind) {
+      // The carrier's key is the minimum over its batch, so every item lands
+      // in the heap before it could have been due; relays are transport, not
+      // delivery — no clock advance, no events_processed.
+      unpack_relay(grp, std::move(ev));
+      continue;
+    }
     if (dead_[static_cast<std::size_t>(ev.target)] != 0) {
       ++grp.events_dropped_dead;
       continue;

@@ -103,6 +103,32 @@ class Engine {
                          std::unique_ptr<EventPayload> payload,
                          EventPriority priority = EventPriority::kMessage);
 
+  /// One destination of a schedule_fanout() call.
+  struct FanoutItem {
+    SimTime time = 0;
+    LpId target = 0;
+  };
+
+  /// Builds the payload for one fan-out item. Invoked once per live item, in
+  /// item order, on the scheduling thread.
+  using FanoutPayloadFn = std::function<std::unique_ptr<EventPayload>(const FanoutItem&)>;
+
+  /// Schedules one event per item — semantically identical to calling
+  /// schedule() per item (same per-source seq draw order, so the delivered
+  /// schedule is bit-identical) — but batched for the sharded engine: items
+  /// for the scheduling group's own LPs go straight to its heap, while all
+  /// items bound for another group travel as ONE relay event per destination
+  /// group (kind kRelayEventKind, RelayPayload carrying the batch), unpacked
+  /// into the group's heap on arrival. A ranks-wide failure broadcast thus
+  /// costs O(groups) cross-group mailbox events instead of O(ranks). Items
+  /// whose target is already dead are skipped where the dead flag is safely
+  /// readable (scheduler's own group at enqueue, destination group at
+  /// unpack) and counted in events_dropped_dead either way, so the delivered
+  /// set and every counter are partition-independent.
+  void schedule_fanout(const std::vector<FanoutItem>& items, int kind,
+                       const FanoutPayloadFn& make_payload,
+                       EventPriority priority = EventPriority::kControl);
+
   /// Marks an LP dead: all pending and future events targeted at it are
   /// dropped at delivery ("all messages directed to this simulated MPI
   /// process are deleted", paper §IV-B).
@@ -152,6 +178,7 @@ class Engine {
                    WindowSync& sync, std::exception_ptr& first_error,
                    std::mutex& error_mu);
   void run_window(LpGroup& grp, SimTime bound);
+  void unpack_relay(LpGroup& grp, Event&& relay);
   bool run_stall(LpGroup& grp);
   int plan_groups() const;
   std::vector<int> plan_partition(int group_count) const;
@@ -179,5 +206,16 @@ class Engine {
   std::atomic<std::uint64_t> causality_violations_{0};
   std::atomic<bool> causality_warned_{false};
 };
+
+/// Process-wide counters for schedule_fanout traffic (src/metrics/perf
+/// surfaces them next to the pool counters): notice events created, relay
+/// carrier events used for cross-group batches, and dead-destination items
+/// skipped.
+struct FanoutStats {
+  std::uint64_t notices = 0;
+  std::uint64_t relay_events = 0;
+  std::uint64_t dead_skips = 0;
+};
+FanoutStats fanout_stats();
 
 }  // namespace exasim

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <new>
+#include <vector>
 
 #include "util/pool.hpp"
 #include "util/time.hpp"
@@ -67,6 +69,19 @@ struct EventOrder {
     if (a.source != b.source) return a.source < b.source;
     return a.seq < b.seq;
   }
+};
+
+/// Engine-internal event kind for a batched cross-group fan-out relay
+/// (Engine::schedule_fanout). Reserved: layers above the engine must not use
+/// it. Chosen outside any plausible user kind range.
+inline constexpr int kRelayEventKind = std::numeric_limits<int>::min();
+
+/// Payload of a kRelayEventKind event: the per-destination-group batch of a
+/// fan-out. The carrier event adopts the minimum EventOrder key over the
+/// batch, so the relay is unpacked into the destination group's queue before
+/// any of its items could run; the batch items then sort normally.
+struct RelayPayload final : EventPayload {
+  std::vector<Event> batch;
 };
 
 }  // namespace exasim

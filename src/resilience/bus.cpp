@@ -12,56 +12,106 @@ NotificationBus::NotificationBus(Wiring wiring) : wiring_(wiring) {
 }
 
 void NotificationBus::broadcast_failure(int failed_rank, SimTime t_fail) {
-  SimTime max_latency = 0;
-  double total_latency_sec = 0;
-  std::uint64_t notices = 0;
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    failures_.push_back({failed_rank, t_fail});
+  }
+  std::vector<Engine::FanoutItem> items;
+  items.reserve(static_cast<std::size_t>(wiring_.ranks > 0 ? wiring_.ranks - 1 : 0));
   for (int rank = 0; rank < wiring_.ranks; ++rank) {
     if (rank == failed_rank) continue;
     const SimTime detect = wiring_.detector != nullptr
                                ? wiring_.detector->detection_time(rank, failed_rank, t_fail)
                                : t_fail;
-    auto payload = std::make_unique<FailureNoticePayload>();
-    payload->failed_rank = failed_rank;
-    payload->time_of_failure = t_fail;
-    payload->detect_time = detect;
-    wiring_.engine->schedule(detect, rank, wiring_.failure_kind, std::move(payload),
-                             EventPriority::kControl);
-    const SimTime latency = detect - t_fail;
-    max_latency = std::max(max_latency, latency);
-    total_latency_sec += to_seconds(latency);
-    ++notices;
+    items.push_back({detect, rank});
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.notices += notices;
-  stats_.max_latency = std::max(stats_.max_latency, max_latency);
-  stats_.total_latency_sec += total_latency_sec;
+  wiring_.engine->schedule_fanout(
+      items, wiring_.failure_kind,
+      [&](const Engine::FanoutItem& it) {
+        auto payload = std::make_unique<FailureNoticePayload>();
+        payload->failed_rank = failed_rank;
+        payload->time_of_failure = t_fail;
+        payload->detect_time = it.time;
+        return payload;
+      },
+      EventPriority::kControl);
 }
 
 void NotificationBus::broadcast_abort(int origin_rank, SimTime t_abort) {
+  std::vector<Engine::FanoutItem> items;
+  items.reserve(static_cast<std::size_t>(wiring_.ranks > 0 ? wiring_.ranks - 1 : 0));
   for (int rank = 0; rank < wiring_.ranks; ++rank) {
     if (rank == origin_rank) continue;
-    auto payload = std::make_unique<AbortNoticePayload>();
-    payload->origin_rank = origin_rank;
-    payload->time_of_abort = t_abort;
-    wiring_.engine->schedule(t_abort, rank, wiring_.abort_kind, std::move(payload),
-                             EventPriority::kControl);
+    items.push_back({t_abort, rank});
   }
+  wiring_.engine->schedule_fanout(
+      items, wiring_.abort_kind,
+      [&](const Engine::FanoutItem&) {
+        auto payload = std::make_unique<AbortNoticePayload>();
+        payload->origin_rank = origin_rank;
+        payload->time_of_abort = t_abort;
+        return payload;
+      },
+      EventPriority::kControl);
 }
 
 void NotificationBus::broadcast_revoke(int origin_rank, int comm_id, SimTime when) {
+  std::vector<Engine::FanoutItem> items;
+  items.reserve(static_cast<std::size_t>(wiring_.ranks > 0 ? wiring_.ranks - 1 : 0));
   for (int rank = 0; rank < wiring_.ranks; ++rank) {
     if (rank == origin_rank) continue;
-    auto payload = std::make_unique<RevokeNoticePayload>();
-    payload->comm_id = comm_id;
-    payload->time = when;
-    wiring_.engine->schedule(when, rank, wiring_.revoke_kind, std::move(payload),
-                             EventPriority::kControl);
+    items.push_back({when, rank});
   }
+  wiring_.engine->schedule_fanout(
+      items, wiring_.revoke_kind,
+      [&](const Engine::FanoutItem&) {
+        auto payload = std::make_unique<RevokeNoticePayload>();
+        payload->comm_id = comm_id;
+        payload->time = when;
+        return payload;
+      },
+      EventPriority::kControl);
 }
 
 NotificationBus::DetectionStats NotificationBus::detection_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  std::vector<FailureRecord> log;
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    log = failures_;
+  }
+  // Broadcast order depends on which worker's mutex acquisition won, so sort
+  // by (t_fail, rank) before accumulating: the floating-point summation order
+  // — and therefore the mean — is then identical for every worker count.
+  std::sort(log.begin(), log.end(), [](const FailureRecord& a, const FailureRecord& b) {
+    if (a.t_fail != b.t_fail) return a.t_fail < b.t_fail;
+    return a.rank < b.rank;
+  });
+  DetectionStats stats;
+  for (const FailureRecord& f : log) {
+    for (int rank = 0; rank < wiring_.ranks; ++rank) {
+      if (rank == f.rank) continue;
+      const SimTime detect = wiring_.detector != nullptr
+                                 ? wiring_.detector->detection_time(rank, f.rank, f.t_fail)
+                                 : f.t_fail;
+      // An observer that itself failed at or before its would-be detection
+      // time never sees the notice (the engine drops events to dead LPs), so
+      // it must not count: otherwise a second failure re-counts every rank
+      // that is already down and inflates the mean.
+      bool observer_dead = false;
+      for (const FailureRecord& other : log) {
+        if (other.rank == rank && other.t_fail <= detect) {
+          observer_dead = true;
+          break;
+        }
+      }
+      if (observer_dead) continue;
+      const SimTime latency = detect - f.t_fail;
+      stats.max_latency = std::max(stats.max_latency, latency);
+      stats.total_latency_sec += to_seconds(latency);
+      ++stats.notices;
+    }
+  }
+  return stats;
 }
 
 }  // namespace exasim::resilience

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "pdes/engine.hpp"
 #include "resilience/detector.hpp"
@@ -14,14 +15,17 @@ namespace exasim::resilience {
 /// simulated process (paper §IV-B/§IV-D/§VI), replacing the ad-hoc payload
 /// broadcasts that used to live in core::Machine.
 ///
-/// Ordering contract: one broadcast schedules its notices in ascending rank
-/// order from the LP whose handler is running, at EventPriority::kControl.
-/// The engine's (time, priority, source LP, per-source seq) key therefore
-/// delivers same-time notices in rank order, and — because the key is
-/// partition-independent — the delivery order is identical for every
-/// `--sim-workers` setting. Failure notices are delivered at the detector
-/// model's per-observer detection time (>= the failure time); abort and
-/// revoke notices at the event time itself, as in the paper.
+/// Ordering contract: one broadcast creates its notices in ascending rank
+/// order from the LP whose handler is running, at EventPriority::kControl, so
+/// the engine's (time, priority, source LP, per-source seq) key delivers
+/// same-time notices in rank order, identically for every `--sim-workers`
+/// setting. The notices travel through Engine::schedule_fanout: each
+/// destination LP group receives ONE relay event carrying its batch of
+/// notices, so a failure at 10^5 ranks costs O(groups) cross-group mailbox
+/// events instead of O(ranks); destinations already dead are skipped.
+/// Failure notices are delivered at the detector model's per-observer
+/// detection time (>= the failure time); abort and revoke notices at the
+/// event time itself, as in the paper.
 class NotificationBus {
  public:
   struct Wiring {
@@ -46,9 +50,13 @@ class NotificationBus {
   /// Broadcasts a ULFM revoke notice to every rank except the origin.
   void broadcast_revoke(int origin_rank, int comm_id, SimTime when);
 
-  /// Detection-latency accounting over all failure notices broadcast so far
-  /// (latency = detect_time - time_of_failure per observer). Thread-safe:
-  /// broadcasts run on whichever engine worker owns the reporting LP group.
+  /// Detection-latency accounting (latency = detect_time - time_of_failure
+  /// per observer). Computed on demand from the log of broadcast failures:
+  /// an observer counts for a failure unless it had itself failed at or
+  /// before its would-be detection time — matching which notices the engine
+  /// actually delivers once dead destinations are skipped. The double
+  /// summation runs in a (t_fail, rank)-sorted order, so the result is
+  /// independent of which worker thread logged which failure first.
   struct DetectionStats {
     std::uint64_t notices = 0;
     SimTime max_latency = 0;
@@ -60,9 +68,16 @@ class NotificationBus {
   DetectionStats detection_stats() const;
 
  private:
+  struct FailureRecord {
+    int rank = 0;
+    SimTime t_fail = 0;
+  };
+
   Wiring wiring_;
-  mutable std::mutex stats_mutex_;
-  DetectionStats stats_;
+  /// Failures broadcast so far. Guarded: broadcasts run on whichever engine
+  /// worker owns the reporting LP group.
+  mutable std::mutex log_mutex_;
+  std::vector<FailureRecord> failures_;
 };
 
 }  // namespace exasim::resilience

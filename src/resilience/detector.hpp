@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,21 +28,33 @@ namespace exasim::resilience {
 ///    observer declares it dead after `miss` consecutive missed beats, giving
 ///    a detection latency between (miss-1) and miss periods (the
 ///    fault-scenario literature's model of real deployed detectors).
-enum class DetectorKind : std::uint8_t { kPaperInstant, kTimeout, kHeartbeat };
+///  - kGossip: SWIM-style epidemic dissemination — the death rumor spreads in
+///    rounds of `period`, each infected member telling `fanout` others, so an
+///    observer's detection latency grows with its (network-distance-ordered)
+///    position in the epidemic: close survivors learn within one round, far
+///    ones after O(log_{fanout+1} ranks) rounds, giving the non-uniform
+///    per-observer detection-latency distributions of real deployed
+///    detectors.
+enum class DetectorKind : std::uint8_t { kPaperInstant, kTimeout, kHeartbeat, kGossip };
 
-/// Parsed `--failure-detector` configuration. heartbeat_period == 0 means
-/// "derive from the network": the machine substitutes the network model's
-/// largest failure-detection timeout as the period.
+/// Parsed `--failure-detector` configuration. A zero period (heartbeat or
+/// gossip) means "derive from the network": the machine substitutes the
+/// network model's largest failure-detection timeout as the period.
 struct DetectorSpec {
   DetectorKind kind = DetectorKind::kPaperInstant;
   SimTime heartbeat_period = 0;
   int heartbeat_miss = 3;
+  SimTime gossip_period = 0;  ///< Epidemic round length; 0 = auto.
+  int gossip_fanout = 2;      ///< Rumor targets per infected member per round.
+  std::uint64_t gossip_seed = 1;  ///< Tie-break stream for equal-distance observers.
 
   friend bool operator==(const DetectorSpec&, const DetectorSpec&) = default;
 };
 
 /// Grammar: `paper-instant` | `timeout` | `heartbeat[:period=DUR][,miss=N]`
-/// (options separated by ',' after a ':'). Returns nullopt on malformed text.
+/// | `gossip[:period=DUR][,fanout=K][,seed=N]` (options separated by ','
+/// after a ':'; `period=auto` selects the network-derived default). Returns
+/// nullopt on malformed text.
 std::optional<DetectorSpec> parse_detector_spec(const std::string& text);
 
 /// Canonical round-trippable form, e.g. "heartbeat:period=100ms,miss=3".
@@ -61,11 +75,18 @@ const std::vector<DetectorInfo>& list_detectors();
 /// below vmpi/core in the link order.
 using PairTimeoutFn = std::function<SimTime(int observer_rank, int failed_rank)>;
 
+/// Per-pair zero-byte delivery latency (core wires Fabric::delivery with
+/// bytes = 0), the gossip detector's network-propagation term: for a
+/// HierarchicalNetwork this is overhead + hops x per-level link latency, so
+/// it orders observers by hop distance from the failed rank.
+using PairLatencyFn = std::function<SimTime(int observer_rank, int failed_rank)>;
+
 /// A detector model answers one question: at what virtual time does
 /// `observer` learn that `failed` died at `t_fail`? The NotificationBus uses
 /// the answer as the delivery time of the failure notice. Implementations
-/// must be pure functions of their arguments (no internal state): the bus
-/// may invoke them from any engine worker thread, and determinism across
+/// must behave as pure functions of their arguments (internal caches are
+/// allowed but must be thread-safe and value-deterministic): the bus may
+/// invoke them from any engine worker thread, and determinism across
 /// `--sim-workers` settings depends on it.
 class DetectorModel {
  public:
@@ -110,9 +131,66 @@ class HeartbeatDetector final : public DetectorModel {
   int miss_;
 };
 
-/// Builds the detector for a spec. `pair_timeout` feeds the timeout detector;
-/// `default_heartbeat_period` replaces a zero heartbeat_period (callers pass
-/// the network's largest failure-detection timeout).
+/// gossip: SWIM-style epidemic dissemination. Observers of a failed rank f
+/// are ordered by (pair_latency(o, f), seeded per-pair hash, rank) — network
+/// distance first, with a deterministic seeded shuffle breaking ties among
+/// equidistant observers — and the epidemic doubles `fanout + 1`-fold per
+/// round: the observer at 0-based position p in that order is infected in
+/// round r(p) = min { r >= 1 : (fanout + 1)^r >= p + 2 }. Its notice is
+/// delivered at
+///   t_fail + r(p) * period + pair_latency(o, f),
+/// which is strictly increasing in hop distance (the latency term) while the
+/// round term spreads equidistant observers across epidemic generations.
+class GossipDetector final : public DetectorModel {
+ public:
+  GossipDetector(SimTime period, int fanout, std::uint64_t seed,
+                 PairLatencyFn pair_latency, int ranks);
+  const char* name() const override { return "gossip"; }
+  SimTime detection_time(int observer, int failed, SimTime t_fail) const override;
+
+  /// Epidemic round in which `observer` is infected (>= 1; 0 for the failed
+  /// rank itself). Exposed for tests and the detector sweep.
+  int rounds(int observer, int failed) const;
+
+  SimTime period() const { return period_; }
+  int fanout() const { return fanout_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  const std::vector<int>& rounds_for(int failed) const;
+
+  SimTime period_;
+  int fanout_;
+  std::uint64_t seed_;
+  PairLatencyFn pair_latency_;
+  int ranks_;
+  /// Per-failed-rank infection rounds, computed once per failure target
+  /// (O(ranks log ranks)) so a ranks-wide broadcast costs O(1) per observer.
+  /// Guarded: detection_time may run on any engine worker.
+  mutable std::mutex cache_mutex_;
+  mutable std::map<int, std::vector<int>> rounds_cache_;
+};
+
+/// Everything a detector family may need from the layers that own the
+/// network: per-pair timeouts (timeout), per-pair zero-byte latency and the
+/// rank count (gossip), and the network-derived default period substituted
+/// for `period=auto` (heartbeat, gossip).
+struct DetectorWiring {
+  PairTimeoutFn pair_timeout;
+  PairLatencyFn pair_latency;
+  SimTime default_period = 0;
+  int ranks = 0;
+};
+
+/// Builds the detector for a spec from the supplied wiring. Throws
+/// std::invalid_argument when the spec needs wiring that is absent (e.g.
+/// gossip without pair_latency/ranks).
+std::unique_ptr<DetectorModel> make_detector(const DetectorSpec& spec, DetectorWiring wiring);
+
+/// Legacy convenience overload (pre-gossip callers): `pair_timeout` feeds the
+/// timeout detector; `default_heartbeat_period` replaces a zero
+/// heartbeat_period (callers pass the network's largest failure-detection
+/// timeout).
 std::unique_ptr<DetectorModel> make_detector(const DetectorSpec& spec,
                                              PairTimeoutFn pair_timeout,
                                              SimTime default_heartbeat_period);

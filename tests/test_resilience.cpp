@@ -4,15 +4,24 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <functional>
+#include <memory>
 #include <vector>
 
+#include "metrics/perf.hpp"
+#include "netmodel/network.hpp"
+#include "netmodel/topology.hpp"
+#include "pdes/engine.hpp"
+#include "resilience/bus.hpp"
 #include "resilience/detector.hpp"
 #include "resilience/fault_state.hpp"
 #include "resilience/policy.hpp"
 #include "resilience/schedule.hpp"
 #include "sim_test_util.hpp"
 #include "vmpi/context.hpp"
+#include "vmpi/fabric.hpp"
 
 namespace exasim {
 namespace {
@@ -56,8 +65,23 @@ TEST(DetectorSpec, ParsesHeadsAndHeartbeatOptions) {
   EXPECT_EQ(defaults->heartbeat_miss, 3);
 }
 
+TEST(DetectorSpec, ParsesGossipOptions) {
+  auto defaults = resilience::parse_detector_spec("gossip");
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_EQ(defaults->kind, resilience::DetectorKind::kGossip);
+  EXPECT_EQ(defaults->gossip_period, 0u);  // 0 = auto (network timeout).
+  EXPECT_EQ(defaults->gossip_fanout, 2);
+  EXPECT_EQ(defaults->gossip_seed, 1u);
+
+  auto full = resilience::parse_detector_spec("gossip:period=1ms,fanout=3,seed=42");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->gossip_period, sim_ms(1));
+  EXPECT_EQ(full->gossip_fanout, 3);
+  EXPECT_EQ(full->gossip_seed, 42u);
+}
+
 TEST(DetectorSpec, RejectsMalformedSpecs) {
-  EXPECT_FALSE(resilience::parse_detector_spec("gossip").has_value());
+  EXPECT_FALSE(resilience::parse_detector_spec("swim").has_value());
   EXPECT_FALSE(resilience::parse_detector_spec("timeout:period=1s").has_value());
   EXPECT_FALSE(resilience::parse_detector_spec("paper-instant:x").has_value());
   EXPECT_FALSE(resilience::parse_detector_spec("heartbeat:period=0").has_value());
@@ -65,10 +89,19 @@ TEST(DetectorSpec, RejectsMalformedSpecs) {
   EXPECT_FALSE(resilience::parse_detector_spec("heartbeat:miss=x").has_value());
   EXPECT_FALSE(resilience::parse_detector_spec("heartbeat:flavor=fast").has_value());
   EXPECT_FALSE(resilience::parse_detector_spec("heartbeat:period").has_value());
+  EXPECT_FALSE(resilience::parse_detector_spec("heartbeat:fanout=2").has_value());
+  EXPECT_FALSE(resilience::parse_detector_spec("gossip:period=0").has_value());
+  EXPECT_FALSE(resilience::parse_detector_spec("gossip:fanout=0").has_value());
+  EXPECT_FALSE(resilience::parse_detector_spec("gossip:fanout=x").has_value());
+  EXPECT_FALSE(resilience::parse_detector_spec("gossip:seed=-1").has_value());
+  EXPECT_FALSE(resilience::parse_detector_spec("gossip:miss=3").has_value());
+  EXPECT_FALSE(resilience::parse_detector_spec("timeout:fanout=2").has_value());
 }
 
 TEST(DetectorSpec, ToStringRoundTrips) {
-  for (const char* text : {"paper-instant", "timeout", "heartbeat:period=auto,miss=3"}) {
+  for (const char* text : {"paper-instant", "timeout", "heartbeat:period=auto,miss=3",
+                           "gossip:period=auto,fanout=2,seed=1",
+                           "gossip:period=5ms,fanout=4,seed=7"}) {
     auto spec = resilience::parse_detector_spec(text);
     ASSERT_TRUE(spec.has_value()) << text;
     EXPECT_EQ(resilience::to_string(*spec), text);
@@ -109,6 +142,107 @@ TEST(DetectorModel, MakeDetectorSubstitutesAutoHeartbeatPeriod) {
   auto d = resilience::make_detector(*spec, nullptr, sim_ms(50));
   // Auto period = the supplied default (the network's max failure timeout).
   EXPECT_EQ(d->detection_time(0, 1, 0), sim_ms(50));
+}
+
+TEST(DetectorModel, GossipRoundsFollowEpidemicGrowth) {
+  // Observers of rank 7, latency strictly increasing with rank: position
+  // order == rank order. fanout=2 -> the rumor triples per round: positions
+  // 0-1 in round 1 (3 infected), positions 2-6 in round 2 (9 infected).
+  resilience::GossipDetector d(
+      sim_ms(1), 2, 1, [](int o, int) { return sim_us(o * 10 + 1); }, 8);
+  EXPECT_EQ(d.rounds(7, 7), 0);  // The failed rank itself.
+  EXPECT_EQ(d.rounds(0, 7), 1);
+  EXPECT_EQ(d.rounds(1, 7), 1);
+  EXPECT_EQ(d.rounds(2, 7), 2);
+  EXPECT_EQ(d.rounds(6, 7), 2);
+  EXPECT_EQ(d.detection_time(0, 7, sim_ms(10)), sim_ms(11) + sim_us(1));
+  EXPECT_EQ(d.detection_time(6, 7, sim_ms(10)), sim_ms(12) + sim_us(61));
+}
+
+TEST(DetectorModel, GossipDetectionTimeMonotoneInLatency) {
+  auto latency = [](int o, int) { return sim_us(o * 3 + 2); };
+  resilience::GossipDetector d(sim_ms(1), 2, 1, latency, 32);
+  SimTime prev = 0;
+  for (int o = 0; o < 32; ++o) {
+    if (o == 31) continue;  // Rank 31 is the failed one.
+    const SimTime t = d.detection_time(o, 31, sim_ms(5));
+    EXPECT_GT(t, prev) << "observer " << o;
+    EXPECT_GE(t, sim_ms(5));
+    prev = t;
+  }
+}
+
+TEST(DetectorModel, GossipMonotoneWithHierarchicalNetworkHops) {
+  // 2-level machine: 8 nodes in a 1-D mesh line, 2 ranks per node. The
+  // zero-byte pair latency grows with node hop count, so detection times
+  // must strictly increase with hop distance from the failed rank.
+  NetworkParams system;
+  system.link_latency = sim_us(10);
+  NetworkParams on_node;
+  on_node.link_latency = sim_us(1);
+  NetworkParams on_chip;
+  on_chip.link_latency = sim_ns(100);
+  auto net = std::make_shared<HierarchicalNetwork>(
+      std::shared_ptr<const Topology>(make_topology("mesh:8x1x1")), system, on_node,
+      on_chip, /*ranks_per_chip=*/2, /*chips_per_node=*/1);
+  vmpi::Fabric fabric(net, net->ranks_per_node());
+  const int ranks = 16;
+  auto pair_latency = [&](int o, int f) { return fabric.delivery(o, f, 0); };
+  resilience::GossipDetector d(sim_ms(1), 2, 1, pair_latency, ranks);
+
+  const int failed = 0;
+  for (int a = 1; a < ranks; ++a) {
+    for (int b = 1; b < ranks; ++b) {
+      if (pair_latency(a, failed) < pair_latency(b, failed)) {
+        EXPECT_LT(d.detection_time(a, failed, sim_ms(1)),
+                  d.detection_time(b, failed, sim_ms(1)))
+            << "observers " << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(DetectorModel, GossipSeedStableAndSeedSensitive) {
+  // A star network gives every observer the same latency, so the epidemic
+  // order is purely the seeded shuffle: the same seed must reproduce the
+  // same times across instances, a different seed must change some of them,
+  // and the multiset of rounds (the epidemic's shape) must not depend on
+  // the seed.
+  auto flat = [](int, int) { return sim_us(5); };
+  const int ranks = 64;
+  resilience::GossipDetector a(sim_ms(1), 2, 9, flat, ranks);
+  resilience::GossipDetector b(sim_ms(1), 2, 9, flat, ranks);
+  resilience::GossipDetector c(sim_ms(1), 2, 10, flat, ranks);
+  bool any_diff = false;
+  std::vector<int> rounds_a, rounds_c;
+  for (int o = 1; o < ranks; ++o) {
+    EXPECT_EQ(a.detection_time(o, 0, 0), b.detection_time(o, 0, 0)) << o;
+    if (a.detection_time(o, 0, 0) != c.detection_time(o, 0, 0)) any_diff = true;
+    rounds_a.push_back(a.rounds(o, 0));
+    rounds_c.push_back(c.rounds(o, 0));
+  }
+  EXPECT_TRUE(any_diff);
+  std::sort(rounds_a.begin(), rounds_a.end());
+  std::sort(rounds_c.begin(), rounds_c.end());
+  EXPECT_EQ(rounds_a, rounds_c);
+}
+
+TEST(DetectorModel, GossipValidatesWiring) {
+  auto flat = [](int, int) { return sim_us(1); };
+  EXPECT_THROW(resilience::GossipDetector(0, 2, 1, flat, 4), std::invalid_argument);
+  EXPECT_THROW(resilience::GossipDetector(sim_ms(1), 0, 1, flat, 4), std::invalid_argument);
+  EXPECT_THROW(resilience::GossipDetector(sim_ms(1), 2, 1, nullptr, 4),
+               std::invalid_argument);
+  EXPECT_THROW(resilience::GossipDetector(sim_ms(1), 2, 1, flat, 0), std::invalid_argument);
+  // make_detector substitutes the default period and forwards the wiring.
+  auto spec = resilience::parse_detector_spec("gossip:fanout=1");
+  ASSERT_TRUE(spec.has_value());
+  resilience::DetectorWiring wiring;
+  wiring.pair_latency = [](int o, int) { return sim_us(o); };  // Rank 1 is closest.
+  wiring.default_period = sim_ms(50);
+  wiring.ranks = 4;
+  auto d = resilience::make_detector(*spec, std::move(wiring));
+  EXPECT_EQ(d->detection_time(1, 0, 0), sim_ms(50) + sim_us(1));
 }
 
 // ---------------------------------------------------------- failure schedule
@@ -322,6 +456,87 @@ TEST(ResilienceSim, DefaultDetectorIdenticalAcrossSimWorkers) {
   }
 }
 
+TEST(ResilienceSim, GossipDetectorIdenticalAcrossSimWorkers) {
+  // With gossip active the per-observer notice times are NOT rank-ordered
+  // (the epidemic order is latency+hash), which exercises the min-key relay
+  // batching: every simulated quantity — including the detection-latency
+  // stats — must still match across 1/2/4 workers.
+  auto run_with = [&](int workers) {
+    auto cfg = tiny_config(4);
+    cfg.sim_workers = workers;
+    cfg.ranks_per_node = 2;
+    cfg.failures = {FailureSpec{2, sim_ms(1)}};
+    auto spec = resilience::parse_detector_spec("gossip:period=1ms,fanout=2,seed=3");
+    EXPECT_TRUE(spec.has_value());
+    cfg.detector = *spec;
+    auto app = [](Context& ctx) {
+      ctx.set_error_handler(ctx.world(), vmpi::ErrorHandlerKind::kReturn);
+      std::int64_t mine = ctx.rank(), out = 0;
+      for (int i = 0; i < 20; ++i) {
+        ctx.compute(1e5);
+        if (ctx.allreduce(ctx.world(), vmpi::ReduceOp::kSum, vmpi::Dtype::kI64, &mine, &out,
+                          1) != Err::kSuccess) {
+          break;
+        }
+      }
+      ctx.finalize();
+    };
+    return run_app(cfg, app);
+  };
+  const SimResult ref = run_with(1);
+  EXPECT_EQ(ref.detector, "gossip:period=1ms,fanout=2,seed=3");
+  EXPECT_EQ(ref.failure_notices, 3u);
+  EXPECT_GT(ref.max_detection_latency, sim_ms(1));  // >= one epidemic round.
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const SimResult r = run_with(workers);
+    EXPECT_EQ(r.outcome, ref.outcome);
+    EXPECT_EQ(r.max_end_time, ref.max_end_time);
+    EXPECT_EQ(r.min_end_time, ref.min_end_time);
+    EXPECT_DOUBLE_EQ(r.avg_end_time_sec, ref.avg_end_time_sec);
+    EXPECT_EQ(r.failure_notices, ref.failure_notices);
+    EXPECT_EQ(r.max_detection_latency, ref.max_detection_latency);
+    EXPECT_DOUBLE_EQ(r.mean_detection_latency_sec, ref.mean_detection_latency_sec);
+    EXPECT_EQ(r.finished_count, ref.finished_count);
+    EXPECT_EQ(r.failed_count, ref.failed_count);
+    EXPECT_EQ(r.aborted_count, ref.aborted_count);
+    EXPECT_EQ(r.total_busy_time, ref.total_busy_time);
+    EXPECT_EQ(r.total_comm_time, ref.total_comm_time);
+  }
+}
+
+TEST(ResilienceSim, RepeatedFailuresDontInflateMeanLatency) {
+  // Rank 2 dies at 1 ms, rank 1 at 2 ms. With the 1 ms timeout detector,
+  // rank 1's would-be notice about rank 2 lands at 2 ms — exactly when rank
+  // 1 itself dies, so the engine drops it (dead destinations are skipped)
+  // and the stats must not count it: each failure contributes exactly the
+  // live observers, not every non-failed rank.
+  auto cfg = tiny_config(3);
+  cfg.failures = {FailureSpec{2, sim_ms(1)}, FailureSpec{1, sim_ms(2)}};
+  auto spec = resilience::parse_detector_spec("timeout");
+  ASSERT_TRUE(spec.has_value());
+  cfg.detector = *spec;
+  auto app = [&](Context& ctx) {
+    ctx.set_error_handler(ctx.world(), vmpi::ErrorHandlerKind::kReturn);
+    if (ctx.rank() == 0) {
+      int v = 0;
+      EXPECT_EQ(ctx.recv(2, 0, &v, sizeof v), Err::kProcFailed);
+      EXPECT_EQ(ctx.recv(1, 0, &v, sizeof v), Err::kProcFailed);
+    } else {
+      int v = 0;
+      ctx.recv(0, 9, &v, sizeof v);  // Dies blocked.
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(cfg, app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  ASSERT_EQ(r.activated_failures.size(), 2u);
+  // Rank 0 observes both failures; dead observers contribute nothing.
+  EXPECT_EQ(r.failure_notices, 2u);
+  EXPECT_EQ(r.max_detection_latency, sim_ms(1));
+  EXPECT_DOUBLE_EQ(r.mean_detection_latency_sec, to_seconds(sim_ms(1)));
+}
+
 TEST(ResilienceSim, InjectFailureKillsProcessProgrammatically) {
   // Context::inject_failure arms the same activation path as the schedule:
   // the process dies at clock + delay, survivors get notices.
@@ -345,6 +560,104 @@ TEST(ResilienceSim, InjectFailureKillsProcessProgrammatically) {
   ASSERT_EQ(r.activated_failures.size(), 1u);
   EXPECT_EQ(r.activated_failures[0].rank, 1);
   EXPECT_EQ(r.activated_failures[0].time, sim_ms(2));
+}
+
+// ----------------------------------------------- batched notification fan-out
+
+// An LP that ignores every event; LP 0 optionally fires a one-shot hook on
+// its first event (used to broadcast a failure from inside a worker thread).
+struct NullLp final : LogicalProcess {
+  std::function<void(Engine&)> on_first_event;
+  void on_event(Engine& engine, Event&& ev) override {
+    (void)ev;
+    if (on_first_event) {
+      auto hook = std::move(on_first_event);
+      on_first_event = nullptr;
+      hook(engine);
+    }
+  }
+  bool terminated() const override { return true; }
+};
+
+TEST(FanoutBatching, FailureCostsAtMostGroupsPlusRanks) {
+  // Acceptance criterion: a failure on a 32768-rank / 8-group run generates
+  // <= (groups + ranks) bus events — one relay per remote group plus one
+  // notice per survivor — instead of O(ranks) cross-group mailbox events.
+  constexpr int kRanks = 32768;
+  constexpr int kGroups = 8;
+  Engine engine;
+  std::vector<NullLp> lps(kRanks);
+  for (int id = 0; id < kRanks; ++id) engine.add_process(id, &lps[id]);
+  Engine::ShardingOptions shard;
+  shard.workers = kGroups;
+  shard.lookahead = sim_us(1);
+  shard.block_alignment = kRanks / kGroups;
+  engine.set_sharding(shard);
+
+  resilience::NotificationBus::Wiring wiring;
+  wiring.engine = &engine;
+  wiring.ranks = kRanks;
+  wiring.failure_kind = 1;
+  wiring.abort_kind = 2;
+  wiring.revoke_kind = 3;
+  resilience::NotificationBus bus(wiring);
+
+  lps[0].on_first_event = [&](Engine& eng) { bus.broadcast_failure(0, eng.now()); };
+  engine.schedule(sim_us(2), 0, /*kind=*/99, nullptr);
+
+  const PerfSnapshot before = perf_snapshot();
+  engine.run();
+  const PerfSnapshot d = perf_delta(before, perf_snapshot());
+
+  EXPECT_EQ(engine.worker_groups(), kGroups);
+  EXPECT_EQ(d.fanout_notices, static_cast<std::uint64_t>(kRanks - 1));
+  EXPECT_EQ(d.fanout_relays, static_cast<std::uint64_t>(kGroups - 1));
+  EXPECT_EQ(d.fanout_dead_skips, 0u);
+  EXPECT_LE(d.fanout_relays, static_cast<std::uint64_t>(kGroups));
+  EXPECT_LE(d.fanout_notices + d.fanout_relays,
+            static_cast<std::uint64_t>(kGroups + kRanks));
+  // Relays are transport, not delivery: processed events = kick + notices.
+  EXPECT_EQ(engine.events_processed(), static_cast<std::uint64_t>(kRanks));
+
+  const resilience::NotificationBus::DetectionStats stats = bus.detection_stats();
+  EXPECT_EQ(stats.notices, static_cast<std::uint64_t>(kRanks - 1));
+  EXPECT_EQ(stats.max_latency, 0u);  // Instant detector (null).
+}
+
+TEST(FanoutBatching, DeadDestinationsAreSkippedEverywhere) {
+  // Destinations already dead never receive a notice, whether they live in
+  // the broadcasting group (skipped at enqueue) or a remote one (skipped at
+  // unpack) — and the drop counter sees each exactly once.
+  constexpr int kRanks = 64;
+  constexpr int kGroups = 4;
+  Engine engine;
+  std::vector<NullLp> lps(kRanks);
+  for (int id = 0; id < kRanks; ++id) engine.add_process(id, &lps[id]);
+  Engine::ShardingOptions shard;
+  shard.workers = kGroups;
+  shard.lookahead = sim_us(1);
+  shard.block_alignment = kRanks / kGroups;
+  engine.set_sharding(shard);
+
+  resilience::NotificationBus::Wiring wiring;
+  wiring.engine = &engine;
+  wiring.ranks = kRanks;
+  wiring.failure_kind = 1;
+  resilience::NotificationBus bus(wiring);
+
+  engine.mark_dead(3);   // Same group as the broadcasting LP 0.
+  engine.mark_dead(40);  // Remote group.
+  lps[0].on_first_event = [&](Engine& eng) { bus.broadcast_failure(7, eng.now()); };
+  engine.schedule(sim_us(2), 0, /*kind=*/99, nullptr);
+
+  const PerfSnapshot before = perf_snapshot();
+  engine.run();
+  const PerfSnapshot d = perf_delta(before, perf_snapshot());
+
+  // 63 observers of rank 7, of which ranks 3 and 40 are dead.
+  EXPECT_EQ(d.fanout_dead_skips, 2u);
+  EXPECT_EQ(d.fanout_notices + d.fanout_dead_skips, static_cast<std::uint64_t>(kRanks - 1));
+  EXPECT_EQ(engine.events_processed(), static_cast<std::uint64_t>(kRanks - 2));
 }
 
 // -------------------------------------------- reduce commutativity (MPI_REPLACE)

@@ -67,6 +67,9 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
       p.stacks_mapped += run.perf.stacks_mapped;
       p.stacks_reused += run.perf.stacks_reused;
       p.stacks_high_water = std::max(p.stacks_high_water, run.perf.stacks_high_water);
+      p.fanout_notices += run.perf.fanout_notices;
+      p.fanout_relays += run.perf.fanout_relays;
+      p.fanout_dead_skips += run.perf.fanout_dead_skips;
     }
   }
   if (events == 0 || wall <= 0) return;
@@ -89,6 +92,12 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
                static_cast<unsigned long long>(p.stacks_mapped),
                static_cast<unsigned long long>(p.stacks_reused),
                static_cast<unsigned long long>(p.stacks_high_water));
+  if (p.fanout_notices > 0 || p.fanout_relays > 0 || p.fanout_dead_skips > 0) {
+    std::fprintf(stderr, "fanout         : %llu notices, %llu relays, %llu dead skips\n",
+                 static_cast<unsigned long long>(p.fanout_notices),
+                 static_cast<unsigned long long>(p.fanout_relays),
+                 static_cast<unsigned long long>(p.fanout_dead_skips));
+  }
 }
 
 int die_usage(const std::string& msg) {
