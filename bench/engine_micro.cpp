@@ -16,6 +16,7 @@
 #include "core/machine.hpp"
 #include "fiber/fiber.hpp"
 #include "pdes/engine.hpp"
+#include "pdes/scheduler.hpp"
 #include "util/log.hpp"
 #include "util/pool.hpp"
 #include "util/rng.hpp"
@@ -153,6 +154,85 @@ void BM_EventChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_EventChurn)->Arg(0)->Arg(1)->ArgNames({"pooled"});
+
+// ---- Sharded engine: multi-core window throughput -------------------------
+
+constexpr SimTime kSpinLookahead = 8;
+
+struct SpinPayload final : EventPayload {
+  explicit SpinPayload(int h) : hops(h) {}
+  int hops;
+};
+
+/// Event-dense macro workload: every delivered event burns a fixed slab of
+/// compute (an LCG spin), self-schedules within the window, and occasionally
+/// fans out across LPs at >= lookahead. Execution-bound by construction —
+/// the regime where window parallelism pays. The spin seed depends only on
+/// the event's identity, so the schedule (and total event count) is
+/// byte-identical for every worker count and scheduling policy.
+class SpinLp final : public LogicalProcess {
+ public:
+  SpinLp(LpId id, int lp_count) : id_(id), lp_count_(lp_count) {}
+
+  void on_event(Engine& engine, Event&& ev) override {
+    std::uint64_t acc = 0x9e3779b97f4a7c15ull ^ (static_cast<std::uint64_t>(ev.time) << 8) ^
+                        static_cast<std::uint64_t>(id_);
+    for (int i = 0; i < 2000; ++i) {
+      acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+    }
+    benchmark::DoNotOptimize(acc);
+    auto* p = static_cast<SpinPayload*>(ev.payload.get());
+    if (p == nullptr || p->hops <= 0) return;
+    engine.schedule(ev.time + 1 + acc % 4, id_, 0, std::make_unique<SpinPayload>(p->hops - 1));
+    if (acc % 8 == 0) {
+      engine.schedule(ev.time + kSpinLookahead + acc % 16, static_cast<LpId>(acc % lp_count_),
+                      1, std::make_unique<SpinPayload>(p->hops - 1));
+    }
+  }
+  bool terminated() const override { return true; }
+
+ private:
+  LpId id_;
+  int lp_count_;
+};
+
+/// range(0) = workers, range(1) = 1 for the adaptive policy (with its default
+/// 4 groups-per-worker oversubscription, enabling work-stealing), 0 for
+/// fixed. Real time, not CPU time: the whole point is wall-clock speedup.
+void BM_ShardedWindowThroughput(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const bool adaptive = state.range(1) != 0;
+  constexpr int kLps = 64;
+  constexpr int kHops = 40;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    std::vector<std::unique_ptr<SpinLp>> lps;
+    for (LpId i = 0; i < kLps; ++i) {
+      lps.push_back(std::make_unique<SpinLp>(i, kLps));
+      engine.add_process(i, lps.back().get());
+      engine.schedule(static_cast<SimTime>(i % 3), i, 0, std::make_unique<SpinPayload>(kHops));
+    }
+    Engine::ShardingOptions opts{workers, kSpinLookahead, 1, {}};
+    opts.scheduler.kind = adaptive ? SchedulerKind::kAdaptive : SchedulerKind::kFixed;
+    engine.set_sharding(opts);
+    state.ResumeTiming();
+    engine.run();
+    events = engine.events_processed();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ShardedWindowThroughput)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->ArgNames({"workers", "adaptive"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // ---- Fibers ---------------------------------------------------------------
 

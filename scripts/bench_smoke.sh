@@ -11,6 +11,15 @@
 #     must byte-match the committed golden in
 #     scripts/bench_smoke_result.golden.json. Any simulated-quantity drift
 #     (end times, event counts, energy) fails the build.
+#  3. Sharded-scheduler determinism: the same macro row on 2 sim workers,
+#     fixed and adaptive+speculation, must emit a result-json byte-identical
+#     to the sequential golden (minus the scheduler config echo), the fixed
+#     policy's window count must match BENCH_baseline.json exactly, and the
+#     adaptive policy must widen windows (strictly fewer cycles) while
+#     actually staging speculative events.
+#  4. Multi-core speedup (skipped below 4 CPUs): the event-dense
+#     BM_ShardedWindowThroughput macro benchmark on 4 workers must beat 1
+#     worker by the factor recorded in BENCH_baseline.json.
 #
 # Usage: scripts/bench_smoke.sh [jobs]
 set -eu
@@ -96,5 +105,88 @@ if ! cmp -s /tmp/bench_smoke_result.stripped.json "$GOLDEN"; then
   exit 1
 fi
 echo "  result-json matches $GOLDEN"
+
+echo "== bench smoke: sharded scheduler (2 workers, fixed + adaptive, json byte-stable) =="
+# shellcheck disable=SC2086
+./build/tools/exasim_run $WORKLOAD --sim-workers=2 --scheduler=fixed \
+  --result-json=/tmp/bench_smoke_fixed.json >/dev/null 2>/tmp/bench_smoke_fixed.stderr
+# shellcheck disable=SC2086
+./build/tools/exasim_run $WORKLOAD --sim-workers=2 --scheduler=adaptive --speculate=8 \
+  --result-json=/tmp/bench_smoke_adaptive.json >/dev/null 2>/tmp/bench_smoke_adaptive.stderr
+
+jq -S 'del(.scheduler)' "$GOLDEN" >/tmp/bench_smoke_golden.nosched.json
+for policy in fixed adaptive; do
+  jq -S 'del(.wall_seconds, .events_per_sec, .scheduler)' \
+    "/tmp/bench_smoke_$policy.json" >"/tmp/bench_smoke_$policy.stripped.json"
+  if ! cmp -s "/tmp/bench_smoke_$policy.stripped.json" /tmp/bench_smoke_golden.nosched.json; then
+    echo "bench_smoke.sh: $policy sharded result-json drifted from the sequential golden:" >&2
+    diff /tmp/bench_smoke_golden.nosched.json "/tmp/bench_smoke_$policy.stripped.json" >&2 || true
+    exit 1
+  fi
+done
+echo "  sharded result-json matches the sequential golden for both policies"
+
+python3 - <<'EOF'
+import json, re
+
+baseline = json.load(open("BENCH_baseline.json"))["scheduler"]["macro_sharded"]
+
+def sched_line(path):
+    err = open(path).read()
+    m = re.search(r"sched\s*: (\d+) windows \((\d+) widened\), (\d+) steals, "
+                  r"(\d+) speculated \((\d+) rolled back\), ([\d.]+) s barrier idle", err)
+    if not m:
+        raise SystemExit(f"could not parse sched counters from {path}:\n" + err)
+    return [int(m.group(i)) for i in range(1, 6)] + [float(m.group(6))]
+
+fw, fwide, fsteal, fspec, froll, fidle = sched_line("/tmp/bench_smoke_fixed.stderr")
+aw, awide, asteal, aspec, aroll, aidle = sched_line("/tmp/bench_smoke_adaptive.stderr")
+print(f"  fixed    : {fw} windows ({fwide} widened), {fspec} speculated, idle {fidle:.2f}s")
+print(f"  adaptive : {aw} windows ({awide} widened), {aspec} speculated, idle {aidle:.2f}s")
+if fw != baseline["fixed_windows"]:
+    raise SystemExit(f"fixed-policy window count {fw} != baseline {baseline['fixed_windows']}"
+                     " (the conservative cycle structure drifted)")
+if fwide != 0:
+    raise SystemExit("fixed policy must never widen a window")
+if not (0 < aw <= fw):
+    raise SystemExit(f"adaptive window count {aw} not in (0, {fw}]")
+if awide == 0:
+    raise SystemExit("adaptive policy widened nothing on the macro row")
+if aspec == 0 or aroll > aspec:
+    raise SystemExit(f"speculation counters implausible: {aspec} staged, {aroll} rolled back")
+EOF
+
+CORES=$(nproc 2>/dev/null || echo 1)
+if [ "$CORES" -lt 4 ]; then
+  echo "== bench smoke: multi-core speedup skipped ($CORES CPUs < 4) =="
+else
+  echo "== bench smoke: multi-core speedup (4 vs 1 workers, adaptive+stealing) =="
+  ./build/bench/engine_micro \
+    --benchmark_filter='BM_ShardedWindowThroughput/workers:(1|4)/adaptive:1' \
+    --benchmark_min_time=0.5 --benchmark_format=json >/tmp/bench_smoke_sharded.json
+
+  python3 - <<'EOF'
+import json
+
+baseline = json.load(open("BENCH_baseline.json"))["scheduler"]["macro_sharded"]
+data = json.load(open("/tmp/bench_smoke_sharded.json"))
+times = {}
+for b in data["benchmarks"]:
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    if "workers:1" in b["name"]:
+        times[1] = b["real_time"]
+    elif "workers:4" in b["name"]:
+        times[4] = b["real_time"]
+if 1 not in times or 4 not in times:
+    raise SystemExit("missing BM_ShardedWindowThroughput rows")
+speedup = times[1] / times[4]
+need = baseline["min_speedup_4v1"]
+status = "ok" if speedup >= need else "REGRESSION"
+print(f"  4-vs-1 worker speedup: {speedup:.2f}x (need >= {need}x) {status}")
+if speedup < need:
+    raise SystemExit("multi-core speedup fell below the BENCH_baseline.json floor")
+EOF
+fi
 
 echo "bench smoke OK"

@@ -3,9 +3,11 @@
 # a ThreadSanitizer build of the experiment executor, PDES engine, MPI
 # point-to-point, and resilience tests (the suites that exercise the parallel
 # campaign machinery, the sharded engine, and the failure-notification bus
-# end to end). The TSan suites run twice: once as-is and once with
+# end to end). The TSan suites run three times: as-is, with
 # EXASIM_SIM_WORKERS=4 so every engine run inside them is forced onto
-# multiple worker threads. The ASan leg runs pooled and EXASIM_NO_POOL=1.
+# multiple worker threads, and with the adaptive scheduler plus speculation
+# on top so the widened-window/work-stealing/rollback paths are exercised
+# under the race detector. The ASan leg runs pooled and EXASIM_NO_POOL=1.
 #
 # Usage: scripts/tier1.sh [release|tsan|asan|all] [jobs]
 #   scripts/tier1.sh              # all legs, jobs = nproc
@@ -48,6 +50,10 @@ run_tsan() {
 
   echo "== tier 1: ThreadSanitizer, forced multi-worker engine =="
   (cd build-tsan && EXASIM_SIM_WORKERS=4 ctest --output-on-failure -R 'test_pdes|test_vmpi_p2p|test_resilience')
+
+  echo "== tier 1: ThreadSanitizer, adaptive scheduler + stealing + speculation =="
+  (cd build-tsan && EXASIM_SIM_WORKERS=4 EXASIM_SCHEDULER=adaptive EXASIM_SPECULATE=8 \
+    ctest --output-on-failure -R 'test_pdes|test_vmpi_p2p|test_resilience')
 }
 
 run_asan() {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "netmodel/topology.hpp"
+#include "pdes/scheduler.hpp"
 #include "pdes/sim_workers.hpp"
 #include "util/log.hpp"
 #include "vmpi/context.hpp"
@@ -126,10 +127,13 @@ SimResult Machine::run() {
   // conservative window (µs-scale) late, which the ms-scale failure
   // timeouts governing observable behavior absorb.
   const auto* hier = dynamic_cast<const HierarchicalNetwork*>(network_.get());
+  const SchedulerSpec scheduler = resolve_scheduler_spec(config_.scheduler);
   Engine::ShardingOptions shard;
   shard.workers = resolve_sim_workers(config_.sim_workers);
   shard.lookahead = network_->min_remote_latency();
   shard.block_alignment = hier ? hier->ranks_per_node() : config_.ranks_per_node;
+  shard.scheduler = scheduler;
+  shard.speculate = resolve_speculation(config_.speculate);
   engine_.set_sharding(std::move(shard));
   engine_.set_causality_mode(Engine::CausalityMode::kCount);
 
@@ -162,6 +166,7 @@ SimResult Machine::run() {
   result.activated_failures = activated_;
   result.abort_time = abort_time_;
   result.abort_origin = abort_origin_;
+  result.scheduler = exasim::to_string(scheduler);
   result.detector = resilience::to_string(config_.detector);
   result.error_policy = resilience::to_string(config_.default_error_handler);
   const auto det_stats = bus_->detection_stats();
@@ -278,6 +283,7 @@ std::string sim_result_json(const SimResult& r) {
   os << "\"max_end_time_ns\":" << r.max_end_time << ",";
   os << "\"max_end_time_sec\":" << to_seconds(r.max_end_time) << ",";
   os << "\"avg_end_time_sec\":" << r.avg_end_time_sec << ",";
+  os << "\"scheduler\":\"" << r.scheduler << "\",";
   os << "\"detector\":\"" << r.detector << "\",";
   os << "\"error_policy\":\"" << r.error_policy << "\",";
   os << "\"failure_notices\":" << r.failure_notices << ",";

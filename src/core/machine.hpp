@@ -77,10 +77,22 @@ struct SimConfig {
 
   /// Engine worker threads (LP groups): 1 = sequential engine, N > 1 =
   /// conservative-window parallel engine with N groups, 0 = defer to the
-  /// EXASIM_SIM_WORKERS environment variable, -1 = one per hardware thread
-  /// (exasim::resolve_sim_workers). Every setting delivers the identical
-  /// simulated schedule.
+  /// EXASIM_SIM_WORKERS environment variable, -1 = one per usable CPU
+  /// (exasim::resolve_sim_workers — affinity/cgroup aware). Every setting
+  /// delivers the identical simulated schedule.
   int sim_workers = 0;
+
+  /// Window scheduler policy spec ("fixed", "adaptive",
+  /// "adaptive:stretch=N,gpw=N"); empty defers to EXASIM_SCHEDULER, unset
+  /// environment means "fixed" (exasim::resolve_scheduler_spec). Every
+  /// setting delivers the identical simulated schedule (DESIGN.md §11).
+  std::string scheduler;
+
+  /// Bounded speculation depth (--speculate=N): maximum events per LP group
+  /// staged past the conservative window bound, rolled back when a merged-in
+  /// event invalidates them; 0 = off, negative defers to EXASIM_SPECULATE.
+  /// Identical simulated schedule at any depth.
+  int speculate = -1;
 };
 
 /// Result of one simulated application execution.
@@ -98,6 +110,11 @@ struct SimResult {
   /// Failures that actually activated (rank + *actual* failure time, which
   /// is >= the scheduled time; §IV-B).
   std::vector<FailureSpec> activated_failures;
+
+  /// Resolved window-scheduler configuration (canonical spec string, e.g.
+  /// "fixed" or "adaptive"). Config echo only — the simulated result is
+  /// policy-independent.
+  std::string scheduler;
 
   /// Resolved resilience configuration (canonical spec strings) and the
   /// detection-latency accounting from the notification bus: one notice per

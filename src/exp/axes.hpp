@@ -1,6 +1,7 @@
 #pragma once
 
 #include "exp/plan.hpp"
+#include "pdes/scheduler.hpp"
 #include "resilience/detector.hpp"
 
 namespace exasim::exp {
@@ -13,5 +14,13 @@ Axis failure_detector_axis();
 /// DetectorSpec for a failure_detector_axis() value index (defaults for the
 /// parameterized families: heartbeat period auto, miss 3).
 resilience::DetectorSpec detector_spec_for(std::size_t value_index);
+
+/// The window-scheduler axis: one value per registered scheduler family
+/// (fixed, adaptive), in registry order — for perf campaigns comparing
+/// policies (the simulated result is policy-invariant by design).
+Axis scheduler_axis();
+
+/// SchedulerSpec for a scheduler_axis() value index (family defaults).
+SchedulerSpec scheduler_spec_for(std::size_t value_index);
 
 }  // namespace exasim::exp

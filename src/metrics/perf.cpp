@@ -22,6 +22,13 @@ PerfSnapshot perf_snapshot() {
   s.fanout_notices = fo.notices;
   s.fanout_relays = fo.relay_events;
   s.fanout_dead_skips = fo.dead_skips;
+  const SchedStats sc = sched_stats();
+  s.sched_windows = sc.windows;
+  s.sched_window_widenings = sc.window_widenings;
+  s.sched_steals = sc.steals;
+  s.sched_speculated = sc.speculated;
+  s.sched_rollbacks = sc.rollbacks;
+  s.sched_barrier_idle_ns = sc.barrier_idle_ns;
   return s;
 }
 
@@ -38,6 +45,12 @@ PerfSnapshot perf_delta(const PerfSnapshot& begin, const PerfSnapshot& end) {
   d.fanout_notices = end.fanout_notices - begin.fanout_notices;
   d.fanout_relays = end.fanout_relays - begin.fanout_relays;
   d.fanout_dead_skips = end.fanout_dead_skips - begin.fanout_dead_skips;
+  d.sched_windows = end.sched_windows - begin.sched_windows;
+  d.sched_window_widenings = end.sched_window_widenings - begin.sched_window_widenings;
+  d.sched_steals = end.sched_steals - begin.sched_steals;
+  d.sched_speculated = end.sched_speculated - begin.sched_speculated;
+  d.sched_rollbacks = end.sched_rollbacks - begin.sched_rollbacks;
+  d.sched_barrier_idle_ns = end.sched_barrier_idle_ns - begin.sched_barrier_idle_ns;
   return d;
 }
 

@@ -1,6 +1,7 @@
 #include "pdes/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <stdexcept>
@@ -56,6 +57,8 @@ void Engine::set_sharding(ShardingOptions opts) {
   if (opts.workers < 1) opts.workers = 1;
   if (opts.lookahead < 1) opts.lookahead = 1;  // windows must make progress
   if (opts.block_alignment < 1) opts.block_alignment = 1;
+  if (opts.speculate < 0) opts.speculate = 0;
+  if (opts.scheduler.groups_per_worker < 0) opts.scheduler.groups_per_worker = 0;
   sharding_ = std::move(opts);
 }
 
@@ -245,13 +248,24 @@ SimTime Engine::now() const {
   return now_;
 }
 
-int Engine::plan_groups() const {
+void Engine::plan_shape(int* workers, int* group_count) const {
   const std::size_t n = processes_.size();
   const std::size_t align = static_cast<std::size_t>(sharding_.block_alignment);
   const std::size_t blocks = (n + align - 1) / align;
-  std::size_t g = static_cast<std::size_t>(sharding_.workers);
+  std::size_t w = static_cast<std::size_t>(sharding_.workers);
+  if (w > blocks) w = blocks;
+  if (w < 1) w = 1;
+  // Groups-per-worker oversubscription gives finished workers something to
+  // steal; the fixed policy defaults to the legacy one-group-per-worker
+  // shape, the adaptive policy to 4 (more, smaller groups even out uneven
+  // event density).
+  std::size_t gpw = static_cast<std::size_t>(sharding_.scheduler.groups_per_worker);
+  if (gpw < 1) gpw = sharding_.scheduler.kind == SchedulerKind::kAdaptive ? 4 : 1;
+  std::size_t g = w * gpw;
   if (g > blocks) g = blocks;
-  return g < 1 ? 1 : static_cast<int>(g);
+  if (g < w) g = w;
+  *workers = static_cast<int>(w);
+  *group_count = static_cast<int>(g);
 }
 
 std::vector<int> Engine::plan_partition(int group_count) const {
@@ -288,12 +302,14 @@ std::vector<int> Engine::plan_partition(int group_count) const {
 }
 
 void Engine::run() {
-  const int group_count = plan_groups();
+  int workers = 1;
+  int group_count = 1;
+  plan_shape(&workers, &group_count);
   last_groups_ = group_count;
   if (group_count <= 1) {
     run_sequential();
   } else {
-    run_parallel(group_count);
+    run_parallel(workers, group_count);
   }
 }
 
@@ -342,7 +358,18 @@ void Engine::run_sequential() {
   }
 }
 
-void Engine::run_parallel(int group_count) {
+/// Shared state of one run_parallel invocation, handed to every worker.
+struct Engine::WorkerPlan {
+  std::vector<std::unique_ptr<LpGroup>> groups;
+  std::vector<int> home;                ///< Group id → home worker.
+  WindowSync* sync = nullptr;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<std::uint64_t> steals_by_worker;
+  std::vector<std::uint64_t> idle_ns_by_worker;
+};
+
+void Engine::run_parallel(int workers, int group_count) {
   stop_requested_.store(false, std::memory_order_relaxed);
   const std::size_t n = processes_.size();
   group_of_ = plan_partition(group_count);
@@ -350,13 +377,13 @@ void Engine::run_parallel(int group_count) {
   if (dead_.size() < n) dead_.resize(n, 0);
   if (seq_by_source_.size() < n + 1) seq_by_source_.resize(n + 1, 0);
 
-  std::vector<std::unique_ptr<LpGroup>> groups;
-  groups.reserve(static_cast<std::size_t>(group_count));
+  WorkerPlan plan;
+  plan.groups.reserve(static_cast<std::size_t>(group_count));
   for (int g = 0; g < group_count; ++g) {
-    groups.push_back(std::make_unique<LpGroup>(g, group_count));
+    plan.groups.push_back(std::make_unique<LpGroup>(g, group_count));
   }
   for (std::size_t id = 0; id < n; ++id) {
-    groups[static_cast<std::size_t>(group_of_[id])]->members().push_back(
+    plan.groups[static_cast<std::size_t>(group_of_[id])]->members().push_back(
         static_cast<LpId>(id));
   }
   while (!queue_.empty()) {
@@ -371,88 +398,200 @@ void Engine::run_parallel(int group_count) {
     if (ev.target < 0 || static_cast<std::size_t>(ev.target) >= n) {
       throw std::logic_error("event for unknown LP");
     }
-    groups[static_cast<std::size_t>(group_of_[static_cast<std::size_t>(ev.target)])]
+    plan.groups[static_cast<std::size_t>(group_of_[static_cast<std::size_t>(ev.target)])]
         ->queue()
         .push(std::move(ev));
   }
   // Carry the engine clock into every group (relevant when run() is called
   // again after a previous run advanced the clock).
-  for (auto& grp : groups) grp->advance_now(now_);
+  for (auto& grp : plan.groups) grp->advance_now(now_);
 
-  WindowSync sync(group_count, sharding_.lookahead, &stop_requested_);
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(group_count) - 1);
-  for (int g = 1; g < group_count; ++g) {
-    threads.emplace_back([this, &groups, &sync, &first_error, &error_mu, g] {
-      worker_main(groups, *groups[static_cast<std::size_t>(g)], sync, first_error, error_mu);
-    });
+  // Contiguous monotone home assignment: groups g with home[g] == w are
+  // worker w's first claim targets each phase.
+  plan.home.resize(static_cast<std::size_t>(group_count));
+  for (int g = 0; g < group_count; ++g) {
+    plan.home[static_cast<std::size_t>(g)] =
+        static_cast<int>((static_cast<long long>(g) * workers) / group_count);
   }
-  worker_main(groups, *groups[0], sync, first_error, error_mu);
+  plan.steals_by_worker.assign(static_cast<std::size_t>(workers), 0);
+  plan.idle_ns_by_worker.assign(static_cast<std::size_t>(workers), 0);
+
+  const std::unique_ptr<SchedulerPolicy> policy = make_scheduler(sharding_.scheduler);
+  WindowSync sync(workers, group_count, sharding_.lookahead, policy.get(), &stop_requested_);
+  plan.sync = &sync;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) {
+    threads.emplace_back([this, &plan, w] { worker_main(plan, w); });
+  }
+  worker_main(plan, 0);
   for (std::thread& t : threads) t.join();
 
-  // Fold group-local state back into the engine for the post-run accessors.
-  for (auto& grp : groups) {
+  // Fold group-local state back into the engine for the post-run accessors,
+  // and the run's scheduler bookkeeping into the process-wide counters.
+  std::uint64_t speculated = 0;
+  std::uint64_t rollbacks = 0;
+  for (auto& grp : plan.groups) {
     events_processed_ += grp->events_processed;
     events_dropped_dead_ += grp->events_dropped_dead;
+    speculated += grp->speculated_events;
+    rollbacks += grp->rollbacks;
     if (grp->now() > now_) now_ = grp->now();
+    while (!grp->stage().empty()) queue_.push(grp->pop_stage());
     while (!grp->queue().empty()) queue_.push(grp->queue().pop());
     for (int dst = 0; dst < group_count; ++dst) {
       for (Event& ev : grp->outbox_for(dst)) queue_.push(std::move(ev));
       grp->outbox_for(dst).clear();
     }
   }
+  std::uint64_t steals = 0;
+  std::uint64_t idle_ns = 0;
+  for (std::uint64_t s : plan.steals_by_worker) steals += s;
+  for (std::uint64_t ns : plan.idle_ns_by_worker) idle_ns += ns;
+  sched_note_run(steals, speculated, rollbacks, idle_ns);
   group_of_.clear();
-  if (first_error) std::rethrow_exception(first_error);
+  if (plan.first_error) std::rethrow_exception(plan.first_error);
 }
 
-void Engine::worker_main(std::vector<std::unique_ptr<LpGroup>>& groups, LpGroup& grp,
-                         WindowSync& sync, std::exception_ptr& first_error,
-                         std::mutex& error_mu) {
-  t_worker = WorkerCtx{this, &grp};
+void Engine::worker_main(WorkerPlan& plan, int worker) {
+  WindowSync& sync = *plan.sync;
+  const int group_count = static_cast<int>(plan.groups.size());
+  // Claim scan order: home groups first, then everyone else's — both in
+  // ascending group id, so the steal *order* is deterministic even though
+  // which claims this worker wins depends on host timing.
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(group_count));
+  for (int g = 0; g < group_count; ++g) {
+    if (plan.home[static_cast<std::size_t>(g)] == worker) order.push_back(g);
+  }
+  for (int g = 0; g < group_count; ++g) {
+    if (plan.home[static_cast<std::size_t>(g)] != worker) order.push_back(g);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t idle_ns = 0;        ///< Barrier wait since last publication.
+  std::uint64_t idle_total = 0;
+  std::uint64_t steals = 0;
+  auto timed_wait = [&idle_ns](auto&& wait) {
+    const Clock::time_point t0 = Clock::now();
+    wait();
+    idle_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+  };
+
   try {
     for (;;) {
-      sync.sync_outboxes();
-      for (auto& src : groups) {
-        if (src.get() == &grp) continue;
-        grp.merge_inbox(src->outbox_for(grp.index()));
+      timed_wait([&sync] { sync.sync_outboxes(); });
+      for (int g : order) {
+        if (!sync.try_claim_merge(g)) continue;
+        LpGroup& grp = *plan.groups[static_cast<std::size_t>(g)];
+        merge_group(plan.groups, grp);
+        sync.publish_min(g, grp.pending_min());
+        sync.publish_window_events(g, grp.window_events_last);
+        sync.publish_progressed(g, grp.stall_progressed);
       }
-      sync.publish_min(grp.index(), grp.queue().min_time());
-      sync.publish_progressed(grp.index(), grp.stall_progressed);
-      sync.sync_decide();
+      sync.publish_idle_ns(worker, idle_ns);
+      idle_total += idle_ns;
+      idle_ns = 0;
+      timed_wait([&sync] { sync.sync_decide(); });
       switch (sync.phase()) {
         case WindowSync::Phase::kWindow:
-          run_window(grp, sync.bound());
-          grp.stall_progressed = false;
+          for (int g : order) {
+            if (!sync.try_claim_exec(g)) continue;
+            if (plan.home[static_cast<std::size_t>(g)] != worker) ++steals;
+            LpGroup& grp = *plan.groups[static_cast<std::size_t>(g)];
+            t_worker = WorkerCtx{this, &grp};
+            run_window(grp, sync.bound(g));
+            grp.stall_progressed = false;
+            t_worker = WorkerCtx{};
+          }
           break;
         case WindowSync::Phase::kStall:
-          grp.stall_progressed = run_stall(grp);
+          for (int g : order) {
+            if (!sync.try_claim_exec(g)) continue;
+            LpGroup& grp = *plan.groups[static_cast<std::size_t>(g)];
+            t_worker = WorkerCtx{this, &grp};
+            grp.stall_progressed = run_stall(grp);
+            t_worker = WorkerCtx{};
+          }
           break;
         case WindowSync::Phase::kExit:
-          t_worker = WorkerCtx{};
+          plan.steals_by_worker[static_cast<std::size_t>(worker)] = steals;
+          plan.idle_ns_by_worker[static_cast<std::size_t>(worker)] = idle_total + idle_ns;
           return;
       }
     }
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (!first_error) first_error = std::current_exception();
+      std::lock_guard<std::mutex> lock(plan.error_mu);
+      if (!plan.first_error) plan.first_error = std::current_exception();
     }
     // Stop before withdrawing so the next decide() already observes it; the
     // early barrier arrivals then stand in for this worker's missing ones.
     stop_requested_.store(true, std::memory_order_release);
     sync.withdraw();
+    plan.steals_by_worker[static_cast<std::size_t>(worker)] = steals;
+    plan.idle_ns_by_worker[static_cast<std::size_t>(worker)] = idle_total + idle_ns;
     t_worker = WorkerCtx{};
+  }
+}
+
+void Engine::merge_group(std::vector<std::unique_ptr<LpGroup>>& groups, LpGroup& grp) {
+  // Track the minimum incoming key while draining, to invalidate staged
+  // speculation: any staged event an incoming one orders before must go back
+  // to the heap (it would otherwise be delivered too early). The stage is
+  // kept ascending, so the invalidated set is a suffix.
+  const bool watch_min = !grp.stage().empty();
+  bool have_min = false;
+  EventKey inc_min{};
+  for (auto& src : groups) {
+    if (src.get() == &grp) continue;
+    std::vector<Event>& inbox = src->outbox_for(grp.index());
+    if (watch_min) {
+      for (const Event& ev : inbox) {
+        const EventKey k = key_of(ev);
+        if (!have_min || key_less(k, inc_min)) {
+          inc_min = k;
+          have_min = true;
+        }
+      }
+    }
+    grp.merge_inbox(inbox);
+  }
+  if (have_min) {
+    auto& stage = grp.stage();
+    while (!stage.empty() && key_less(inc_min, key_of(stage.back()))) {
+      grp.queue().push(std::move(stage.back()));
+      stage.pop_back();
+      ++grp.rollbacks;
+    }
   }
 }
 
 void Engine::run_window(LpGroup& grp, SimTime bound) {
   EventQueue& q = grp.queue();
+  auto& stage = grp.stage();
+  std::uint64_t delivered = 0;
   // Deliberately no stop check inside the window: every group finishes the
   // full window, so the delivered set stays deterministic per worker count.
-  while (!q.empty() && q.min_time() < bound) {
-    Event ev = q.pop();
+  // Delivery is a two-way merge of the speculation stage and the heap: a
+  // handler may self-schedule an event that orders before a later staged
+  // entry (same timestamp, control priority), and the merge keeps the global
+  // key order exact either way.
+  for (;;) {
+    const bool stage_has = !stage.empty();
+    const bool heap_has = !q.empty();
+    bool from_stage;
+    if (stage_has && heap_has) {
+      from_stage = EventOrder{}(stage.front(), q.peek());
+    } else if (stage_has || heap_has) {
+      from_stage = stage_has;
+    } else {
+      break;
+    }
+    if ((from_stage ? stage.front().time : q.peek().time) >= bound) break;
+    Event ev = from_stage ? grp.pop_stage() : q.pop();
     if (ev.kind == kRelayEventKind) {
       // The carrier's key is the minimum over its batch, so every item lands
       // in the heap before it could have been due; relays are transport, not
@@ -468,9 +607,33 @@ void Engine::run_window(LpGroup& grp, SimTime bound) {
     if (lp == nullptr) throw std::logic_error("event for unknown LP");
     grp.advance_now(ev.time);
     ++grp.events_processed;
+    ++delivered;
     grp.set_current_source(ev.target);
     lp->on_event(*this, std::move(ev));
     grp.set_current_source(kExternalSource);
+  }
+  grp.window_events_last = delivered;
+
+  // Bounded speculation: pop (stage) up to `speculate` events past the bound
+  // so the next window starts from pre-decoded, pre-sorted work. Handlers of
+  // this window may have self-scheduled events ordering before a staged
+  // leftover — push such suffixes back first so the stage stays ascending
+  // and staging pops append in key order.
+  const int depth = sharding_.speculate;
+  if (depth <= 0) return;
+  while (!stage.empty() && !q.empty() && EventOrder{}(q.peek(), stage.back())) {
+    q.push(std::move(stage.back()));
+    stage.pop_back();
+    ++grp.rollbacks;
+  }
+  while (static_cast<int>(stage.size()) < depth && !q.empty()) {
+    Event ev = q.pop();
+    if (ev.kind == kRelayEventKind) {
+      unpack_relay(grp, std::move(ev));
+      continue;
+    }
+    ++grp.speculated_events;
+    stage.push_back(std::move(ev));
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include "pdes/event.hpp"
 #include "pdes/event_queue.hpp"
+#include "pdes/scheduler.hpp"
 #include "util/time.hpp"
 
 namespace exasim {
@@ -49,21 +50,27 @@ class LogicalProcess {
 /// plan. With `ShardingOptions::workers == 1` (the default) the engine is the
 /// original sequential loop: all simulated processes interleaved on one
 /// native thread using a schedule based on message receive time stamps
-/// (paper §IV-A). With N > 1 workers the LPs are partitioned into N
-/// contiguous groups (aligned to `block_alignment`, normally ranks-per-node,
-/// so intra-node traffic stays group-local), each group runs on its own
-/// native thread with its own event heap, and the groups advance in
-/// lock-step conservative windows of width `lookahead` — the minimum
-/// cross-node delivery latency. Cross-group events ride per-(source →
-/// target) mailboxes merged at the window barrier; because the window bound
-/// and the ordering key are both partition-independent, every worker count
-/// delivers the identical event schedule.
+/// (paper §IV-A). With N > 1 workers the LPs are partitioned into contiguous
+/// groups (aligned to `block_alignment`, normally ranks-per-node, so
+/// intra-node traffic stays group-local) — at least one group per worker,
+/// more when the scheduler oversubscribes for work-stealing — each group has
+/// its own event heap, and the groups advance in lock-step conservative
+/// windows bounded below `lookahead` — the minimum cross-node delivery
+/// latency — past the global minimum (the SchedulerPolicy may widen a
+/// group's bound inside the provably safe per-group envelope; DESIGN.md
+/// §11). Each cycle, worker threads claim ready groups home-first and then
+/// steal leftovers in group-id order. Cross-group events ride per-(source →
+/// target) mailboxes merged at the window barrier; because the safe window
+/// bounds and the ordering key are both partition-independent, every worker
+/// count, scheduler policy, and speculation depth delivers the identical
+/// event schedule.
 class Engine {
  public:
   /// How to shard the LPs over worker threads. Applies to the next run().
   struct ShardingOptions {
-    /// Worker threads (= LP groups). 1 selects the sequential engine;
-    /// clamped down to the number of alignment blocks.
+    /// Worker threads. 1 selects the sequential engine (with the default
+    /// one-group-per-worker scheduler); clamped down to the number of
+    /// alignment blocks.
     int workers = 1;
     /// Conservative window width, normally
     /// NetworkModel::min_remote_latency(). Clamped up to 1 ns so windows
@@ -74,8 +81,16 @@ class Engine {
     /// intra-node traffic inside one group).
     int block_alignment = 1;
     /// Optional explicit partition override mapping LP id → group index in
-    /// [0, workers); when set it replaces the contiguous-block partition.
+    /// [0, groups); when set it replaces the contiguous-block partition.
     std::function<int(LpId)> group_of;
+    /// Window scheduling policy (fixed or adaptive) and its parameters,
+    /// including groups-per-worker oversubscription for work-stealing.
+    SchedulerSpec scheduler;
+    /// Bounded speculation depth: maximum events per group popped (staged)
+    /// past the window bound ahead of their commit; 0 disables. Staged
+    /// events that a merged-in earlier event invalidates are rolled back to
+    /// the heap, so the delivered schedule is unchanged (DESIGN.md §11).
+    int speculate = 0;
   };
 
   /// What Engine::schedule does when an event is scheduled before the
@@ -172,15 +187,16 @@ class Engine {
   std::uint64_t events_dropped_dead() const { return events_dropped_dead_; }
 
  private:
+  struct WorkerPlan;  // Shared state of one run_parallel (defined in .cpp).
+
   void run_sequential();
-  void run_parallel(int group_count);
-  void worker_main(std::vector<std::unique_ptr<LpGroup>>& groups, LpGroup& grp,
-                   WindowSync& sync, std::exception_ptr& first_error,
-                   std::mutex& error_mu);
+  void run_parallel(int workers, int group_count);
+  void worker_main(WorkerPlan& plan, int worker);
+  void merge_group(std::vector<std::unique_ptr<LpGroup>>& groups, LpGroup& grp);
   void run_window(LpGroup& grp, SimTime bound);
   void unpack_relay(LpGroup& grp, Event&& relay);
   bool run_stall(LpGroup& grp);
-  int plan_groups() const;
+  void plan_shape(int* workers, int* group_count) const;
   std::vector<int> plan_partition(int group_count) const;
   std::uint64_t next_seq_for(LpId source);
   void note_causality_violation(SimTime time, SimTime local_now);

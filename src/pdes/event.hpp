@@ -62,13 +62,27 @@ struct Event {
   std::unique_ptr<EventPayload> payload;
 };
 
+/// The ordering key of an Event, detached from its payload — copyable, so
+/// the engine can remember "the minimum key seen" (speculation rollback)
+/// without copying events.
+struct EventKey {
+  SimTime time = 0;
+  EventPriority priority = EventPriority::kMessage;
+  LpId source = kExternalSource;
+  std::uint64_t seq = 0;
+};
+
+inline EventKey key_of(const Event& e) { return EventKey{e.time, e.priority, e.source, e.seq}; }
+
+inline bool key_less(const EventKey& a, const EventKey& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.priority != b.priority) return a.priority < b.priority;
+  if (a.source != b.source) return a.source < b.source;
+  return a.seq < b.seq;
+}
+
 struct EventOrder {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time < b.time;
-    if (a.priority != b.priority) return a.priority < b.priority;
-    if (a.source != b.source) return a.source < b.source;
-    return a.seq < b.seq;
-  }
+  bool operator()(const Event& a, const Event& b) const { return key_less(key_of(a), key_of(b)); }
 };
 
 /// Engine-internal event kind for a batched cross-group fan-out relay

@@ -23,6 +23,10 @@ class EventQueue {
   /// group publishes for the conservative window-bound computation.
   SimTime min_time() const { return heap_.empty() ? kSimTimeNever : heap_.front().time; }
 
+  /// The earliest event without removing it; undefined on an empty queue.
+  /// Used by the engine's stage/heap two-way delivery merge.
+  const Event& peek() const { return heap_.front(); }
+
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 

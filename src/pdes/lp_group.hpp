@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "pdes/event.hpp"
@@ -15,10 +17,13 @@ namespace exasim {
 /// here over native threads.
 ///
 /// Engine-internal. Threading contract: everything in an LpGroup (queue,
-/// outboxes, counters, clock) is touched only by the group's own worker
-/// thread during a parallel run, except that *other* groups' workers read
-/// and drain `outbox_for(their index)` during the mailbox-merge step — which
-/// is separated from this group's writes by the window barriers.
+/// outboxes, stage, counters, clock) is touched only by the single worker
+/// thread currently holding the group's claim token (WindowSync); claim
+/// hand-offs between workers are separated by the window barriers. Within
+/// one cycle, the worker that merged a group's mailboxes may differ from the
+/// worker that executes its window — the merge/execute claims are distinct —
+/// and other groups' workers drain `outbox_for(their group)` during their own
+/// merge step, again across a barrier from this group's writes.
 class LpGroup {
  public:
   LpGroup(int index, int group_count) : index_(index), outbox_(group_count) {}
@@ -56,8 +61,32 @@ class LpGroup {
   std::vector<LpId>& members() { return members_; }
   const std::vector<LpId>& members() const { return members_; }
 
+  /// Speculation stage (`--speculate=N`): events popped past the window bound
+  /// ahead of their commit, kept in ascending EventKey order. Delivery merges
+  /// the stage front against the heap top; the mailbox merge rolls back any
+  /// staged suffix that an incoming event orders before (rollbacks counter).
+  std::deque<Event>& stage() { return stage_; }
+  Event pop_stage() {
+    Event ev = std::move(stage_.front());
+    stage_.pop_front();
+    return ev;
+  }
+
+  /// Earliest pending event time over heap + stage — what this group
+  /// publishes for the window-bound computation (kSimTimeNever when idle).
+  SimTime pending_min() const {
+    return stage_.empty() ? queue_.min_time() : stage_.front().time;
+  }
+
   std::uint64_t events_processed = 0;
   std::uint64_t events_dropped_dead = 0;
+  /// Events delivered in the most recent window phase — the per-group
+  /// event-density feedback of the adaptive scheduler policy.
+  std::uint64_t window_events_last = 0;
+  /// Events ever staged past a window bound / staged events invalidated by a
+  /// later-merged earlier event (folded into the process-wide SchedStats).
+  std::uint64_t speculated_events = 0;
+  std::uint64_t rollbacks = 0;
   /// Whether the most recent stall phase made progress (published to the
   /// window synchronizer for the global two-phase deadlock check).
   bool stall_progressed = false;
@@ -66,6 +95,7 @@ class LpGroup {
   int index_;
   EventQueue queue_;
   std::vector<std::vector<Event>> outbox_;
+  std::deque<Event> stage_;
   std::vector<LpId> members_;
   SimTime now_ = 0;
   LpId current_source_ = kExternalSource;

@@ -2,7 +2,12 @@
 
 namespace exasim {
 
-/// Number of hardware threads, never less than 1.
+/// Number of CPUs this process may actually use, never less than 1: hardware
+/// threads, capped by the process CPU affinity mask (sched_getaffinity — a
+/// `taskset`/container restriction) and by the cgroup CPU quota (v2 cpu.max
+/// or v1 cfs_quota/cfs_period, rounded up). Plain hardware_concurrency()
+/// oversubscribes restricted environments and the extra workers only add
+/// window-barrier idle time.
 int hardware_sim_workers();
 
 /// Worker count implied by the environment: EXASIM_SIM_WORKERS set to a

@@ -52,6 +52,7 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
     const core::SimResult& first = results.front()->run_results.front();
     std::fprintf(stderr, "detector       : %s\n", first.detector.c_str());
     std::fprintf(stderr, "error policy   : %s\n", first.error_policy.c_str());
+    std::fprintf(stderr, "scheduler      : %s\n", first.scheduler.c_str());
   }
   std::uint64_t events = 0;
   double wall = 0;
@@ -70,6 +71,12 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
       p.fanout_notices += run.perf.fanout_notices;
       p.fanout_relays += run.perf.fanout_relays;
       p.fanout_dead_skips += run.perf.fanout_dead_skips;
+      p.sched_windows += run.perf.sched_windows;
+      p.sched_window_widenings += run.perf.sched_window_widenings;
+      p.sched_steals += run.perf.sched_steals;
+      p.sched_speculated += run.perf.sched_speculated;
+      p.sched_rollbacks += run.perf.sched_rollbacks;
+      p.sched_barrier_idle_ns += run.perf.sched_barrier_idle_ns;
     }
   }
   if (events == 0 || wall <= 0) return;
@@ -97,6 +104,17 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
                  static_cast<unsigned long long>(p.fanout_notices),
                  static_cast<unsigned long long>(p.fanout_relays),
                  static_cast<unsigned long long>(p.fanout_dead_skips));
+  }
+  if (p.sched_windows > 0) {
+    std::fprintf(stderr,
+                 "sched          : %llu windows (%llu widened), %llu steals, "
+                 "%llu speculated (%llu rolled back), %.3f s barrier idle\n",
+                 static_cast<unsigned long long>(p.sched_windows),
+                 static_cast<unsigned long long>(p.sched_window_widenings),
+                 static_cast<unsigned long long>(p.sched_steals),
+                 static_cast<unsigned long long>(p.sched_speculated),
+                 static_cast<unsigned long long>(p.sched_rollbacks),
+                 static_cast<double>(p.sched_barrier_idle_ns) / 1e9);
   }
 }
 
