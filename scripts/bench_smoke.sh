@@ -17,7 +17,12 @@
 #     policy's window count must match BENCH_baseline.json exactly, and the
 #     adaptive policy must widen windows (strictly fewer cycles) while
 #     actually staging speculative events.
-#  4. Multi-core speedup (skipped below 4 CPUs): the event-dense
+#  4. Link-level network determinism (DESIGN.md §12): the macro row with an
+#     explicit --routing=deterministic must byte-match the committed golden
+#     (the route refactor's default path is the pre-refactor model), and the
+#     adaptive-routing + per-link-timeout + timeout-detector row must emit
+#     identical result-json on 1 and 2 sim workers.
+#  5. Multi-core speedup (skipped below 4 CPUs): the event-dense
 #     BM_ShardedWindowThroughput macro benchmark on 4 workers must beat 1
 #     worker by the factor recorded in BENCH_baseline.json.
 #
@@ -155,6 +160,44 @@ if awide == 0:
 if aspec == 0 or aroll > aspec:
     raise SystemExit(f"speculation counters implausible: {aspec} staged, {aroll} rolled back")
 EOF
+
+echo "== bench smoke: link-level network (deterministic == golden, adaptive worker-stable) =="
+# Explicit deterministic routing must be the byte-identical default path.
+# shellcheck disable=SC2086
+./build/tools/exasim_run $WORKLOAD --routing=deterministic \
+  --result-json=/tmp/bench_smoke_routed.json >/dev/null 2>&1
+jq -S 'del(.wall_seconds, .events_per_sec)' /tmp/bench_smoke_routed.json \
+  >/tmp/bench_smoke_routed.stripped.json
+if ! cmp -s /tmp/bench_smoke_routed.stripped.json "$GOLDEN"; then
+  echo "bench_smoke.sh: --routing=deterministic result-json drifted from $GOLDEN:" >&2
+  diff "$GOLDEN" /tmp/bench_smoke_routed.stripped.json >&2 || true
+  exit 1
+fi
+echo "  --routing=deterministic matches $GOLDEN"
+
+# The full link-level path (adaptive routing, per-link timeout distribution,
+# timeout detector) must be deterministic across engine worker counts.
+for w in 1 2; do
+  # shellcheck disable=SC2086
+  ./build/tools/exasim_run $WORKLOAD --sim-workers=$w \
+    --routing=adaptive --link-timeouts=uniform:50ms..200ms,seed=7 \
+    --failure-detector=timeout \
+    --result-json="/tmp/bench_smoke_linklevel_$w.json" >/dev/null 2>&1
+  jq -S 'del(.wall_seconds, .events_per_sec)' "/tmp/bench_smoke_linklevel_$w.json" \
+    >"/tmp/bench_smoke_linklevel_$w.stripped.json"
+done
+if ! cmp -s /tmp/bench_smoke_linklevel_1.stripped.json \
+            /tmp/bench_smoke_linklevel_2.stripped.json; then
+  echo "bench_smoke.sh: adaptive+link-timeouts result-json differs across sim workers:" >&2
+  diff /tmp/bench_smoke_linklevel_1.stripped.json \
+       /tmp/bench_smoke_linklevel_2.stripped.json >&2 || true
+  exit 1
+fi
+if cmp -s /tmp/bench_smoke_linklevel_1.stripped.json /tmp/bench_smoke_routed.stripped.json; then
+  echo "bench_smoke.sh: link-timeout overrides had no observable effect on the macro row" >&2
+  exit 1
+fi
+echo "  adaptive+link-timeouts row identical on 1 and 2 workers (and distinct from default)"
 
 CORES=$(nproc 2>/dev/null || echo 1)
 if [ "$CORES" -lt 4 ]; then

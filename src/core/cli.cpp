@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/failure.hpp"
+#include "netmodel/routing.hpp"
 #include "pdes/scheduler.hpp"
 #include "resilience/detector.hpp"
 #include "util/log.hpp"
@@ -41,6 +42,17 @@ std::string cli_usage() {
       "  --ranks=N --topology=SPEC --ranks-per-node=N\n"
       "  --link-latency=DUR --bandwidth=B/s --overhead=DUR\n"
       "  --eager-threshold=BYTES --failure-timeout=DUR\n"
+      "  --routing=deterministic|adaptive[:spread=K]\n"
+      "                   (route-variant policy over equal-cost minimal\n"
+      "                    routes; adaptive spreads flows keyed by\n"
+      "                    (src,dst,seq); or env EXASIM_ROUTING; default\n"
+      "                    deterministic)\n"
+      "  --link-timeouts=uniform[:LO..HI[,seed=N]]|hot:ID=DUR[;..]|plane:P=DUR[;..]\n"
+      "                   (per-link failure-timeout overrides; pair timeout =\n"
+      "                    max over the route's links; or env\n"
+      "                    EXASIM_LINK_TIMEOUTS; default uniform)\n"
+      "  --contention     (fold per-link occupancy waits into delivery times;\n"
+      "                    exact at --sim-workers=1, approximate otherwise)\n"
       "  --slowdown=X --ns-per-unit=X\n"
       "  --pfs-bandwidth=B/s --pfs-latency=DUR\n"
       "  --failures=R@T,R@T   (or env EXASIM_FAILURES)\n"
@@ -93,6 +105,11 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::stri
     if (!spec) return fail(std::string("malformed ") + resilience::kDetectorEnvVar);
     opts.machine.detector = *spec;
   }
+  if (const char* env = std::getenv(kLinkTimeoutsEnvVar)) {
+    auto spec = parse_link_timeout_spec(env);
+    if (!spec) return fail(std::string("malformed ") + kLinkTimeoutsEnvVar);
+    opts.machine.net.link_timeouts = *spec;
+  }
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -132,6 +149,15 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::stri
       auto t = parse_duration(value);
       if (!t) return fail("bad --failure-timeout");
       opts.machine.net.failure_timeout = *t;
+    } else if (key == "routing") {
+      if (!parse_routing_spec(value)) return fail("bad --routing");
+      opts.machine.routing = value;
+    } else if (key == "link-timeouts") {
+      auto spec = parse_link_timeout_spec(value);
+      if (!spec) return fail("bad --link-timeouts");
+      opts.machine.net.link_timeouts = *spec;
+    } else if (key == "contention") {
+      opts.machine.net.contention = true;
     } else if (key == "slowdown" && parse_double(value, &d)) {
       opts.machine.proc.slowdown = d;
     } else if (key == "ns-per-unit" && parse_double(value, &d)) {

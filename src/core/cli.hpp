@@ -21,6 +21,11 @@ namespace exasim::core {
 ///   --ranks-per-node=N
 ///   --link-latency=1us        --bandwidth=32e9        --overhead=500ns
 ///   --eager-threshold=262144  --failure-timeout=100ms
+///   --routing=deterministic|adaptive[:spread=K]
+///                             (or environment EXASIM_ROUTING)
+///   --link-timeouts=uniform:LO..HI | hot:ID=DUR;.. | plane:P=DUR;..
+///                             (or environment EXASIM_LINK_TIMEOUTS)
+///   --contention              (per-link occupancy waits in delivery times)
 ///   --slowdown=1000           --ns-per-unit=1281
 ///   --pfs-bandwidth=0         --pfs-latency=0
 ///   --failures=R@T,R@T        (or environment EXASIM_FAILURES)

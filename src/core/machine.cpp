@@ -37,7 +37,8 @@ Machine::Machine(SimConfig config, vmpi::AppMain app)
     if (topo->node_count() < needed_nodes) {
       throw std::invalid_argument("topology too small for rank count");
     }
-    network_ = std::make_shared<NetworkModel>(std::move(topo), config_.net);
+    network_ = std::make_shared<NetworkModel>(std::move(topo), config_.net,
+                                              resolve_routing_spec(config_.routing));
   }
   fabric_ = std::make_unique<vmpi::Fabric>(network_, config_.ranks_per_node);
 
@@ -134,6 +135,14 @@ SimResult Machine::run() {
   shard.block_alignment = hier ? hier->ranks_per_node() : config_.ranks_per_node;
   shard.scheduler = scheduler;
   shard.speculate = resolve_speculation(config_.speculate);
+  if (network_->params().contention && shard.workers > 1) {
+    // Busy-window interleaving across LP groups depends on window boundaries:
+    // contention delays are a modeled approximation there, not the exact
+    // sequential schedule. Everything else stays deterministic.
+    EXASIM_WARN() << "link contention with " << shard.workers
+                  << " sim workers: contended delays are approximate; use "
+                     "--sim-workers=1 for exact contention modeling";
+  }
   engine_.set_sharding(std::move(shard));
   engine_.set_causality_mode(Engine::CausalityMode::kCount);
 
@@ -167,6 +176,8 @@ SimResult Machine::run() {
   result.abort_time = abort_time_;
   result.abort_origin = abort_origin_;
   result.scheduler = exasim::to_string(scheduler);
+  result.routing = exasim::to_string(network_->routing());
+  result.link_timeouts = exasim::to_string(network_->params().link_timeouts);
   result.detector = resilience::to_string(config_.detector);
   result.error_policy = resilience::to_string(config_.default_error_handler);
   const auto det_stats = bus_->detection_stats();

@@ -36,13 +36,21 @@ struct SimConfig {
   int ranks = 1;
 
   /// Topology spec ("torus:32x32x32", "mesh:4x4x4", "fattree:16x8",
-  /// "star:64"), or leave empty and set `network` directly.
+  /// "dragonfly:8x8x8", "star:64"), or leave empty and set `network`
+  /// directly.
   std::string topology = "star:1";
   NetworkParams net;
   int ranks_per_node = 1;
   /// Prebuilt network model (e.g. a HierarchicalNetwork); overrides
-  /// topology/net when set.
+  /// topology/net *and* `routing` when set.
   std::shared_ptr<const NetworkModel> network;
+
+  /// Routing policy spec ("deterministic", "adaptive", "adaptive:spread=K");
+  /// empty defers to EXASIM_ROUTING, unset environment means "deterministic"
+  /// (exasim::resolve_routing_spec). Route choice is keyed by
+  /// (src, dst, seq), so every setting is reproducible across worker counts
+  /// (DESIGN.md §12).
+  std::string routing;
 
   ProcessorParams proc;
   PfsParams pfs;
@@ -115,6 +123,12 @@ struct SimResult {
   /// "fixed" or "adaptive"). Config echo only — the simulated result is
   /// policy-independent.
   std::string scheduler;
+
+  /// Resolved routing policy and link-timeout configuration (canonical spec
+  /// strings; DESIGN.md §12). Config echo only — not part of
+  /// sim_result_json(), whose field set is pinned by the bench_smoke golden.
+  std::string routing;
+  std::string link_timeouts;
 
   /// Resolved resilience configuration (canonical spec strings) and the
   /// detection-latency accounting from the notification bus: one notice per

@@ -34,4 +34,19 @@ SchedulerSpec scheduler_spec_for(std::size_t value_index) {
   return *spec;
 }
 
+Axis routing_axis() {
+  Axis axis;
+  axis.name = "routing";
+  for (const auto& name : list_routings()) axis.values.push_back(name);
+  return axis;
+}
+
+RoutingSpec routing_spec_for(std::size_t value_index) {
+  const auto& names = list_routings();
+  if (value_index >= names.size()) throw std::out_of_range("routing axis index");
+  auto spec = parse_routing_spec(names[value_index]);
+  if (!spec) throw std::logic_error("unparsable registered routing name");
+  return *spec;
+}
+
 }  // namespace exasim::exp

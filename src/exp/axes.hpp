@@ -1,6 +1,7 @@
 #pragma once
 
 #include "exp/plan.hpp"
+#include "netmodel/routing.hpp"
 #include "pdes/scheduler.hpp"
 #include "resilience/detector.hpp"
 
@@ -22,5 +23,13 @@ Axis scheduler_axis();
 
 /// SchedulerSpec for a scheduler_axis() value index (family defaults).
 SchedulerSpec scheduler_spec_for(std::size_t value_index);
+
+/// The routing-policy axis: one value per registered routing family
+/// (deterministic, adaptive), in registry order — for campaigns comparing
+/// route-variant spreading under contention or heterogeneous link timeouts.
+Axis routing_axis();
+
+/// RoutingSpec for a routing_axis() value index (family defaults).
+RoutingSpec routing_spec_for(std::size_t value_index);
 
 }  // namespace exasim::exp

@@ -15,9 +15,17 @@ SimTime bytes_over_bandwidth(std::size_t bytes, double bytes_per_sec) {
 
 }  // namespace
 
-NetworkModel::NetworkModel(std::shared_ptr<const Topology> topology, NetworkParams params)
-    : topology_(std::move(topology)), params_(params) {
+NetworkModel::NetworkModel(std::shared_ptr<const Topology> topology, NetworkParams params,
+                           RoutingSpec routing)
+    : topology_(std::move(topology)),
+      params_(params),
+      routing_spec_(routing),
+      routing_policy_(make_routing(routing)) {
   if (!topology_) throw std::invalid_argument("null topology");
+  link_timeouts_ = build_link_timeouts(params_.link_timeouts, *topology_,
+                                       params_.failure_timeout);
+  max_link_timeout_ = params_.failure_timeout;
+  for (const SimTime t : link_timeouts_) max_link_timeout_ = std::max(max_link_timeout_, t);
 }
 
 SimTime NetworkModel::delivery_time(int src, int dst, std::size_t bytes) const {
@@ -27,15 +35,68 @@ SimTime NetworkModel::delivery_time(int src, int dst, std::size_t bytes) const {
          bytes_over_bandwidth(bytes, params_.bandwidth_bytes_per_sec);
 }
 
+SimTime NetworkModel::delivery_time_at(SimTime now, int src, int dst,
+                                       std::size_t bytes) const {
+  SimTime base = delivery_time(src, dst, bytes);
+  if (params_.contention && src != dst) base += contention_delay(now, src, dst, bytes);
+  return base;
+}
+
+SimTime NetworkModel::contention_delay(SimTime now, int src, int dst,
+                                       std::size_t bytes) const {
+  // Per-link occupancy: a link is busy for one wire latency plus its share of
+  // the payload serialization; a message waits wherever its route hits a
+  // still-busy link (cut-through: only the waits are charged on top of the
+  // uncontended pipeline cost). The per-pair seq counter follows fiber
+  // program order, so variant choice is reproducible for a given worker
+  // count; busy-window interleaving across pairs makes the added waits exact
+  // only at --sim-workers=1 (core::Machine warns otherwise).
+  const SimTime occupancy =
+      params_.link_latency + bytes_over_bandwidth(bytes, params_.bandwidth_bytes_per_sec);
+  std::lock_guard<std::mutex> lock(net_mutex_);
+  if (link_busy_.empty()) link_busy_.resize(static_cast<std::size_t>(topology_->link_count()), 0);
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+                            static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+  const std::uint64_t seq = flow_seq_[key]++;
+  const std::uint64_t variant =
+      routing_policy_->variant(src, dst, seq, topology_->route_count(src, dst));
+
+  route_scratch_.clear();
+  topology_->route_into(src, dst, variant, route_scratch_);
+
+  SimTime cursor = now + params_.per_message_overhead;
+  SimTime waited = 0;
+  for (const LinkId link : route_scratch_) {
+    auto& busy = link_busy_[static_cast<std::size_t>(link)];
+    const SimTime start = std::max(cursor, busy);
+    waited += start - cursor;
+    busy = start + occupancy;
+    cursor = start + occupancy;
+  }
+  return waited;
+}
+
 SimTime NetworkModel::sender_occupancy(std::size_t bytes) const {
   return params_.per_message_overhead +
          bytes_over_bandwidth(bytes, params_.injection_bandwidth_bytes_per_sec);
 }
 
+SimTime NetworkModel::link_pair_timeout(int src_node, int dst_node) const {
+  if (link_timeouts_.empty() || src_node == dst_node) return params_.failure_timeout;
+  // The canonical (variant-0) route: detection configuration must not depend
+  // on per-flow adaptive variant choices or message interleaving.
+  SimTime timeout = 0;
+  std::vector<LinkId> links;
+  topology_->route_into(src_node, dst_node, 0, links);
+  for (const LinkId link : links) {
+    timeout = std::max(timeout, link_timeouts_[static_cast<std::size_t>(link)]);
+  }
+  return timeout;
+}
+
 SimTime NetworkModel::failure_timeout(int src, int dst) const {
-  (void)src;
-  (void)dst;
-  return params_.failure_timeout;
+  return link_pair_timeout(src, dst);
 }
 
 SimTime NetworkModel::min_remote_latency() const {
@@ -45,8 +106,8 @@ SimTime NetworkModel::min_remote_latency() const {
 HierarchicalNetwork::HierarchicalNetwork(std::shared_ptr<const Topology> system_topology,
                                          NetworkParams system, NetworkParams on_node,
                                          NetworkParams on_chip, int ranks_per_chip,
-                                         int chips_per_node)
-    : NetworkModel(std::move(system_topology), system),
+                                         int chips_per_node, RoutingSpec routing)
+    : NetworkModel(std::move(system_topology), system, routing),
       on_node_(on_node),
       on_chip_(on_chip),
       ranks_per_chip_(ranks_per_chip),
@@ -85,12 +146,25 @@ SimTime HierarchicalNetwork::delivery_time_ranks(int src_rank, int dst_rank,
          (bytes == 0 ? 0 : sim_seconds(static_cast<double>(bytes) / p.bandwidth_bytes_per_sec));
 }
 
+SimTime HierarchicalNetwork::delivery_time_ranks_at(SimTime now, int src_rank, int dst_rank,
+                                                    std::size_t bytes) const {
+  SimTime base = delivery_time_ranks(src_rank, dst_rank, bytes);
+  if (params_.contention && level_for(src_rank, dst_rank) == Level::kSystem) {
+    base += contention_delay(now, node_of_rank(src_rank), node_of_rank(dst_rank), bytes);
+  }
+  return base;
+}
+
 SimTime HierarchicalNetwork::failure_timeout(int src, int dst) const {
-  return params_for(level_for(src, dst)).failure_timeout;
+  const Level level = level_for(src, dst);
+  if (level == Level::kSystem) {
+    return link_pair_timeout(node_of_rank(src), node_of_rank(dst));
+  }
+  return params_for(level).failure_timeout;
 }
 
 SimTime HierarchicalNetwork::max_failure_timeout() const {
-  return std::max({params_.failure_timeout, on_node_.failure_timeout,
+  return std::max({NetworkModel::max_failure_timeout(), on_node_.failure_timeout,
                    on_chip_.failure_timeout});
 }
 

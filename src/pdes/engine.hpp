@@ -73,8 +73,11 @@ class Engine {
     /// alignment blocks.
     int workers = 1;
     /// Conservative window width, normally
-    /// NetworkModel::min_remote_latency(). Clamped up to 1 ns so windows
-    /// always make progress.
+    /// NetworkModel::min_remote_latency() — a provable lower bound over any
+    /// route/variant of the network model (contention waits and per-link
+    /// timeouts only ever add delay, so the bound survives the link-level
+    /// layers; DESIGN.md §12). Clamped up to 1 ns so windows always make
+    /// progress.
     SimTime lookahead = 1;
     /// Partition granularity in LPs: groups are unions of contiguous blocks
     /// of this many LPs (normally ranks-per-node, keeping sub-lookahead

@@ -72,7 +72,10 @@ const std::vector<DetectorInfo>& list_detectors();
 
 /// Per-pair failure-detection timeout supplied by the layer that owns the
 /// network model (core wires Fabric::failure_timeout in) — keeps this library
-/// below vmpi/core in the link order.
+/// below vmpi/core in the link order. With per-link timeout overrides
+/// (NetworkParams::link_timeouts, DESIGN.md §12) this is the max over the
+/// pair's canonical route, so a hot link anywhere on the path stretches the
+/// observer's detection bound.
 using PairTimeoutFn = std::function<SimTime(int observer_rank, int failed_rank)>;
 
 /// Per-pair zero-byte delivery latency (core wires Fabric::delivery with

@@ -17,6 +17,12 @@ SimTime Fabric::delivery(int src_rank, int dst_rank, std::size_t bytes) const {
   return model_->delivery_time(node_of(src_rank), node_of(dst_rank), bytes);
 }
 
+SimTime Fabric::delivery_at(SimTime now, int src_rank, int dst_rank,
+                            std::size_t bytes) const {
+  if (hier_ != nullptr) return hier_->delivery_time_ranks_at(now, src_rank, dst_rank, bytes);
+  return model_->delivery_time_at(now, node_of(src_rank), node_of(dst_rank), bytes);
+}
+
 SimTime Fabric::occupancy(std::size_t bytes) const { return model_->sender_occupancy(bytes); }
 
 SimTime Fabric::receiver_overhead() const { return model_->receiver_overhead(); }

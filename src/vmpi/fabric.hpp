@@ -20,8 +20,16 @@ class Fabric {
   /// on-chip level (hierarchical model).
   Fabric(std::shared_ptr<const NetworkModel> model, int ranks_per_node = 1);
 
-  /// One-way in-flight time for `bytes` between two ranks.
+  /// One-way in-flight time for `bytes` between two ranks, uncontended —
+  /// the route-independent LogGP cost. Detector wiring keeps using this as
+  /// its latency estimate: detection configuration must not depend on
+  /// transient link occupancy.
   SimTime delivery(int src_rank, int dst_rank, std::size_t bytes) const;
+
+  /// delivery() plus the flow's per-link contention wait when the model has
+  /// NetworkParams::contention enabled (`now` is the send time); identical to
+  /// delivery() otherwise. The message path in vmpi::Process uses this.
+  SimTime delivery_at(SimTime now, int src_rank, int dst_rank, std::size_t bytes) const;
 
   /// Sender-side virtual-clock charge for injecting `bytes`.
   SimTime occupancy(std::size_t bytes) const;

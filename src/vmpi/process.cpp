@@ -262,7 +262,7 @@ void SimProcess::handle_cts(CtsPayload& p, SimTime t) {
       data->rdv_id = r->rdv_id;
       data->bytes = r->bytes;
       data->data = std::move(r->send_data);
-      engine_->schedule(t + fabric_->delivery(world_rank_, r->peer_world_rank, r->bytes),
+      engine_->schedule(t + fabric_->delivery_at(t, world_rank_, r->peer_world_rank, r->bytes),
                         r->peer_world_rank, kEvDataArrival, std::move(data));
       if (energy_ != nullptr) energy_->add_traffic(world_rank_, r->bytes);
       r->stage = Request::Stage::kDone;
@@ -506,8 +506,9 @@ void SimProcess::start_rendezvous_recv(Request& r, const Envelope& env, SimTime 
   const SimTime match_time = std::max(r.post_time, arrival) + fabric_->receiver_overhead();
   auto cts = std::make_unique<CtsPayload>();
   cts->rdv_id = env.rdv_id;
-  engine_->schedule(match_time + fabric_->delivery(world_rank_, env.src_world_rank, 0),
-                    env.src_world_rank, kEvCtsArrival, std::move(cts));
+  engine_->schedule(
+      match_time + fabric_->delivery_at(match_time, world_rank_, env.src_world_rank, 0),
+      env.src_world_rank, kEvCtsArrival, std::move(cts));
   r.stage = Request::Stage::kAwaitingData;
   r.rdv_id = env.rdv_id;
   r.peer_world_rank = env.src_world_rank;
@@ -654,7 +655,7 @@ RequestHandle SimProcess::post_send(Comm& comm, Rank dest, int tag, const void* 
     auto msg = std::make_unique<MsgPayload>();
     msg->env = env;
     if (data != nullptr && bytes > 0) msg->data.assign(data, bytes);
-    engine_->schedule(t0 + fabric_->delivery(world_rank_, req->peer_world_rank, bytes),
+    engine_->schedule(t0 + fabric_->delivery_at(t0, world_rank_, req->peer_world_rank, bytes),
                       req->peer_world_rank, kEvMsgArrival, std::move(msg));
     if (energy_ != nullptr) energy_->add_traffic(world_rank_, bytes);
     req->stage = Request::Stage::kDone;
@@ -670,7 +671,7 @@ RequestHandle SimProcess::post_send(Comm& comm, Rank dest, int tag, const void* 
     advance_clock(fabric_->occupancy(0), /*busy=*/false);
     auto rts = std::make_unique<MsgPayload>();
     rts->env = env;
-    engine_->schedule(t0 + fabric_->delivery(world_rank_, req->peer_world_rank, 0),
+    engine_->schedule(t0 + fabric_->delivery_at(t0, world_rank_, req->peer_world_rank, 0),
                       req->peer_world_rank, kEvMsgArrival, std::move(rts));
     req->stage = Request::Stage::kAwaitingCts;
 

@@ -148,6 +148,54 @@ TEST(Cli, ParsesSchedulerAndSpeculate) {
   }
 }
 
+TEST(Cli, ParsesRoutingAndLinkModel) {
+  EnvGuard env(nullptr);
+  auto defaulted = parse({"--ranks=8"});
+  ASSERT_TRUE(defaulted.has_value());
+  EXPECT_TRUE(defaulted->machine.routing.empty());  // "" = EXASIM_ROUTING env.
+  EXPECT_TRUE(defaulted->machine.net.link_timeouts.uniform());
+  EXPECT_FALSE(defaulted->machine.net.contention);
+
+  auto tuned = parse({"--routing=adaptive:spread=8",
+                      "--link-timeouts=hot:0=500ms,3=2s", "--contention"});
+  ASSERT_TRUE(tuned.has_value());
+  EXPECT_EQ(tuned->machine.routing, "adaptive:spread=8");
+  EXPECT_EQ(tuned->machine.net.link_timeouts.kind, LinkTimeoutKind::kHot);
+  ASSERT_EQ(tuned->machine.net.link_timeouts.hot.size(), 2u);
+  EXPECT_EQ(tuned->machine.net.link_timeouts.hot[0],
+            (std::pair<std::uint64_t, SimTime>{0, sim_ms(500)}));
+  EXPECT_TRUE(tuned->machine.net.contention);
+
+  auto dist = parse({"--link-timeouts=uniform:50ms..200ms,seed=7"});
+  ASSERT_TRUE(dist.has_value());
+  EXPECT_EQ(dist->machine.net.link_timeouts.kind, LinkTimeoutKind::kDistribution);
+  EXPECT_EQ(dist->machine.net.link_timeouts.seed, 7u);
+
+  for (auto bad : {"--routing=bogus", "--routing=adaptive:spread=0",
+                   "--routing=deterministic:spread=2", "--link-timeouts=bogus",
+                   "--link-timeouts=uniform:200ms..50ms", "--link-timeouts=plane:x=1s"}) {
+    std::string error;
+    EXPECT_FALSE(parse({bad}, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Cli, ReadsLinkTimeoutsFromEnvironment) {
+  EnvGuard env(nullptr);
+  ::setenv(kLinkTimeoutsEnvVar, "plane:0=300ms", 1);
+  auto opts = parse({"--ranks=8"});
+  ::unsetenv(kLinkTimeoutsEnvVar);
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->machine.net.link_timeouts.kind, LinkTimeoutKind::kPlane);
+
+  // The flag wins over the environment.
+  ::setenv(kLinkTimeoutsEnvVar, "plane:0=300ms", 1);
+  auto flag = parse({"--link-timeouts=uniform"});
+  ::unsetenv(kLinkTimeoutsEnvVar);
+  ASSERT_TRUE(flag.has_value());
+  EXPECT_TRUE(flag->machine.net.link_timeouts.uniform());
+}
+
 TEST(Cli, ParsesNoPool) {
   EnvGuard env(nullptr);
   const bool before = util::pool_enabled();

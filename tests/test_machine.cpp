@@ -8,6 +8,8 @@
 #include "apps/heat3d.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "core/failure.hpp"
+#include "netmodel/routing.hpp"
+#include "resilience/detector.hpp"
 #include "sim_test_util.hpp"
 #include "util/pool.hpp"
 #include "vmpi/context.hpp"
@@ -260,6 +262,73 @@ TEST(Machine, ResultJsonIsSchedulerAndWorkerInvariant) {
         EXPECT_EQ(json, ref);
       }
     }
+  }
+}
+
+TEST(Machine, LinkLevelNetworkIsWorkerInvariant) {
+  // ISSUE 7 acceptance: the link-level path — adaptive routing over
+  // equal-cost route variants, a per-link failure-timeout distribution, and
+  // the timeout detector reading per-pair timeouts off canonical routes —
+  // must produce identical simulated results across --sim-workers 1/2/4.
+  // The run aborts on a failure, so the comparison is field-wise (parallel
+  // runs may drain differently after the abort); every simulated quantity,
+  // including the detection-latency statistics the link-timeout table
+  // feeds, must match the sequential reference exactly.
+  apps::HeatParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.px = p.py = p.pz = 2;
+  p.total_iterations = 40;
+  p.halo_interval = 10;
+  p.checkpoint_interval = 10;
+  auto run_with = [&](int workers, const char* link_timeouts) {
+    core::SimConfig cfg = tiny_config(8);
+    cfg.sim_workers = workers;
+    cfg.ranks_per_node = 2;
+    cfg.routing = "adaptive:spread=8";
+    cfg.net.failure_timeout = sim_ms(10);
+    cfg.net.link_timeouts = *parse_link_timeout_spec(link_timeouts);
+    cfg.detector = *resilience::parse_detector_spec("timeout");
+    cfg.failures = {FailureSpec{3, sim_us(50)}};
+    ckpt::CheckpointStore store(8);
+    return run_app(cfg, apps::make_heat3d(p), &store);
+  };
+  const SimResult ref = run_with(1, "uniform:50ms..200ms,seed=7");
+  EXPECT_EQ(ref.outcome, SimResult::Outcome::kAborted);
+  EXPECT_EQ(ref.routing, "adaptive:spread=8");
+  EXPECT_EQ(ref.link_timeouts, "uniform:50ms..200ms,seed=7");
+  // The per-link draws land in [50 ms, 200 ms], all above the 10 ms base:
+  // detection is visibly slower than under the uniform timeout.
+  EXPECT_GT(ref.failure_notices, 0u);
+  EXPECT_GE(ref.max_detection_latency, sim_ms(50));
+  EXPECT_LE(ref.max_detection_latency, sim_ms(200));
+  const SimResult uniform = run_with(1, "uniform");
+  EXPECT_EQ(uniform.max_detection_latency, sim_ms(10));
+  // The config echo stays out of the pinned --result-json schema.
+  const std::string json = core::sim_result_json(ref);
+  EXPECT_EQ(json.find("\"routing\""), std::string::npos);
+  EXPECT_EQ(json.find("\"link_timeouts\""), std::string::npos);
+  for (int workers : {2, 4}) {
+    const SimResult r = run_with(workers, "uniform:50ms..200ms,seed=7");
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EXPECT_EQ(r.outcome, ref.outcome);
+    EXPECT_EQ(r.max_end_time, ref.max_end_time);
+    EXPECT_EQ(r.min_end_time, ref.min_end_time);
+    EXPECT_DOUBLE_EQ(r.avg_end_time_sec, ref.avg_end_time_sec);
+    ASSERT_EQ(r.activated_failures.size(), ref.activated_failures.size());
+    for (std::size_t i = 0; i < ref.activated_failures.size(); ++i) {
+      EXPECT_EQ(r.activated_failures[i], ref.activated_failures[i]);
+    }
+    EXPECT_EQ(r.abort_time, ref.abort_time);
+    EXPECT_EQ(r.abort_origin, ref.abort_origin);
+    EXPECT_EQ(r.finished_count, ref.finished_count);
+    EXPECT_EQ(r.failed_count, ref.failed_count);
+    EXPECT_EQ(r.aborted_count, ref.aborted_count);
+    EXPECT_EQ(r.failure_notices, ref.failure_notices);
+    EXPECT_EQ(r.max_detection_latency, ref.max_detection_latency);
+    EXPECT_DOUBLE_EQ(r.mean_detection_latency_sec, ref.mean_detection_latency_sec);
+    EXPECT_EQ(r.total_busy_time, ref.total_busy_time);
+    EXPECT_EQ(r.total_comm_time, ref.total_comm_time);
+    EXPECT_DOUBLE_EQ(r.compute_fraction, ref.compute_fraction);
   }
 }
 

@@ -53,6 +53,10 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
     std::fprintf(stderr, "detector       : %s\n", first.detector.c_str());
     std::fprintf(stderr, "error policy   : %s\n", first.error_policy.c_str());
     std::fprintf(stderr, "scheduler      : %s\n", first.scheduler.c_str());
+    std::fprintf(stderr, "routing        : %s\n", first.routing.c_str());
+    if (first.link_timeouts != "uniform") {
+      std::fprintf(stderr, "link timeouts  : %s\n", first.link_timeouts.c_str());
+    }
   }
   std::uint64_t events = 0;
   double wall = 0;
@@ -125,6 +129,7 @@ int die_usage(const std::string& msg) {
                "      cgproxy: iters,interval,elements\n"
                "      ring: laps,bytes\n"
                "  --list-failure-detectors   print the detector families and exit\n"
+               "  --list-topologies      print the topology zoo (spec formats) and exit\n"
                "  --result-json=PATH     write the final launch's result as JSON\n",
                msg.c_str(), core::cli_usage().c_str());
   return 2;
@@ -147,6 +152,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-failure-detectors") {
       for (const auto& d : resilience::list_detectors()) {
         std::printf("%-14s %s\n", d.name.c_str(), d.summary.c_str());
+      }
+      return 0;
+    } else if (arg == "--list-topologies") {
+      for (const auto& t : list_topologies()) {
+        std::printf("%-11s %-28s %s\n", t.name.c_str(), t.format.c_str(), t.summary.c_str());
       }
       return 0;
     } else {
