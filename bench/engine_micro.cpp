@@ -21,6 +21,7 @@
 #include "util/pool.hpp"
 #include "util/rng.hpp"
 #include "vmpi/context.hpp"
+#include "vmpi/process.hpp"
 
 using namespace exasim;
 
@@ -57,6 +58,82 @@ void BM_EventQueueThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueThroughput)->Arg(1024)->Arg(65536);
+
+/// Raw queue ops against a standing population: each iteration pushes one
+/// event at a random offset ahead of the current minimum and pops the
+/// minimum — the sequential engine's inner loop. range(0) = 1 keeps a rolling
+/// near horizon over the insertion span (the two-level fast path); 0 leaves
+/// the horizon disabled so every op goes through the far heap.
+void BM_QueuePushPop(benchmark::State& state) {
+  const bool near = state.range(0) != 0;
+  constexpr int kStanding = 8192;
+  constexpr SimTime kDense = 4096;        ///< Most traffic lands here (messages).
+  constexpr SimTime kSpan = 1024 * 1024;  ///< Occasional timers/checkpoints.
+  EventQueue q;
+  Rng rng(11);
+  SimTime now = 0;
+  auto offset = [&rng](int i) {
+    return (i % 8 != 0) ? rng.next_below(kDense) : rng.next_below(kSpan);
+  };
+  for (int i = 0; i < kStanding; ++i) {
+    Event ev;
+    ev.time = offset(i);
+    ev.source = static_cast<LpId>(i % 64);
+    ev.seq = static_cast<std::uint64_t>(i);
+    q.push(std::move(ev));
+  }
+  if (near) q.set_horizon(0, kDense * 4);
+  int i = 0;
+  for (auto _ : state) {
+    Event ev;
+    ev.time = now + 1 + offset(++i);
+    ev.seq = rng.next_below(1u << 30);
+    q.push(std::move(ev));
+    Event out = q.pop();
+    now = out.time;
+    if (near && now >= q.horizon_end()) q.set_horizon(now, kDense * 4);
+    benchmark::DoNotOptimize(out.seq);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueuePushPop)->Arg(0)->Arg(1)->ArgNames({"near"});
+
+/// Inbox merge: drain a batch into a loaded queue. range(0) = 0 pushes the
+/// batch one event at a time (per-entry heap sifts); 1 uses push_bulk (one
+/// Floyd rebuild when the batch is large relative to the heap) — the
+/// LpGroup::merge_inbox / relay-unpack path of the sharded engine.
+void BM_QueueBulkMerge(benchmark::State& state) {
+  const bool bulk = state.range(0) != 0;
+  constexpr int kHeap = 1024;   ///< Group heap near a window barrier (drained).
+  constexpr int kBatch = 8192;  ///< The window's inbound mailbox traffic.
+  constexpr SimTime kSpan = 64 * 1024;
+  Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    EventQueue q;
+    for (int i = 0; i < kHeap; ++i) {
+      Event ev;
+      ev.time = rng.next_below(kSpan);
+      ev.seq = static_cast<std::uint64_t>(i);
+      q.push(std::move(ev));
+    }
+    std::vector<Event> inbox(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      inbox[i].time = rng.next_below(kSpan);
+      inbox[i].seq = static_cast<std::uint64_t>(kHeap + i);
+    }
+    state.ResumeTiming();
+    if (bulk) {
+      q.push_bulk(inbox);
+    } else {
+      for (Event& ev : inbox) q.push(std::move(ev));
+      inbox.clear();
+    }
+    benchmark::DoNotOptimize(q.min_time());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_QueueBulkMerge)->Arg(0)->Arg(1)->ArgNames({"bulk"});
 
 // ---- Hot-path memory (DESIGN.md §9) ---------------------------------------
 
@@ -289,6 +366,37 @@ void BM_PingPong(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rounds * 2);
 }
 BENCHMARK(BM_PingPong);
+
+/// Fiber-dispatch cost under fan-in traffic: every rank sends to rank 0,
+/// which receives in rank order — so most arrivals at rank 0 cannot complete
+/// the receive it is currently blocked on. range(0) = 1 resumes rank 0's
+/// fiber on every arrival anyway (eager); 0 filters spurious resumes against
+/// the recorded wait-set (the default). Identical simulated results either
+/// way; only the host cost differs.
+void BM_WakeupFanIn(benchmark::State& state) {
+  const bool eager = state.range(0) != 0;
+  const bool before = vmpi::eager_wakeup_enabled();
+  vmpi::set_eager_wakeup(eager);
+  const int ranks = 64;
+  const int rounds = 20;
+  for (auto _ : state) {
+    core::Machine machine(micro_config(ranks), [&](vmpi::Context& ctx) {
+      std::uint64_t v = 0;
+      for (int r = 0; r < rounds; ++r) {
+        if (ctx.rank() == 0) {
+          for (int src = 1; src < ranks; ++src) ctx.recv(src, r, &v, sizeof v);
+        } else {
+          ctx.send(0, r, &v, sizeof v);
+        }
+      }
+      ctx.finalize();
+    });
+    machine.run();
+  }
+  vmpi::set_eager_wakeup(before);
+  state.SetItemsProcessed(state.iterations() * (ranks - 1) * rounds);
+}
+BENCHMARK(BM_WakeupFanIn)->Arg(0)->Arg(1)->ArgNames({"eager"});
 
 void BM_UnexpectedQueueMatch(benchmark::State& state) {
   // Many tagged messages arrive before the receives are posted; matching

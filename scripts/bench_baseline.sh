@@ -59,6 +59,9 @@ def run(extra):
     if not (m and p and s):
         sys.stderr.write(err)
         raise SystemExit("could not parse perf output")
+    # Hot-path counter lines (DESIGN.md §13) are omitted when zero.
+    w = re.search(r"wakeups\s*: (\d+) resumes, (\d+) suppressed", err)
+    q = re.search(r"queue\s*: (\d+) near-bucket pops \([\d.]+%\), (\d+) bulk merges", err)
     return {
         "events": int(m.group(1)),
         "wall_seconds": float(m.group(2)),
@@ -72,6 +75,10 @@ def run(extra):
         "stacks_mapped": int(s.group(1)),
         "stacks_reused": int(s.group(2)),
         "stacks_high_water": int(s.group(3)),
+        "fiber_resumes": int(w.group(1)) if w else 0,
+        "wakeups_suppressed": int(w.group(2)) if w else 0,
+        "queue_near_hits": int(q.group(1)) if q else 0,
+        "bulk_merges": int(q.group(2)) if q else 0,
         "peak_rss_kib": max(rss, before),
     }
 
@@ -93,6 +100,14 @@ alloc_pool = rates.get("BM_PayloadAllocFree/pooled:1")
 def allocs_per_event(r):
     return r["pool_allocs"] / r["events"] if r["events"] else 0.0
 
+# Carry forward hand-merged sections and the previous throughput so the
+# committed diff shows the perf trajectory, not just the new absolute number.
+prior = {}
+try:
+    prior = json.load(open(os.environ["OUT"]))
+except (OSError, ValueError):
+    pass
+
 out = {
     "generated_by": "scripts/bench_baseline.sh",
     "workload": " ".join(os.environ["WORKLOAD_ARGS"].split()),
@@ -109,13 +124,31 @@ out = {
             (no_pool["heap_allocs"] / pooled["heap_allocs"])
             if pooled["heap_allocs"] else float(no_pool["heap_allocs"]),
         "allocs_per_event": allocs_per_event(pooled),
+        "wakeup_suppression_pct":
+            100.0 * pooled["wakeups_suppressed"]
+            / (pooled["fiber_resumes"] + pooled["wakeups_suppressed"])
+            if pooled["fiber_resumes"] + pooled["wakeups_suppressed"] else 0.0,
+        "queue_near_hit_pct":
+            100.0 * pooled["queue_near_hits"] / pooled["events"]
+            if pooled["events"] else 0.0,
     },
 }
+if "scheduler" in prior:  # Hand-merged section, not emitted by this harness.
+    out["scheduler"] = prior["scheduler"]
+prev_eps = prior.get("macro", {}).get("pooled", {}).get("events_per_sec")
+if prev_eps:
+    out["summary"]["previous_events_per_sec"] = prev_eps
 json.dump(out, open(os.environ["OUT"], "w"), indent=2)
+open(os.environ["OUT"], "a").write("\n")
 print(f"wrote {os.environ['OUT']}")
 print(f"  event-churn speedup : {out['summary']['event_churn_speedup']:.3f}x")
 print(f"  macro events/s gain : {out['summary']['macro_events_per_sec_gain']:.3f}x")
 hr = out["summary"]["heap_alloc_reduction_factor"]
 print(f"  heap-alloc reduction: {hr:.1f}x "
       f"({no_pool['heap_allocs']} -> {pooled['heap_allocs']})")
+print(f"  wakeup suppression  : {out['summary']['wakeup_suppression_pct']:.1f}%")
+if prev_eps:
+    ratio = pooled["events_per_sec"] / prev_eps
+    print(f"  vs prior baseline   : {ratio:.2f}x events/s ({prev_eps} -> "
+          f"{pooled['events_per_sec']})")
 EOF

@@ -22,7 +22,13 @@
 #     (the route refactor's default path is the pre-refactor model), and the
 #     adaptive-routing + per-link-timeout + timeout-detector row must emit
 #     identical result-json on 1 and 2 sim workers.
-#  5. Multi-core speedup (skipped below 4 CPUs): the event-dense
+#  5. Hot-path wakeup filter (DESIGN.md §13): the macro row rerun with
+#     EXASIM_EAGER_WAKEUP=1 (filtering disabled) on 1 and 2 sim workers must
+#     emit result-json byte-identical to the golden — the filter may only
+#     skip no-op fiber resumes, never change a simulated quantity — and the
+#     default run's stderr must report suppressed wakeups and near-bucket
+#     queue pops actually happening.
+#  6. Multi-core speedup (skipped below 4 CPUs): the event-dense
 #     BM_ShardedWindowThroughput macro benchmark on 4 workers must beat 1
 #     worker by the factor recorded in BENCH_baseline.json.
 #
@@ -198,6 +204,42 @@ if cmp -s /tmp/bench_smoke_linklevel_1.stripped.json /tmp/bench_smoke_routed.str
   exit 1
 fi
 echo "  adaptive+link-timeouts row identical on 1 and 2 workers (and distinct from default)"
+
+echo "== bench smoke: hot-path wakeup filter (eager hatch byte-identical, counters live) =="
+# Filtering off must reproduce the golden byte-for-byte on 1 and 2 workers.
+for w in 1 2; do
+  # shellcheck disable=SC2086
+  EXASIM_EAGER_WAKEUP=1 ./build/tools/exasim_run $WORKLOAD --sim-workers=$w \
+    --result-json="/tmp/bench_smoke_eager_$w.json" >/dev/null 2>&1
+  jq -S 'del(.wall_seconds, .events_per_sec, .scheduler)' \
+    "/tmp/bench_smoke_eager_$w.json" >"/tmp/bench_smoke_eager_$w.stripped.json"
+  if ! cmp -s "/tmp/bench_smoke_eager_$w.stripped.json" /tmp/bench_smoke_golden.nosched.json; then
+    echo "bench_smoke.sh: EXASIM_EAGER_WAKEUP=1 --sim-workers=$w result-json drifted" >&2
+    echo "  (the wakeup filter changed a simulated quantity):" >&2
+    diff /tmp/bench_smoke_golden.nosched.json "/tmp/bench_smoke_eager_$w.stripped.json" >&2 || true
+    exit 1
+  fi
+done
+echo "  EXASIM_EAGER_WAKEUP=1 matches the golden on 1 and 2 sim workers"
+
+python3 - <<'EOF'
+import re
+
+err = open("/tmp/bench_smoke_macro.stderr").read()
+m = re.search(r"wakeups\s*: (\d+) resumes, (\d+) suppressed", err)
+if not m:
+    raise SystemExit("no wakeups counter line in the default macro stderr:\n" + err)
+resumes, suppressed = int(m.group(1)), int(m.group(2))
+q = re.search(r"queue\s*: (\d+) near-bucket pops \(([\d.]+)%\), (\d+) bulk merges", err)
+if not q:
+    raise SystemExit("no queue counter line in the default macro stderr:\n" + err)
+near = int(q.group(1))
+print(f"  default run: {resumes} resumes, {suppressed} suppressed, {near} near-bucket pops")
+if suppressed == 0:
+    raise SystemExit("wakeup filter suppressed nothing on the macro row")
+if near == 0:
+    raise SystemExit("near-horizon buckets served no pops on the macro row")
+EOF
 
 CORES=$(nproc 2>/dev/null || echo 1)
 if [ "$CORES" -lt 4 ]; then

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <stdexcept>
@@ -89,6 +90,27 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** bottom_
 #endif
 
 namespace exasim {
+
+namespace {
+
+// Process-wide dispatch traffic (relaxed: statistics, not synchronization).
+// A resume is one switch into a fiber; suppressed wakeups are reported by the
+// simulated MPI layer's blocked-condition filter (vmpi::SimProcess).
+std::atomic<std::uint64_t> g_fiber_resumes{0};
+std::atomic<std::uint64_t> g_wakeups_suppressed{0};
+
+}  // namespace
+
+FiberDispatchStats fiber_dispatch_stats() {
+  FiberDispatchStats s;
+  s.resumes = g_fiber_resumes.load(std::memory_order_relaxed);
+  s.wakeups_suppressed = g_wakeups_suppressed.load(std::memory_order_relaxed);
+  return s;
+}
+
+void fiber_note_wakeup_suppressed() {
+  g_wakeups_suppressed.fetch_add(1, std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------------------
 // Context switching
@@ -228,6 +250,7 @@ void Fiber::resume() {
   if (t_current != nullptr) throw std::logic_error("nested fiber resume on one thread");
   started_ = true;
   t_current = this;
+  g_fiber_resumes.fetch_add(1, std::memory_order_relaxed);
   impl_->tsan_caller = EXASIM_TSAN_FIBER_CURRENT();
   EXASIM_TSAN_FIBER_SWITCH(impl_->tsan_fiber);
   EXASIM_ASAN_START_SWITCH(&impl_->asan_caller_fake, stack_, stack_bytes_);
@@ -303,6 +326,7 @@ void Fiber::resume() {
   if (t_current != nullptr) throw std::logic_error("nested fiber resume on one thread");
   started_ = true;
   t_current = this;
+  g_fiber_resumes.fetch_add(1, std::memory_order_relaxed);
   impl_->tsan_caller = EXASIM_TSAN_FIBER_CURRENT();
   EXASIM_TSAN_FIBER_SWITCH(impl_->tsan_fiber);
   EXASIM_ASAN_START_SWITCH(&impl_->asan_caller_fake, stack_, stack_bytes_);

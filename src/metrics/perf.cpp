@@ -1,7 +1,9 @@
 #include "metrics/perf.hpp"
 
+#include "fiber/fiber.hpp"
 #include "fiber/stack_pool.hpp"
 #include "pdes/engine.hpp"
+#include "pdes/event_queue.hpp"
 #include "util/pool.hpp"
 
 namespace exasim {
@@ -29,6 +31,12 @@ PerfSnapshot perf_snapshot() {
   s.sched_speculated = sc.speculated;
   s.sched_rollbacks = sc.rollbacks;
   s.sched_barrier_idle_ns = sc.barrier_idle_ns;
+  const FiberDispatchStats fd = fiber_dispatch_stats();
+  s.fiber_resumes = fd.resumes;
+  s.wakeups_suppressed = fd.wakeups_suppressed;
+  const QueueStats q = queue_stats();
+  s.queue_near_hits = q.near_hits;
+  s.bulk_merges = q.bulk_merges;
   return s;
 }
 
@@ -51,6 +59,10 @@ PerfSnapshot perf_delta(const PerfSnapshot& begin, const PerfSnapshot& end) {
   d.sched_speculated = end.sched_speculated - begin.sched_speculated;
   d.sched_rollbacks = end.sched_rollbacks - begin.sched_rollbacks;
   d.sched_barrier_idle_ns = end.sched_barrier_idle_ns - begin.sched_barrier_idle_ns;
+  d.fiber_resumes = end.fiber_resumes - begin.fiber_resumes;
+  d.wakeups_suppressed = end.wakeups_suppressed - begin.wakeups_suppressed;
+  d.queue_near_hits = end.queue_near_hits - begin.queue_near_hits;
+  d.bulk_merges = end.bulk_merges - begin.bulk_merges;
   return d;
 }
 

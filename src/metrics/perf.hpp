@@ -35,6 +35,14 @@ struct PerfSnapshot {
   std::uint64_t sched_speculated = 0;        ///< Events staged past a bound.
   std::uint64_t sched_rollbacks = 0;         ///< Staged events invalidated.
   std::uint64_t sched_barrier_idle_ns = 0;   ///< Worker ns waiting at barriers.
+
+  // Hot-path dispatch & queue traffic (DESIGN.md §13): fiber context
+  // switches, spurious resumes the vmpi wakeup filter skipped, event-queue
+  // pops served from the near-horizon bucket array, and bulk inbox merges.
+  std::uint64_t fiber_resumes = 0;       ///< Fiber::resume switches.
+  std::uint64_t wakeups_suppressed = 0;  ///< Spurious resumes filtered out.
+  std::uint64_t queue_near_hits = 0;     ///< Pops from a near bucket.
+  std::uint64_t bulk_merges = 0;         ///< EventQueue::push_bulk calls.
 };
 
 /// Reads the current process-wide counters. Thread-safe; O(#threads).

@@ -112,6 +112,11 @@ std::uint64_t Engine::schedule(SimTime time, LpId target, int kind,
   ev.kind = kind;
   ev.payload = std::move(payload);
 
+  // Hoisted before the moves below: reading ev.seq after std::move(ev) only
+  // worked because moving leaves POD members behind, and reads as a
+  // use-after-move either way.
+  const std::uint64_t seq = ev.seq;
+
   if (grp != nullptr) {
     if (target < 0 || static_cast<std::size_t>(target) >= group_of_.size()) {
       throw std::logic_error("event for unknown LP");
@@ -125,7 +130,7 @@ std::uint64_t Engine::schedule(SimTime time, LpId target, int kind,
   } else {
     queue_.push(std::move(ev));
   }
-  return ev.seq;
+  return seq;
 }
 
 void Engine::schedule_fanout(const std::vector<FanoutItem>& items, int kind,
@@ -224,15 +229,29 @@ void Engine::schedule_fanout(const std::vector<FanoutItem>& items, int kind,
 
 void Engine::unpack_relay(LpGroup& grp, Event&& relay) {
   auto* payload = static_cast<RelayPayload*>(relay.payload.get());
-  for (Event& ev : payload->batch) {
+  std::vector<Event>& batch = payload->batch;
+  // Compact the dead-target items out in place, then hand the survivors to
+  // the queue as one bulk merge instead of per-event heap sifts.
+  std::size_t kept = 0;
+  for (Event& ev : batch) {
     if (dead_[static_cast<std::size_t>(ev.target)] != 0) {
       ++grp.events_dropped_dead;
       g_fanout_dead_skips.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     g_fanout_notices.fetch_add(1, std::memory_order_relaxed);
-    grp.queue().push(std::move(ev));
+    batch[kept++] = std::move(ev);
   }
+  batch.resize(kept);
+  grp.queue().push_bulk(batch);
+}
+
+void Engine::requeue_relay_items(Event&& relay) {
+  // Leftover cross-group batch from a previous parallel run: unpack into the
+  // engine's flat queue (the items are re-routed individually on the next
+  // distribution — a new partition may split them differently).
+  auto* payload = static_cast<RelayPayload*>(relay.payload.get());
+  queue_.push_bulk(payload->batch);
 }
 
 void Engine::mark_dead(LpId id) {
@@ -311,18 +330,28 @@ void Engine::run() {
   } else {
     run_parallel(workers, group_count);
   }
+  queue_note(queue_.take_stats());
 }
 
 void Engine::run_sequential() {
   stop_requested_.store(false, std::memory_order_relaxed);
+  // Rolling near-horizon: 64 lookahead-wide bucket slices starting at the
+  // current event time, rebased whenever delivery crosses the horizon. New
+  // schedules land in the buckets; the pre-run backlog drains from the far
+  // heap as the horizon sweeps over it.
+  const SimTime horizon_span = sharding_.lookahead < (kSimTimeNever >> 7)
+                                   ? sharding_.lookahead * 64
+                                   : sharding_.lookahead;
   for (;;) {
     while (!queue_.empty() && !stop_requested_.load(std::memory_order_relaxed)) {
       Event ev = queue_.pop();
+      if (ev.time >= queue_.horizon_end()) {
+        // The popped event is the global minimum, so every pending event is
+        // at or past it — rebasing never strands anything below the base.
+        queue_.set_horizon(ev.time, horizon_span);
+      }
       if (ev.kind == kRelayEventKind) {
-        // Leftover cross-group batch from a previous parallel run: unpack
-        // into the flat queue and keep going.
-        auto* payload = static_cast<RelayPayload*>(ev.payload.get());
-        for (Event& item : payload->batch) queue_.push(std::move(item));
+        requeue_relay_items(std::move(ev));
         continue;
       }
       if (is_dead(ev.target)) {
@@ -389,10 +418,7 @@ void Engine::run_parallel(int workers, int group_count) {
   while (!queue_.empty()) {
     Event ev = queue_.pop();
     if (ev.kind == kRelayEventKind) {
-      // Leftover batch from a previous run: re-route the items individually
-      // (the new partition may split them differently).
-      auto* payload = static_cast<RelayPayload*>(ev.payload.get());
-      for (Event& item : payload->batch) queue_.push(std::move(item));
+      requeue_relay_items(std::move(ev));
       continue;
     }
     if (ev.target < 0 || static_cast<std::size_t>(ev.target) >= n) {
@@ -438,6 +464,7 @@ void Engine::run_parallel(int workers, int group_count) {
     speculated += grp->speculated_events;
     rollbacks += grp->rollbacks;
     if (grp->now() > now_) now_ = grp->now();
+    queue_note(grp->queue().take_stats());
     while (!grp->stage().empty()) queue_.push(grp->pop_stage());
     while (!grp->queue().empty()) queue_.push(grp->queue().pop());
     for (int dst = 0; dst < group_count; ++dst) {
@@ -573,6 +600,11 @@ void Engine::run_window(LpGroup& grp, SimTime bound) {
   EventQueue& q = grp.queue();
   auto& stage = grp.stage();
   std::uint64_t delivered = 0;
+  // The window bound is the natural O(1) near-horizon for this group's
+  // queue: everything deliverable this window lands in the buckets, the rest
+  // falls back to the far heap.
+  const SimTime base = grp.now();
+  q.set_horizon(base, bound > base ? bound - base : 1);
   // Deliberately no stop check inside the window: every group finishes the
   // full window, so the delivered set stays deterministic per worker count.
   // Delivery is a two-way merge of the speculation stage and the heap: a

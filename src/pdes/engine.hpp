@@ -198,6 +198,7 @@ class Engine {
   void merge_group(std::vector<std::unique_ptr<LpGroup>>& groups, LpGroup& grp);
   void run_window(LpGroup& grp, SimTime bound);
   void unpack_relay(LpGroup& grp, Event&& relay);
+  void requeue_relay_items(Event&& relay);
   bool run_stall(LpGroup& grp);
   void plan_shape(int* workers, int* group_count) const;
   std::vector<int> plan_partition(int group_count) const;

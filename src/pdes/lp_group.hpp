@@ -38,11 +38,12 @@ class LpGroup {
   /// Mailbox of cross-group events this group scheduled for group `dst`.
   std::vector<Event>& outbox_for(int dst) { return outbox_[dst]; }
 
-  /// Drains the inbound mailbox `src` filled for this group into the heap.
-  /// Runs on this group's worker, after the pre-merge barrier.
+  /// Drains the inbound mailbox `src` filled for this group into the heap as
+  /// one bulk merge (EventQueue::push_bulk: Floyd heapify when the inbox is
+  /// large relative to the heap). Runs on this group's worker, after the
+  /// pre-merge barrier.
   void merge_inbox(std::vector<Event>& inbox) {
-    for (Event& ev : inbox) queue_.push(std::move(ev));
-    inbox.clear();
+    if (!inbox.empty()) queue_.push_bulk(inbox);
   }
 
   /// Group-local clock: maximum timestamp delivered by this group. Used as

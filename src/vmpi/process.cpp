@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -13,6 +14,19 @@
 #include "vmpi/context.hpp"
 
 namespace exasim::vmpi {
+
+namespace {
+
+std::atomic<bool> g_eager_wakeup{[] {
+  const char* env = std::getenv("EXASIM_EAGER_WAKEUP");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}()};
+
+}  // namespace
+
+bool eager_wakeup_enabled() { return g_eager_wakeup.load(std::memory_order_relaxed); }
+
+void set_eager_wakeup(bool eager) { g_eager_wakeup.store(eager, std::memory_order_relaxed); }
 
 SimProcess::SimProcess(Rank world_rank, int world_size, Engine* engine, const Fabric* fabric,
                        const ProcessorModel* proc_model, SystemHooks* hooks,
@@ -92,6 +106,46 @@ void SimProcess::run_fiber() {
   in_fiber_ = true;
   fiber_->resume();
   in_fiber_ = false;
+}
+
+void SimProcess::maybe_run_fiber() {
+  if (!started_ || in_fiber_) return;
+  // Resume unless a recorded block condition says this wake cannot matter.
+  // kNone (blocked outside a registered wait, or not blocked at all) always
+  // resumes — the filter only ever skips provably spurious wakes.
+  if (eager_wakeup_enabled() || wait_kind_ == WaitKind::kNone || wake_pending_) {
+    wake_pending_ = false;
+    run_fiber();
+    return;
+  }
+  fiber_note_wakeup_suppressed();
+}
+
+void SimProcess::register_probe_wait(int comm_id, Rank src, Rank src_world, int tag) {
+  wait_kind_ = WaitKind::kProbe;
+  wait_comm_id_ = comm_id;
+  wait_src_ = src;
+  wait_src_world_ = src_world;
+  wait_tag_ = tag;
+}
+
+void SimProcess::clear_wait() {
+  wait_kind_ = WaitKind::kNone;
+  wake_pending_ = false;
+}
+
+void SimProcess::note_request_done(Request& r) {
+  if (r.waited) wake_pending_ = true;
+}
+
+void SimProcess::note_unexpected(const Envelope& env) {
+  // Mirrors the probe() scan: a blocked probe observes exactly the messages
+  // matching its (comm, source, tag) spec.
+  if (wait_kind_ != WaitKind::kProbe) return;
+  if (env.comm_id != wait_comm_id_) return;
+  if (wait_src_ != kAnySource && env.src_comm_rank != wait_src_) return;
+  if (wait_tag_ != kAnyTag && env.tag != wait_tag_) return;
+  wake_pending_ = true;
 }
 
 void SimProcess::block_until(const std::function<bool()>& ready) {
@@ -244,10 +298,11 @@ void SimProcess::on_event(Engine& engine, Event&& ev) {
 void SimProcess::handle_msg_arrival(MsgPayload& p, SimTime t) {
   if (!try_match_posted(p.env, std::move(p.data), t)) {
     // No matching posted receive yet: unexpected queue (normal MPI behavior).
+    note_unexpected(p.env);
     auto& bucket = unexpected_[{p.env.comm_id, p.env.src_comm_rank}];
     bucket.push_back(UnexpectedMsg{p.env, std::move(p.data), t, next_arrival_seq_++});
   }
-  if (started_ && !in_fiber_) run_fiber();
+  maybe_run_fiber();
 }
 
 void SimProcess::handle_cts(CtsPayload& p, SimTime t) {
@@ -268,7 +323,8 @@ void SimProcess::handle_cts(CtsPayload& p, SimTime t) {
       r->stage = Request::Stage::kDone;
       r->complete_time = inject_done;
       r->status.error = Err::kSuccess;
-      if (started_ && !in_fiber_) run_fiber();
+      note_request_done(*r);
+      maybe_run_fiber();
       return;
     }
   }
@@ -286,7 +342,8 @@ void SimProcess::handle_data(DataPayload& p, SimTime t) {
       r->status.error = p.bytes > r->bytes ? Err::kTruncate : Err::kSuccess;
       r->stage = Request::Stage::kDone;
       r->complete_time = t + fabric_->receiver_overhead();
-      if (started_ && !in_fiber_) run_fiber();
+      note_request_done(*r);
+      maybe_run_fiber();
       return;
     }
   }
@@ -318,6 +375,12 @@ void SimProcess::handle_failure_notice(FailureNoticePayload& p, SimTime t) {
   (void)t;
   fault_.record_peer_failure(p.failed_rank, p.time_of_failure, p.detect_time);
   fail_requests_on_notice(p.failed_rank, p.time_of_failure, p.detect_time);
+  // A probe on the failed rank can now return kProcFailed. Notices never
+  // resume the fiber themselves (eager mode doesn't either); mark the flip so
+  // the next wake site lets the probe re-scan.
+  if (wait_kind_ == WaitKind::kProbe && wait_src_world_ == p.failed_rank) {
+    wake_pending_ = true;
+  }
 }
 
 void SimProcess::fail_requests_on_notice(Rank failed_rank, SimTime t_fail, SimTime t_detect) {
@@ -367,7 +430,8 @@ void SimProcess::handle_error_wakeup(ErrorWakeupPayload& p) {
   r->stage = Request::Stage::kDone;
   r->complete_time = p.error_time;
   r->status.error = p.error;
-  if (started_ && !in_fiber_) run_fiber();
+  note_request_done(*r);
+  maybe_run_fiber();
 }
 
 void SimProcess::handle_abort_notice(AbortNoticePayload& p, SimTime t) {
@@ -497,6 +561,7 @@ void SimProcess::complete_recv_from_msg(Request& r, const Envelope& env,
   r.status.bytes = env.bytes;
   r.status.error = env.bytes > r.bytes ? Err::kTruncate : Err::kSuccess;
   r.peer_world_rank = env.src_world_rank;
+  note_request_done(r);
 }
 
 void SimProcess::start_rendezvous_recv(Request& r, const Envelope& env, SimTime arrival) {
@@ -743,6 +808,13 @@ RequestHandle SimProcess::post_recv(Comm& comm, Rank src, int tag, void* buffer,
 
 Err SimProcess::wait_all(const std::vector<RequestHandle>& handles,
                          std::vector<MsgStatus>* statuses) {
+  // Record the wait-set so event handlers can tell a completion that
+  // satisfies this wait from unrelated traffic (wakeup filter).
+  wait_kind_ = WaitKind::kRequests;
+  for (const auto& h : handles) {
+    Request* r = find_request(h.serial);
+    if (r != nullptr && !r->done()) r->waited = true;
+  }
   block_until([this, &handles] {
     for (const auto& h : handles) {
       Request* r = find_request(h.serial);
@@ -750,6 +822,7 @@ Err SimProcess::wait_all(const std::vector<RequestHandle>& handles,
     }
     return true;
   });
+  clear_wait();
 
   // Raise the clock to the latest completion among the waited requests (the
   // time the whole wait set is satisfied), then report.
@@ -825,7 +898,9 @@ Err SimProcess::probe(Comm& comm, Rank src, int tag, MsgStatus* status) {
     return false;
   };
 
+  register_probe_wait(comm.id, src, src == kAnySource ? -1 : comm.world_of(src), tag);
   block_until(scan);
+  clear_wait();
   if (found != nullptr) {
     raise_clock_to(std::max(post_time, found->arrival_time) + fabric_->receiver_overhead(),
                    /*busy=*/false);
@@ -914,9 +989,10 @@ void SimProcess::apply_revoke(int comm_id, SimTime when) {
     r->stage = Request::Stage::kDone;
     r->complete_time = std::max(r->post_time, when);
     r->status.error = Err::kRevoked;
+    note_request_done(*r);
     any = true;
   }
-  if (any && started_ && !in_fiber_) run_fiber();
+  if (any) maybe_run_fiber();
 }
 
 void SimProcess::failure_ack(Comm& comm) {

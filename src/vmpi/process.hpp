@@ -238,6 +238,26 @@ class SimProcess final : public LogicalProcess {
   void run_fiber();
   void block_until(const std::function<bool()>& ready);
 
+  // Wakeup filter (DESIGN.md §13). While the fiber is blocked, the block
+  // condition is recorded here: the wait-set of requests (each flagged
+  // Request::waited) or a probe's match spec. Event handlers then resume the
+  // fiber via maybe_run_fiber(), which skips the resume unless something
+  // flipped the recorded condition — a waited request completed
+  // (note_request_done) or a probe-visible unexpected message arrived
+  // (note_unexpected). Handlers whose effect block_until itself re-evaluates
+  // (abort notices) or that force an unwind (failure activation, stall
+  // release) keep resuming unconditionally. Every resume the filter skips
+  // would have been a pure no-op — the predicates are side-effect-free and
+  // completion times never depend on when the fiber re-checks them — so the
+  // delivered schedule is byte-identical to eager mode
+  // (EXASIM_EAGER_WAKEUP=1 disables the filter to prove it).
+  enum class WaitKind : std::uint8_t { kNone, kRequests, kProbe };
+  void register_probe_wait(int comm_id, Rank src, Rank src_world, int tag);
+  void clear_wait();
+  void note_request_done(Request& r);
+  void note_unexpected(const Envelope& env);
+  void maybe_run_fiber();
+
   // Event handlers.
   void handle_msg_arrival(MsgPayload& p, SimTime t);
   void handle_cts(CtsPayload& p, SimTime t);
@@ -295,6 +315,14 @@ class SimProcess final : public LogicalProcess {
   bool in_fiber_ = false;
   std::uint64_t last_native_ns_ = 0;  ///< Measured-compute snapshot.
 
+  // Recorded block condition (see the wakeup-filter note above).
+  WaitKind wait_kind_ = WaitKind::kNone;
+  bool wake_pending_ = false;  ///< Condition flipped; resume at next wake site.
+  int wait_comm_id_ = 0;       ///< Probe spec: communicator id,
+  Rank wait_src_ = kAnySource;        ///< source comm rank (may be kAnySource),
+  Rank wait_src_world_ = -1;          ///< resolved world rank (-1 = ANY),
+  int wait_tag_ = kAnyTag;            ///< tag (may be kAnyTag).
+
   // Failure/abort/ULFM-ack state and soft-error state, owned by the
   // resilience subsystem; this class is clock + matching + the glue.
   resilience::FaultState fault_;
@@ -328,5 +356,12 @@ class SimProcess final : public LogicalProcess {
   // those frames reference the context/request/comm state above.
   std::unique_ptr<Fiber> fiber_;
 };
+
+/// Whether spurious fiber resumes are allowed (true) or filtered against the
+/// recorded block condition (false, the default). Initialized from
+/// EXASIM_EAGER_WAKEUP (set and nonzero = eager); the delivered schedule is
+/// identical either way — the hatch exists to prove it and to bisect.
+bool eager_wakeup_enabled();
+void set_eager_wakeup(bool eager);
 
 }  // namespace exasim::vmpi

@@ -49,6 +49,10 @@ struct Request {
   /// ULFM recovery traffic (shrink/agree) is not failed by a revoke notice.
   bool survives_revoke = false;
 
+  /// The process fiber is blocked in a wait_all that includes this request —
+  /// its completion must wake the fiber (SimProcess wakeup filter).
+  bool waited = false;
+
   bool done() const { return stage == Stage::kDone; }
 };
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -13,9 +14,11 @@
 #include <vector>
 
 #include "pdes/engine.hpp"
+#include "pdes/event_queue.hpp"
 #include "pdes/scheduler.hpp"
 #include "pdes/sim_workers.hpp"
 #include "util/pool.hpp"
+#include "util/rng.hpp"
 
 namespace exasim {
 namespace {
@@ -500,6 +503,163 @@ TEST(EventOrder, OrdersByTimePriositySeq) {
   a.seq = 1;
   b.seq = 2;
   EXPECT_TRUE(EventOrder{}(a, b));
+}
+
+// ---- EventQueue (two-level compact-key queue) ------------------------------
+
+Event make_event(SimTime time, EventPriority prio, LpId source, std::uint64_t seq) {
+  Event ev;
+  ev.time = time;
+  ev.priority = prio;
+  ev.source = source;
+  ev.seq = seq;
+  ev.kind = static_cast<int>(seq);
+  return ev;
+}
+
+/// Drains the queue and checks the pop sequence is exactly `expect` (by key).
+void expect_pop_order(EventQueue& q, std::vector<Event>& expect) {
+  std::sort(expect.begin(), expect.end(), [](const Event& a, const Event& b) {
+    return key_less(key_of(a), key_of(b));
+  });
+  for (const Event& want : expect) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.min_time(), want.time);
+    EXPECT_EQ(key_of(q.peek()).seq, want.seq);
+    const Event got = q.pop();
+    EXPECT_EQ(got.time, want.time);
+    EXPECT_EQ(got.priority, want.priority);
+    EXPECT_EQ(got.source, want.source);
+    EXPECT_EQ(got.seq, want.seq);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, KeyTiesPopInPriositySourceSeqOrder) {
+  EventQueue q;
+  std::vector<Event> expect;
+  // All at the same timestamp: priority, then source (kExternalSource first),
+  // then per-source seq must decide.
+  const std::uint64_t seqs[] = {5, 1, 3, 2, 4};
+  for (std::uint64_t s : seqs) {
+    expect.push_back(make_event(7, EventPriority::kMessage, 2, s));
+    q.push(make_event(7, EventPriority::kMessage, 2, s));
+  }
+  expect.push_back(make_event(7, EventPriority::kControl, 9, 1));
+  q.push(make_event(7, EventPriority::kControl, 9, 1));
+  expect.push_back(make_event(7, EventPriority::kMessage, kExternalSource, 8));
+  q.push(make_event(7, EventPriority::kMessage, kExternalSource, 8));
+  expect.push_back(make_event(7, EventPriority::kTimer, 0, 0));
+  q.push(make_event(7, EventPriority::kTimer, 0, 0));
+  expect_pop_order(q, expect);
+}
+
+TEST(EventQueue, NearFarBoundaryPreservesGlobalOrder) {
+  EventQueue q;
+  q.set_horizon(100, 64);  // Near slices cover [100, horizon_end).
+  const SimTime end = q.horizon_end();
+  ASSERT_GT(end, SimTime{100});
+  std::vector<Event> expect;
+  std::uint64_t seq = 0;
+  // Straddle the boundary: below base, inside, exactly at the end, beyond.
+  for (SimTime t : {end + 50, SimTime{100}, end - 1, SimTime{17}, end, SimTime{101},
+                    end + 1, SimTime{150}}) {
+    expect.push_back(make_event(t, EventPriority::kMessage, 0, seq));
+    q.push(make_event(t, EventPriority::kMessage, 0, seq));
+    ++seq;
+  }
+  const auto stats_before = q.take_stats();
+  (void)stats_before;
+  expect_pop_order(q, expect);
+  // The in-horizon pops must have been served by the near buckets.
+  EXPECT_GE(q.take_stats().near_hits, 5u);
+}
+
+TEST(EventQueue, PushBulkMatchesIndividualPushes) {
+  Rng rng(23);
+  std::vector<Event> plan;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    plan.push_back(make_event(rng.next_below(1000),
+                              i % 7 == 0 ? EventPriority::kControl : EventPriority::kMessage,
+                              static_cast<LpId>(rng.next_below(16)), i));
+  }
+
+  EventQueue individual;
+  individual.set_horizon(0, 256);
+  for (const Event& ev : plan) {
+    individual.push(make_event(ev.time, ev.priority, ev.source, ev.seq));
+  }
+
+  EventQueue bulk;
+  bulk.set_horizon(0, 256);
+  std::vector<Event> batch;
+  for (const Event& ev : plan) batch.push_back(make_event(ev.time, ev.priority, ev.source, ev.seq));
+  bulk.push_bulk(batch);
+  EXPECT_TRUE(batch.empty());  // push_bulk drains its input.
+  EXPECT_GE(bulk.take_stats().bulk_merges, 1u);
+
+  ASSERT_EQ(individual.size(), bulk.size());
+  while (!individual.empty()) {
+    const Event a = individual.pop();
+    const Event b = bulk.pop();
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.priority, b.priority);
+    EXPECT_EQ(a.source, b.source);
+    EXPECT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(bulk.empty());
+}
+
+TEST(EventQueue, RandomizedInterleavedOpsMatchReferenceOrder) {
+  // Random pushes/bulk-merges/pops with a rolling horizon, cross-checked
+  // against a sorted reference of whatever should still be queued.
+  Rng rng(31);
+  EventQueue q;
+  std::vector<Event> reference;  // Unordered mirror of the queue contents.
+  std::uint64_t seq = 0;
+  SimTime now = 0;
+  auto ref_min = [&reference]() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < reference.size(); ++i) {
+      if (key_less(key_of(reference[i]), key_of(reference[best]))) best = i;
+    }
+    return best;
+  };
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t dice = rng.next_below(10);
+    if (dice < 5) {
+      const SimTime t = now + rng.next_below(512);
+      const auto src = static_cast<LpId>(rng.next_below(8));
+      q.push(make_event(t, EventPriority::kMessage, src, seq));
+      reference.push_back(make_event(t, EventPriority::kMessage, src, seq));
+      ++seq;
+    } else if (dice < 6) {
+      std::vector<Event> batch;
+      const std::uint64_t n = rng.next_below(64);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const SimTime t = now + rng.next_below(2048);
+        batch.push_back(make_event(t, EventPriority::kControl, 3, seq));
+        reference.push_back(make_event(t, EventPriority::kControl, 3, seq));
+        ++seq;
+      }
+      q.push_bulk(batch);
+    } else if (dice < 7) {
+      q.set_horizon(now, 1 + rng.next_below(1024));
+    } else if (!reference.empty()) {
+      ASSERT_FALSE(q.empty());
+      const std::size_t want = ref_min();
+      const Event got = q.pop();
+      EXPECT_EQ(got.time, reference[want].time);
+      EXPECT_EQ(got.source, reference[want].source);
+      EXPECT_EQ(got.seq, reference[want].seq);
+      now = got.time;
+      reference.erase(reference.begin() + static_cast<std::ptrdiff_t>(want));
+    }
+    ASSERT_EQ(q.size(), reference.size());
+  }
+  std::vector<Event> rest = std::move(reference);
+  expect_pop_order(q, rest);
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include "sim_test_util.hpp"
 #include "vmpi/context.hpp"
 #include "vmpi/fabric.hpp"
+#include "vmpi/process.hpp"
 
 namespace exasim {
 namespace {
@@ -377,6 +378,55 @@ TEST(ResilienceSim, HeartbeatDetectorDelaysErrorRelease) {
   EXPECT_EQ(r.detector, "heartbeat:period=100ms,miss=3");
   EXPECT_EQ(r.failure_notices, 1u);
   EXPECT_EQ(r.max_detection_latency, sim_ms(295));
+}
+
+TEST(ResilienceSim, FailureNoticeForcesProbeWakeupUnderFiltering) {
+  // A probe blocked on a rank that dies never sees a matching arrival; the
+  // failure notice flips its predicate instead. The filtered dispatcher must
+  // honor that flip (wake_pending_) when the next unrelated event arrives —
+  // identically to eager dispatch, where the same arrival triggers a re-scan.
+  auto run_mode = [&](bool eager, Err* got, SimTime* released_at) {
+    const bool before = vmpi::eager_wakeup_enabled();
+    vmpi::set_eager_wakeup(eager);
+    auto cfg = tiny_config(3);
+    cfg.failures = {FailureSpec{1, sim_ms(1)}};
+    auto app = [&](Context& ctx) {
+      ctx.set_error_handler(ctx.world(), vmpi::ErrorHandlerKind::kReturn);
+      if (ctx.rank() == 0) {
+        vmpi::MsgStatus st;
+        *got = ctx.probe(ctx.world(), 1, 7, &st);
+        *released_at = ctx.now();
+        int v = 0;
+        EXPECT_EQ(ctx.recv(2, 3, &v, sizeof v), Err::kSuccess);
+      } else if (ctx.rank() == 2) {
+        // The unrelated arrival that gives the blocked probe its wake site
+        // (tag 3 does not match the probe's tag-7 spec on rank 1).
+        ctx.compute(2.5e6);
+        int v = 99;
+        ctx.send(0, 3, &v, sizeof v);
+      } else {
+        int v = 0;
+        ctx.recv(0, 1, &v, sizeof v);  // Dies blocked at 1 ms.
+      }
+      ctx.finalize();
+    };
+    SimResult r = run_app(cfg, app);
+    vmpi::set_eager_wakeup(before);
+    return r;
+  };
+  Err got_f = Err::kSuccess, got_e = Err::kSuccess;
+  SimTime rel_f = 0, rel_e = 0;
+  SimResult rf = run_mode(false, &got_f, &rel_f);
+  SimResult re = run_mode(true, &got_e, &rel_e);
+  EXPECT_EQ(got_f, Err::kProcFailed);
+  EXPECT_EQ(got_e, Err::kProcFailed);
+  // Release bound: max(max(post, t_fail) + failure_timeout, t_detect) = 2 ms.
+  EXPECT_EQ(rel_f, sim_ms(2));
+  EXPECT_EQ(rel_e, rel_f);
+  EXPECT_EQ(rf.outcome, SimResult::Outcome::kCompleted);
+  EXPECT_EQ(rf.outcome, re.outcome);
+  EXPECT_EQ(rf.max_end_time, re.max_end_time);
+  EXPECT_EQ(rf.failure_notices, re.failure_notices);
 }
 
 TEST(ResilienceSim, TimeoutDetectorReportsDetectionLatency) {

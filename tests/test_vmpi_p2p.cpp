@@ -8,8 +8,10 @@
 #include <numeric>
 #include <vector>
 
+#include "metrics/perf.hpp"
 #include "sim_test_util.hpp"
 #include "vmpi/context.hpp"
+#include "vmpi/process.hpp"
 
 namespace exasim {
 namespace {
@@ -377,6 +379,83 @@ TEST(P2P, DeterministicAcrossRuns) {
   const SimTime a = run_once();
   const SimTime b = run_once();
   EXPECT_EQ(a, b);
+}
+
+// ---- Wakeup filter (DESIGN.md §13) ----------------------------------------
+
+TEST(P2P, WakeupFilterMatchesEagerFieldForField) {
+  // Fan-in: rank 0 receives from every peer in rank order, so most arrivals
+  // reach it while it is blocked on a receive they cannot complete. The
+  // filtered dispatcher must suppress those resumes (counted) without
+  // changing any simulated quantity vs EXASIM_EAGER_WAKEUP-style dispatch.
+  auto run_mode = [&](bool eager) {
+    const bool before = vmpi::eager_wakeup_enabled();
+    vmpi::set_eager_wakeup(eager);
+    auto app = [](Context& ctx) {
+      std::uint64_t v = static_cast<std::uint64_t>(ctx.rank());
+      if (ctx.rank() == 0) {
+        // Reverse source order: arrivals process in ascending source key
+        // order, so while blocked on the highest source every lower-source
+        // arrival is unexpected — suppressible under filtered dispatch.
+        for (int src = ctx.size() - 1; src >= 1; --src) {
+          std::uint64_t got = 0;
+          EXPECT_EQ(ctx.recv(src, 0, &got, sizeof got), Err::kSuccess);
+          EXPECT_EQ(got, static_cast<std::uint64_t>(src));
+        }
+      } else {
+        ctx.send(0, 0, &v, sizeof v);
+      }
+      ctx.finalize();
+    };
+    SimResult r = run_app(tiny_config(8), app);
+    vmpi::set_eager_wakeup(before);
+    return r;
+  };
+  const PerfSnapshot t0 = perf_snapshot();
+  const SimResult filtered = run_mode(false);
+  const PerfSnapshot t1 = perf_snapshot();
+  const SimResult eager = run_mode(true);
+  const PerfSnapshot t2 = perf_snapshot();
+  const PerfSnapshot df = perf_delta(t0, t1);
+  const PerfSnapshot de = perf_delta(t1, t2);
+  EXPECT_GT(df.wakeups_suppressed, 0u);
+  EXPECT_EQ(de.wakeups_suppressed, 0u);
+  EXPECT_LT(df.fiber_resumes, de.fiber_resumes);  // Fewer switches, same sim.
+  EXPECT_EQ(filtered.outcome, SimResult::Outcome::kCompleted);
+  EXPECT_EQ(filtered.outcome, eager.outcome);
+  EXPECT_EQ(filtered.events_processed, eager.events_processed);
+  EXPECT_EQ(filtered.max_end_time, eager.max_end_time);
+  EXPECT_EQ(filtered.min_end_time, eager.min_end_time);
+  EXPECT_EQ(filtered.total_busy_time, eager.total_busy_time);
+  EXPECT_EQ(filtered.total_comm_time, eager.total_comm_time);
+  EXPECT_EQ(filtered.finished_count, eager.finished_count);
+}
+
+TEST(P2P, AnySourceMatchForcesWakeupUnderFiltering) {
+  // Rank 0 blocks on an ANY_SOURCE receive while an unrelated arrival
+  // completes a request it is NOT waiting on (suppressible), then the real
+  // sender's message matches the wildcard — which must force the wakeup, or
+  // the run deadlocks.
+  std::uint64_t side = 0, wanted = 0;
+  auto app = [&](Context& ctx) {
+    if (ctx.rank() == 0) {
+      auto h = ctx.irecv(ctx.world(), 2, 9, &side, sizeof side);
+      EXPECT_EQ(ctx.recv(vmpi::kAnySource, 0, &wanted, sizeof wanted), Err::kSuccess);
+      EXPECT_EQ(ctx.wait(ctx.world(), h), Err::kSuccess);
+    } else if (ctx.rank() == 1) {
+      ctx.compute(1e6);  // Send after rank 2's side traffic arrived.
+      std::uint64_t v = 41;
+      ctx.send(0, 0, &v, sizeof v);
+    } else {
+      std::uint64_t v = 17;
+      ctx.send(0, 9, &v, sizeof v);
+    }
+    ctx.finalize();
+  };
+  SimResult r = run_app(tiny_config(3), app);
+  EXPECT_EQ(r.outcome, SimResult::Outcome::kCompleted);
+  EXPECT_EQ(wanted, 41u);
+  EXPECT_EQ(side, 17u);
 }
 
 // Deadlock: both ranks recv from each other with nothing sent.

@@ -81,6 +81,10 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
       p.sched_speculated += run.perf.sched_speculated;
       p.sched_rollbacks += run.perf.sched_rollbacks;
       p.sched_barrier_idle_ns += run.perf.sched_barrier_idle_ns;
+      p.fiber_resumes += run.perf.fiber_resumes;
+      p.wakeups_suppressed += run.perf.wakeups_suppressed;
+      p.queue_near_hits += run.perf.queue_near_hits;
+      p.bulk_merges += run.perf.bulk_merges;
     }
   }
   if (events == 0 || wall <= 0) return;
@@ -119,6 +123,23 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
                  static_cast<unsigned long long>(p.sched_speculated),
                  static_cast<unsigned long long>(p.sched_rollbacks),
                  static_cast<double>(p.sched_barrier_idle_ns) / 1e9);
+  }
+  if (p.fiber_resumes > 0) {
+    const std::uint64_t considered = p.fiber_resumes + p.wakeups_suppressed;
+    std::fprintf(stderr, "wakeups        : %llu resumes, %llu suppressed (%.1f%%)\n",
+                 static_cast<unsigned long long>(p.fiber_resumes),
+                 static_cast<unsigned long long>(p.wakeups_suppressed),
+                 considered > 0 ? 100.0 * static_cast<double>(p.wakeups_suppressed) /
+                                      static_cast<double>(considered)
+                                : 0.0);
+  }
+  if (p.queue_near_hits > 0 || p.bulk_merges > 0) {
+    std::fprintf(stderr, "queue          : %llu near-bucket pops (%.1f%%), %llu bulk merges\n",
+                 static_cast<unsigned long long>(p.queue_near_hits),
+                 events > 0 ? 100.0 * static_cast<double>(p.queue_near_hits) /
+                                  static_cast<double>(events)
+                            : 0.0,
+                 static_cast<unsigned long long>(p.bulk_merges));
   }
 }
 
