@@ -9,7 +9,7 @@
 // assembled in fixed order afterwards — identical at any job count.
 
 #include <cstdio>
-#include <optional>
+#include <string>
 #include <vector>
 
 #include "apps/heat3d.hpp"
@@ -39,7 +39,8 @@ struct RunSpec {
   int interval = 1000;
   bool do_halo = false;
   bool do_ckpt = false;
-  std::optional<PfsParams> pfs;
+  /// Storage-hierarchy spec; empty = the paper's free PFS.
+  std::string storage;
 };
 
 double e1_seconds(const RunSpec& spec) {
@@ -52,7 +53,7 @@ double e1_seconds(const RunSpec& spec) {
   heat.real_compute = false;
   core::RunnerConfig rc;
   rc.base = machine();
-  if (spec.pfs) rc.base.pfs = *spec.pfs;
+  rc.base.storage = spec.storage;
   return to_seconds(core::ResilientRunner(rc, apps::make_heat3d(heat)).run().total_time);
 }
 
@@ -64,22 +65,21 @@ int main(int argc, char** argv) {
   std::printf("(4,096 ranks, 1,000 iterations, free checkpoint I/O like the paper)\n\n");
 
   // With a real parallel-file-system cost model (the paper's future-work
-  // item 4), checkpoint writes stop being free:
-  PfsParams pfs;
-  pfs.metadata_latency = sim_ms(1);
-  pfs.aggregate_bandwidth_bytes_per_sec = 100e9;  // 100 GB/s PFS.
+  // item 4), checkpoint writes stop being free: a 100 GB/s PFS tier with
+  // 1 ms metadata latency, as a StorageHierarchy spec.
+  const std::string pfs_storage = "pfs:bw=1e11,lat=1ms";
 
   const std::vector<int> intervals = {1000, 500, 250, 125, 63};
   const std::vector<int> pfs_intervals = {500, 250, 125};
   std::vector<RunSpec> specs;
-  specs.push_back({1000, false, false, std::nullopt});  // Compute-only baseline.
+  specs.push_back({1000, false, false, ""});  // Compute-only baseline.
   for (int c : intervals) {
-    specs.push_back({c, true, false, std::nullopt});  // Halo only.
-    specs.push_back({c, true, true, std::nullopt});   // Full cycle.
+    specs.push_back({c, true, false, ""});  // Halo only.
+    specs.push_back({c, true, true, ""});   // Full cycle.
   }
   for (int c : pfs_intervals) {
-    specs.push_back({c, true, true, std::nullopt});  // Free I/O.
-    specs.push_back({c, true, true, pfs});           // PFS model.
+    specs.push_back({c, true, true, ""});           // Free I/O.
+    specs.push_back({c, true, true, pfs_storage});  // PFS model.
   }
 
   exp::ParallelExecutor pool(exp::ExecutorOptions{exp::jobs_from_cli(argc, argv), {}});

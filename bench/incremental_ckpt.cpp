@@ -34,8 +34,7 @@ core::SimConfig machine() {
   m.topology = "star:" + std::to_string(kRanks);
   m.proc.slowdown = 1.0;
   m.proc.reference_ns_per_unit = 1.0;
-  m.pfs.aggregate_bandwidth_bytes_per_sec = 1e9;  // 1 GB/s shared PFS.
-  m.pfs.metadata_latency = sim_ms(1);
+  m.storage = "pfs:bw=1e9,lat=1ms";  // 1 GB/s shared PFS tier.
   return m;
 }
 
@@ -58,6 +57,7 @@ Outcome run(bool incremental, int change_permille) {
     policy.block_bytes = 4096;
     policy.full_every = 1000;
     ckpt::IncrementalCheckpointer inc(policy);
+    ckpt::TieredWriter writer(*services.storage, services.ckpt_mode);
     Rng rng(static_cast<std::uint64_t>(ctx.rank()) + 1);
 
     SimTime io_time = 0;
@@ -83,9 +83,7 @@ Outcome run(bool incremental, int change_permille) {
         inc.write(ctx, *services.checkpoints, static_cast<std::uint64_t>(v), state,
                   *services.pfs, ctx.size());
       } else {
-        ckpt::write_rank_checkpoint(ctx, *services.checkpoints,
-                                    static_cast<std::uint64_t>(v), state, *services.pfs,
-                                    ctx.size());
+        writer.write(ctx, *services.checkpoints, static_cast<std::uint64_t>(v), state);
       }
       io_time += ctx.now() - t0;
       ctx.barrier(ctx.world());

@@ -28,7 +28,12 @@
 #     skip no-op fiber resumes, never change a simulated quantity — and the
 #     default run's stderr must report suppressed wakeups and near-bucket
 #     queue pops actually happening.
-#  6. Multi-core speedup (skipped below 4 CPUs): the event-dense
+#  6. Tiered storage (DESIGN.md §14): the macro row with an explicit
+#     --storage=pfs --ckpt-mode=pfs must byte-match the committed golden
+#     (the hierarchy's default path is the pre-refactor flat model), and a
+#     staged-mode probe with an injected failure must report partner copies
+#     being made and a restart recovered from a surviving non-PFS tier.
+#  7. Multi-core speedup (skipped below 4 CPUs): the event-dense
 #     BM_ShardedWindowThroughput macro benchmark on 4 workers must beat 1
 #     worker by the factor recorded in BENCH_baseline.json.
 #
@@ -240,6 +245,51 @@ if suppressed == 0:
 if near == 0:
     raise SystemExit("near-horizon buckets served no pops on the macro row")
 EOF
+
+echo "== bench smoke: tiered storage (explicit pfs == golden, staged probe recovers) =="
+# Explicit default storage must be the byte-identical pre-refactor path.
+# shellcheck disable=SC2086
+./build/tools/exasim_run $WORKLOAD --storage=pfs --ckpt-mode=pfs \
+  --result-json=/tmp/bench_smoke_storage.json >/dev/null 2>&1
+jq -S 'del(.wall_seconds, .events_per_sec)' /tmp/bench_smoke_storage.json \
+  >/tmp/bench_smoke_storage.stripped.json
+if ! cmp -s /tmp/bench_smoke_storage.stripped.json "$GOLDEN"; then
+  echo "bench_smoke.sh: --storage=pfs --ckpt-mode=pfs result-json drifted from $GOLDEN:" >&2
+  diff "$GOLDEN" /tmp/bench_smoke_storage.stripped.json >&2 || true
+  exit 1
+fi
+echo "  --storage=pfs --ckpt-mode=pfs matches $GOLDEN"
+
+# Staged-mode probe: a failure-free run of this workload takes ~210 s of
+# simulated time, so a failure at 120 s lands after staged checkpoints (and
+# their partner replicas) exist. The relaunch must recover from a surviving
+# non-PFS tier.
+./build/tools/exasim_run heat3d --ranks=8 --topology=star:8 --link-latency=1us \
+  --bandwidth=32e9 --overhead=500ns --slowdown=1000 --ns-per-unit=1281 \
+  --storage=hpc --ckpt-mode=staged --failures=3@120s \
+  --app-params=nx=32,px=2,py=2,pz=2,iters=40,interval=10 \
+  >/tmp/bench_smoke_staged.stdout 2>/tmp/bench_smoke_staged.stderr
+
+python3 - <<'EOF'
+import re
+
+err = open("/tmp/bench_smoke_staged.stderr").read()
+out = open("/tmp/bench_smoke_staged.stdout").read()
+m = re.search(r"ckpt\s*: (\d+) stages, (\d+) drains, (\d+) partner copies, "
+              r"restore tier (\S+)", err)
+if not m:
+    raise SystemExit("no ckpt counter line in the staged probe stderr:\n" + err)
+stages, drains, copies, tier = int(m.group(1)), int(m.group(2)), int(m.group(3)), m.group(4)
+print(f"  staged probe: {stages} stages, {drains} drains, {copies} partner copies, "
+      f"restore tier {tier}")
+if copies == 0:
+    raise SystemExit("staged probe made no partner copies")
+if tier not in ("mem", "bb"):
+    raise SystemExit(f"staged probe restored from tier '{tier}', want a non-PFS tier")
+if "completed    : yes" not in out and not re.search(r"completed\s*: yes", out):
+    raise SystemExit("staged probe did not complete after the failure:\n" + out)
+EOF
+echo "  staged probe recovered from a non-PFS tier"
 
 CORES=$(nproc 2>/dev/null || echo 1)
 if [ "$CORES" -lt 4 ]; then

@@ -7,7 +7,10 @@
 # EXASIM_SIM_WORKERS=4 so every engine run inside them is forced onto
 # multiple worker threads, and with the adaptive scheduler plus speculation
 # on top so the widened-window/work-stealing/rollback paths are exercised
-# under the race detector. The ASan leg runs pooled and EXASIM_NO_POOL=1.
+# under the race detector. A fourth, scoped repeat runs test_storage with
+# EXASIM_CKPT_MODE=staged on 4 workers — the tiered writer's occupancy
+# windows and drain bookkeeping under the race detector. The ASan leg runs
+# pooled and EXASIM_NO_POOL=1.
 #
 # Usage: scripts/tier1.sh [release|tsan|asan|all] [jobs]
 #   scripts/tier1.sh              # all legs, jobs = nproc
@@ -43,10 +46,10 @@ run_release() {
 }
 
 run_tsan() {
-  echo "== tier 1: ThreadSanitizer (test_exp + test_pdes + test_vmpi_p2p + test_resilience) =="
+  echo "== tier 1: ThreadSanitizer (test_exp + test_pdes + test_vmpi_p2p + test_resilience + test_storage) =="
   cmake -B build-tsan -S . -DEXASIM_TSAN=ON >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target test_exp test_pdes test_vmpi_p2p test_resilience
-  (cd build-tsan && ctest --output-on-failure -R 'test_exp|test_pdes|test_vmpi_p2p|test_resilience')
+  cmake --build build-tsan -j "$JOBS" --target test_exp test_pdes test_vmpi_p2p test_resilience test_storage
+  (cd build-tsan && ctest --output-on-failure -R 'test_exp|test_pdes|test_vmpi_p2p|test_resilience|test_storage')
 
   echo "== tier 1: ThreadSanitizer, forced multi-worker engine =="
   (cd build-tsan && EXASIM_SIM_WORKERS=4 ctest --output-on-failure -R 'test_pdes|test_vmpi_p2p|test_resilience')
@@ -54,6 +57,12 @@ run_tsan() {
   echo "== tier 1: ThreadSanitizer, adaptive scheduler + stealing + speculation =="
   (cd build-tsan && EXASIM_SIM_WORKERS=4 EXASIM_SCHEDULER=adaptive EXASIM_SPECULATE=8 \
     ctest --output-on-failure -R 'test_pdes|test_vmpi_p2p|test_resilience')
+
+  echo "== tier 1: ThreadSanitizer, staged checkpointing on the sharded engine =="
+  # Scoped to test_storage: the staged env default would change the simulated
+  # times that other suites pin exactly.
+  (cd build-tsan && EXASIM_SIM_WORKERS=4 EXASIM_CKPT_MODE=staged \
+    ctest --output-on-failure -R 'test_storage')
 }
 
 run_asan() {

@@ -21,6 +21,7 @@ void cg_main(vmpi::Context& ctx, const CgProxyParams& p, std::vector<CgProxyRepo
   const int rank = ctx.rank();
   auto& services = core::services_of(ctx);
   const bool checkpointing = p.checkpoint_interval > 0 && services.checkpoints != nullptr;
+  ckpt::TieredWriter writer(*services.storage, services.ckpt_mode);
 
   // Deterministic local vector.
   std::vector<double> x(p.local_elements);
@@ -36,8 +37,8 @@ void cg_main(vmpi::Context& ctx, const CgProxyParams& p, std::vector<CgProxyRepo
 
   if (checkpointing) {
     std::uint64_t version = 0;
-    if (auto payload = ckpt::read_latest_checkpoint(ctx, *services.checkpoints, rank,
-                                                    *services.pfs, ctx.size(), &version)) {
+    if (auto payload = ckpt::read_latest_checkpoint_tiered(ctx, *services.checkpoints,
+                                                           *services.storage, &version)) {
       CgCkptHeader header{};
       if (payload->size() != sizeof(header) + x.size() * sizeof(double)) {
         throw std::runtime_error("cgproxy checkpoint size mismatch");
@@ -86,8 +87,7 @@ void cg_main(vmpi::Context& ctx, const CgProxyParams& p, std::vector<CgProxyRepo
       std::vector<std::byte> payload(sizeof(header) + x.size() * sizeof(double));
       std::memcpy(payload.data(), &header, sizeof(header));
       std::memcpy(payload.data() + sizeof(header), x.data(), x.size() * sizeof(double));
-      ckpt::write_rank_checkpoint(ctx, *services.checkpoints, static_cast<std::uint64_t>(it),
-                                  payload, *services.pfs, ctx.size());
+      writer.write(ctx, *services.checkpoints, static_cast<std::uint64_t>(it), payload);
       if (ctx.barrier(ctx.world()) != vmpi::Err::kSuccess) return;
       if (have_prev && prev_version != static_cast<std::uint64_t>(it)) {
         services.checkpoints->remove_file(prev_version, rank);

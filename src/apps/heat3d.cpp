@@ -259,8 +259,7 @@ void heat3d_main(Context& ctx, const HeatParams& p, std::vector<HeatReport>* rep
     throw std::logic_error("heat3d requires a checkpoint store service");
   }
   auto& store = *services.checkpoints;
-  const PfsModel& pfs = *services.pfs;
-  const int clients = ctx.size();
+  ckpt::TieredWriter writer(*services.storage, services.ckpt_mode);
 
   set_phase(p, rank, HeatPhase::kStartup);
   const Decomposition d = decompose(p, rank, ctx.size());
@@ -278,8 +277,8 @@ void heat3d_main(Context& ctx, const HeatParams& p, std::vector<HeatReport>* rep
   int start_iteration = 1;
   int restarts_used = 0;
   std::uint64_t restored_version = 0;
-  if (auto payload = ckpt::read_latest_checkpoint(ctx, store, rank, pfs, clients,
-                                                  &restored_version)) {
+  if (auto payload = ckpt::read_latest_checkpoint_tiered(ctx, store, *services.storage,
+                                                         &restored_version)) {
     HeatCkptHeader header{};
     if (payload->size() < sizeof(header)) throw std::runtime_error("corrupt checkpoint header");
     std::memcpy(&header, payload->data(), sizeof(header));
@@ -343,8 +342,8 @@ void heat3d_main(Context& ctx, const HeatParams& p, std::vector<HeatReport>* rep
         const auto* bytes = reinterpret_cast<const std::byte*>(interior.data());
         payload.insert(payload.end(), bytes, bytes + state_bytes);
       }
-      ckpt::write_rank_checkpoint(ctx, store, static_cast<std::uint64_t>(it), payload, pfs,
-                                  clients, sizeof(header) + state_bytes);
+      writer.write(ctx, store, static_cast<std::uint64_t>(it), payload,
+                   sizeof(header) + state_bytes);
 
       set_phase(p, rank, HeatPhase::kBarrier);
       if (ctx.barrier(ctx.world()) != Err::kSuccess) return;

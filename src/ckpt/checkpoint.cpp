@@ -1,5 +1,6 @@
 #include "ckpt/checkpoint.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace exasim::ckpt {
@@ -83,6 +84,79 @@ std::vector<std::byte> CheckpointStore::read(std::uint64_t version, int rank) co
   auto fit = vit->second.files.find(rank);
   if (fit == vit->second.files.end()) return {};
   return fit->second.data;
+}
+
+std::size_t CheckpointStore::file_bytes(std::uint64_t version, int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto vit = versions_.find(version);
+  if (vit == versions_.end()) return 0;
+  auto fit = vit->second.files.find(rank);
+  return fit == vit->second.files.end() ? 0 : fit->second.data.size();
+}
+
+void CheckpointStore::record_copy(std::uint64_t version, int rank,
+                                  const CopyRecord& copy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto vit = versions_.find(version);
+  if (vit == versions_.end()) throw std::logic_error("record_copy before begin");
+  auto fit = vit->second.files.find(rank);
+  if (fit == vit->second.files.end()) throw std::logic_error("record_copy before begin");
+  fit->second.copies.push_back(copy);
+  std::stable_sort(fit->second.copies.begin(), fit->second.copies.end(),
+                   [](const CopyRecord& a, const CopyRecord& b) { return a.level < b.level; });
+}
+
+std::vector<CopyRecord> CheckpointStore::copies(std::uint64_t version, int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto vit = versions_.find(version);
+  if (vit == versions_.end()) return {};
+  auto fit = vit->second.files.find(rank);
+  if (fit == vit->second.files.end()) return {};
+  return fit->second.copies;
+}
+
+int CheckpointStore::apply_failures(const std::vector<FailureSpec>& failures,
+                                    SimTime end_time) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Earliest failure time per rank: a rank that died at t takes its node
+  // memory (and any drain it was sourcing) with it from t on.
+  std::map<int, SimTime> died;
+  for (const auto& f : failures) {
+    auto [it, inserted] = died.try_emplace(f.rank, f.time);
+    if (!inserted) it->second = std::min(it->second, f.time);
+  }
+  int lost = 0;
+  std::vector<std::uint64_t> doomed_versions;
+  for (auto& [version, set] : versions_) {
+    std::vector<int> doomed_files;
+    for (auto& [rank, file] : set.files) {
+      if (file.copies.empty()) continue;  // Legacy indestructible file.
+      auto survives = [&](const CopyRecord& c) {
+        if (c.ready_time > end_time) return false;  // Drain still in flight.
+        if (c.holder >= 0 && died.count(c.holder) != 0) return false;
+        if (c.depends_on >= 0) {
+          auto dit = died.find(c.depends_on);
+          if (dit != died.end() && dit->second < c.depends_until) return false;
+        }
+        return true;
+      };
+      const auto old_size = file.copies.size();
+      file.copies.erase(
+          std::remove_if(file.copies.begin(), file.copies.end(),
+                         [&](const CopyRecord& c) { return !survives(c); }),
+          file.copies.end());
+      lost += static_cast<int>(old_size - file.copies.size());
+      if (file.copies.empty()) doomed_files.push_back(rank);
+    }
+    for (int rank : doomed_files) {
+      auto fit = set.files.find(rank);
+      if (fit->second.finalized) --set.finalized_count;
+      set.files.erase(fit);
+    }
+    if (set.files.empty()) doomed_versions.push_back(version);
+  }
+  for (auto v : doomed_versions) versions_.erase(v);
+  return lost;
 }
 
 void CheckpointStore::remove_file(std::uint64_t version, int rank) {

@@ -9,10 +9,33 @@
 #include <vector>
 
 #include "iomodel/pfs.hpp"
+#include "util/parse.hpp"
 #include "util/time.hpp"
 #include "vmpi/context.hpp"
 
 namespace exasim::ckpt {
+
+/// One physical copy of a rank's checkpoint file somewhere in the storage
+/// hierarchy. A file with no copy records is *indestructible* — the legacy
+/// flat-PFS behaviour, where the store models an always-durable file system.
+/// A file that has copy records survives a failure only through copies that
+/// themselves survive (CheckpointStore::apply_failures).
+struct CopyRecord {
+  /// StorageTierKind ordinal: 0 = node memory, 1 = burst buffer, 2 = PFS.
+  int level = 2;
+  /// Rank whose node memory holds the copy; -1 for shared tiers (bb/pfs).
+  int holder = -1;
+  /// Sim-time at which the copy finishes materializing. A background drain
+  /// that was still in flight when the run ended never happened.
+  SimTime ready_time = 0;
+  /// Staged drains source from a node-memory image: if `depends_on` (a rank)
+  /// dies before `depends_until`, the drain loses its source and the copy is
+  /// lost even though its own holder is a durable tier. -1 = no dependency.
+  int depends_on = -1;
+  SimTime depends_until = 0;
+
+  friend bool operator==(const CopyRecord&, const CopyRecord&) = default;
+};
 
 /// Application-level checkpoint storage, simulating the parallel file system
 /// the paper's heat application checkpoints to (§V-B).
@@ -55,6 +78,25 @@ class CheckpointStore {
   /// File contents (valid whether finalized or not; empty if missing).
   std::vector<std::byte> read(std::uint64_t version, int rank) const;
 
+  /// Stored size of rank's file (0 if missing) — restore planning needs exact
+  /// sizes for modeled transfers (vmpi::recv truncation is an error).
+  std::size_t file_bytes(std::uint64_t version, int rank) const;
+
+  /// Records where a copy of rank's file lives (tiered checkpointing).
+  void record_copy(std::uint64_t version, int rank, const CopyRecord& copy);
+
+  /// All surviving copies of rank's file, fastest tier first (empty for
+  /// legacy indestructible files and for missing files).
+  std::vector<CopyRecord> copies(std::uint64_t version, int rank) const;
+
+  /// Applies a run's activated failures to the stored copies: a copy is lost
+  /// if its holder died, if it was not ready by `end_time` (in-flight drain),
+  /// or if its drain source died before the drain finished reading it. Files
+  /// whose copy list goes empty are deleted (legacy files without copy
+  /// records are indestructible). Returns the number of copies lost. Call
+  /// before scrub(): a version that lost a rank's file is incomplete.
+  int apply_failures(const std::vector<FailureSpec>& failures, SimTime end_time);
+
   /// Deletes one rank's file ("the previous checkpoint can be deleted
   /// safely" after the post-checkpoint barrier).
   void remove_file(std::uint64_t version, int rank);
@@ -75,6 +117,8 @@ class CheckpointStore {
   struct File {
     std::vector<std::byte> data;
     bool finalized = false;
+    /// Physical placements; empty = legacy indestructible file.
+    std::vector<CopyRecord> copies;
   };
   /// Per-version bookkeeping. The finalized counter makes set_complete()
   /// O(1): at restart every one of n ranks asks for the latest complete

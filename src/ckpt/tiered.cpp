@@ -1,0 +1,251 @@
+#include "ckpt/tiered.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace exasim::ckpt {
+
+namespace {
+
+std::atomic<std::uint64_t> g_stages{0};
+std::atomic<std::uint64_t> g_drains{0};
+std::atomic<std::uint64_t> g_partner_copies{0};
+std::atomic<std::uint64_t> g_restore_tier{0};
+
+void note_restore_tier(int level) {
+  const std::uint64_t depth = static_cast<std::uint64_t>(level) + 1;
+  std::uint64_t cur = g_restore_tier.load(std::memory_order_relaxed);
+  while (cur < depth &&
+         !g_restore_tier.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
+  }
+}
+
+/// How a rank reaches a copy, cheapest first: its own node memory, a shared
+/// tier (bb/pfs), a remote rank's node memory (needs a network fetch).
+int access_class(const CopyRecord& copy, int rank) {
+  if (copy.holder == rank) return 0;
+  if (copy.holder < 0) return 1;
+  return 2;
+}
+
+/// The copy rank `q` restores from: fastest tier, then cheapest access.
+/// An empty copy list is a legacy indestructible file — treat as PFS.
+CopyRecord best_copy(const std::vector<CopyRecord>& copies, int q) {
+  CopyRecord best;  // Defaults: level 2, holder -1 (shared PFS).
+  bool have = false;
+  for (const auto& c : copies) {
+    if (!have || c.level < best.level ||
+        (c.level == best.level && access_class(c, q) < access_class(best, q))) {
+      best = c;
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const char* to_string(CkptMode mode) {
+  switch (mode) {
+    case CkptMode::kPfs: return "pfs";
+    case CkptMode::kPartner: return "partner";
+    case CkptMode::kStaged: return "staged";
+  }
+  return "?";
+}
+
+std::optional<CkptMode> parse_ckpt_mode(const std::string& text) {
+  if (text == "pfs") return CkptMode::kPfs;
+  if (text == "partner") return CkptMode::kPartner;
+  if (text == "staged") return CkptMode::kStaged;
+  return std::nullopt;
+}
+
+const std::vector<std::string>& list_ckpt_modes() {
+  static const std::vector<std::string> kNames = {"pfs", "partner", "staged"};
+  return kNames;
+}
+
+CkptMode resolve_ckpt_mode(const std::string& configured) {
+  if (!configured.empty()) {
+    auto mode = parse_ckpt_mode(configured);
+    if (!mode) throw std::invalid_argument("unknown ckpt mode: " + configured);
+    return *mode;
+  }
+  if (const char* env = std::getenv(kCkptModeEnvVar); env != nullptr && *env != '\0') {
+    if (auto mode = parse_ckpt_mode(env)) return *mode;
+  }
+  return CkptMode::kPfs;
+}
+
+CkptStats ckpt_stats() {
+  CkptStats s;
+  s.stages = g_stages.load(std::memory_order_relaxed);
+  s.drains = g_drains.load(std::memory_order_relaxed);
+  s.partner_copies = g_partner_copies.load(std::memory_order_relaxed);
+  s.restore_tier = g_restore_tier.load(std::memory_order_relaxed);
+  return s;
+}
+
+int checkpoint_clients(const vmpi::Context& ctx) {
+  const int alive = ctx.size() - static_cast<int>(ctx.failed_peers().size());
+  return alive < 1 ? 1 : alive;
+}
+
+vmpi::Err TieredWriter::write_pfs(vmpi::Context& ctx, CheckpointStore& store,
+                                  std::uint64_t version, std::span<const std::byte> payload,
+                                  std::size_t logical_bytes) {
+  const int rank = ctx.rank();
+  const int clients = checkpoint_clients(ctx);
+  store.begin(version, rank);
+  const auto pfs = StorageTierKind::kPfs;
+  SimTime t = storage_.model(pfs).write_time(logical_bytes, clients);
+  t += storage_.occupy(pfs, ctx.now(), t);
+  // Elapse before finalize: a failure activating mid-write leaves the file
+  // corrupted (§V-D), exactly as write_rank_checkpoint.
+  ctx.elapse(t);
+  store.append(version, rank, payload);
+  store.finalize(version, rank);
+  store.record_copy(version, rank,
+                    CopyRecord{.level = 2, .holder = -1, .ready_time = ctx.now()});
+  return vmpi::Err::kSuccess;
+}
+
+vmpi::Err TieredWriter::write(vmpi::Context& ctx, CheckpointStore& store,
+                              std::uint64_t version, std::span<const std::byte> payload,
+                              std::size_t logical_bytes) {
+  if (logical_bytes == 0) logical_bytes = payload.size();
+  const int rank = ctx.rank();
+  const int world = ctx.size();
+  const auto mem = StorageTierKind::kMemory;
+  const auto bb = StorageTierKind::kBurstBuffer;
+  const auto pfs = StorageTierKind::kPfs;
+  // Diskless modes need a partner and room for two images (own + hosted) in
+  // the node-memory staging budget; otherwise degrade to the flat PFS path.
+  if (mode_ == CkptMode::kPfs || world < 2 ||
+      !storage_.fits(mem, logical_bytes, world, /*replicas=*/2)) {
+    return write_pfs(ctx, store, version, payload, logical_bytes);
+  }
+
+  // A still-draining previous checkpoint owns the memory staging buffer:
+  // block until the mem -> next-tier leg lands (Kohl et al.'s back-pressure).
+  if (mode_ == CkptMode::kStaged && drain_ready_ > ctx.now()) {
+    ctx.elapse(drain_ready_ - ctx.now());
+  }
+
+  store.begin(version, rank);
+  const int clients = checkpoint_clients(ctx);
+  // Local node-memory write: one writer into its own memory.
+  SimTime local = storage_.model(mem).write_time(logical_bytes, /*clients=*/1);
+  local += storage_.occupy(mem, ctx.now(), local);
+  ctx.elapse(local);
+
+  // Partner replica over the real network route. Payload sizes can differ
+  // across ranks (uneven decompositions) and modeled recv treats a short
+  // posting as truncation, so exchange exact sizes first.
+  const int partner = partner_of(rank, world);
+  const int prev = (rank - 1 + world) % world;
+  std::uint64_t my_bytes = logical_bytes;
+  std::uint64_t prev_bytes = 0;
+  vmpi::Err err = ctx.sendrecv(ctx.world(), partner, kCkptSizeTag, &my_bytes,
+                               sizeof(my_bytes), prev, kCkptSizeTag, &prev_bytes,
+                               sizeof(prev_bytes));
+  if (err != vmpi::Err::kSuccess) return err;
+  auto send_req = ctx.isend_modeled(ctx.world(), partner, kCkptCopyTag, my_bytes);
+  auto recv_req = ctx.irecv_modeled(ctx.world(), prev, kCkptCopyTag,
+                                    static_cast<std::size_t>(prev_bytes));
+  err = ctx.waitall(ctx.world(), {send_req, recv_req});
+  if (err != vmpi::Err::kSuccess) return err;  // Partner died: file stays corrupted.
+
+  store.append(version, rank, payload);
+  store.finalize(version, rank);
+  // Two memory-tier copies: the local image and the replica in the
+  // partner's memory. The replica's ready time is this rank's clock when
+  // the exchange completed — the partner's receive completes at the same
+  // modeled event, so the skew is at most the partner's own clock drift.
+  store.record_copy(version, rank,
+                    CopyRecord{.level = 0, .holder = rank, .ready_time = ctx.now()});
+  store.record_copy(version, rank,
+                    CopyRecord{.level = 0, .holder = partner, .ready_time = ctx.now()});
+  g_partner_copies.fetch_add(1, std::memory_order_relaxed);
+  g_stages.fetch_add(1, std::memory_order_relaxed);
+  if (mode_ == CkptMode::kPartner) return vmpi::Err::kSuccess;
+
+  // Staged mode: background drain in sim-time. The drain sources from this
+  // rank's memory image until it lands on the next tier, so the copies it
+  // produces die with this rank if it fails before that hand-off.
+  const SimTime t0 = ctx.now();
+  if (storage_.has(bb) && storage_.fits(bb, logical_bytes, world)) {
+    SimTime bb_w = storage_.model(bb).write_time(logical_bytes, clients);
+    bb_w += storage_.occupy(bb, t0, bb_w);
+    const SimTime t_bb = t0 + bb_w;
+    store.record_copy(version, rank,
+                      CopyRecord{.level = 1, .holder = -1, .ready_time = t_bb,
+                                 .depends_on = rank, .depends_until = t_bb});
+    SimTime pfs_w = storage_.model(pfs).write_time(logical_bytes, clients);
+    pfs_w += storage_.occupy(pfs, t_bb, pfs_w);
+    // The PFS leg reads from the burst-buffer copy, so it only needs this
+    // rank alive until the bb copy landed.
+    store.record_copy(version, rank,
+                      CopyRecord{.level = 2, .holder = -1, .ready_time = t_bb + pfs_w,
+                                 .depends_on = rank, .depends_until = t_bb});
+    drain_ready_ = t_bb;
+    g_drains.fetch_add(2, std::memory_order_relaxed);
+  } else {
+    // No burst buffer: drain straight to the PFS, holding the memory
+    // staging buffer (and the dependency on this rank) the whole way.
+    SimTime pfs_w = storage_.model(pfs).write_time(logical_bytes, clients);
+    pfs_w += storage_.occupy(pfs, t0, pfs_w);
+    store.record_copy(version, rank,
+                      CopyRecord{.level = 2, .holder = -1, .ready_time = t0 + pfs_w,
+                                 .depends_on = rank, .depends_until = t0 + pfs_w});
+    drain_ready_ = t0 + pfs_w;
+    g_drains.fetch_add(1, std::memory_order_relaxed);
+  }
+  return vmpi::Err::kSuccess;
+}
+
+std::optional<std::vector<std::byte>> read_latest_checkpoint_tiered(
+    vmpi::Context& ctx, CheckpointStore& store, const StorageHierarchy& storage,
+    std::uint64_t* version_out, int* tier_out) {
+  const auto version = store.latest_complete();
+  if (!version) return std::nullopt;  // Cold start: decided before any messaging.
+  const int rank = ctx.rank();
+  const int world = ctx.size();
+
+  // Every rank derives the same restore plan from the (global, pre-run)
+  // store state, so memory-tier fetches pair up without negotiation.
+  std::vector<CopyRecord> plan;
+  plan.reserve(static_cast<std::size_t>(world));
+  for (int q = 0; q < world; ++q) {
+    plan.push_back(best_copy(store.copies(*version, q), q));
+  }
+
+  std::vector<vmpi::RequestHandle> reqs;
+  const CopyRecord& mine = plan[static_cast<std::size_t>(rank)];
+  if (mine.holder >= 0 && mine.holder != rank) {
+    reqs.push_back(ctx.irecv_modeled(ctx.world(), mine.holder, kCkptRestoreTag,
+                                     store.file_bytes(*version, rank)));
+  }
+  for (int q = 0; q < world; ++q) {
+    if (q == rank) continue;
+    if (plan[static_cast<std::size_t>(q)].holder == rank) {
+      reqs.push_back(ctx.isend_modeled(ctx.world(), q, kCkptRestoreTag,
+                                       store.file_bytes(*version, q)));
+    }
+  }
+  if (!reqs.empty()) {
+    const vmpi::Err err = ctx.waitall(ctx.world(), reqs);
+    if (err != vmpi::Err::kSuccess) return std::nullopt;
+  }
+
+  auto data = store.read(*version, rank);
+  const auto kind = static_cast<StorageTierKind>(mine.level);
+  ctx.elapse(storage.model(kind).read_time(data.size(), checkpoint_clients(ctx)));
+  note_restore_tier(mine.level);
+  if (version_out != nullptr) *version_out = *version;
+  if (tier_out != nullptr) *tier_out = mine.level;
+  return data;
+}
+
+}  // namespace exasim::ckpt

@@ -3,7 +3,9 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "ckpt/tiered.hpp"
 #include "core/failure.hpp"
+#include "iomodel/storage.hpp"
 #include "netmodel/routing.hpp"
 #include "pdes/scheduler.hpp"
 #include "resilience/detector.hpp"
@@ -55,6 +57,15 @@ std::string cli_usage() {
       "                    exact at --sim-workers=1, approximate otherwise)\n"
       "  --slowdown=X --ns-per-unit=X\n"
       "  --pfs-bandwidth=B/s --pfs-latency=DUR\n"
+      "  --storage=pfs|hpc|mem[:k=v,..];bb[:..];pfs[:..]\n"
+      "                   (storage hierarchy; tier keys bw, cbw, lat, cap,\n"
+      "                    contend; '+' accepted for ';'; or env\n"
+      "                    EXASIM_STORAGE; default single free PFS)\n"
+      "  --ckpt-mode=pfs|partner|staged\n"
+      "                   (checkpoint placement: direct PFS, diskless partner\n"
+      "                    copy in node memory, or partner + background drain\n"
+      "                    through bb to PFS; or env EXASIM_CKPT_MODE;\n"
+      "                    default pfs)\n"
       "  --failures=R@T,R@T   (or env EXASIM_FAILURES)\n"
       "  --failure-detector=paper-instant|timeout|heartbeat[:period=DUR][,miss=N]\n"
       "                   |gossip[:period=DUR][,fanout=K][,seed=N]\n"
@@ -168,6 +179,12 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv, std::stri
       auto t = parse_duration(value);
       if (!t) return fail("bad --pfs-latency");
       opts.machine.pfs.metadata_latency = *t;
+    } else if (key == "storage") {
+      if (!parse_storage_spec(value)) return fail("bad --storage");
+      opts.machine.storage = value;
+    } else if (key == "ckpt-mode") {
+      if (!ckpt::parse_ckpt_mode(value)) return fail("bad --ckpt-mode");
+      opts.machine.ckpt_mode = value;
     } else if (key == "failures") {
       auto schedule = FailureSchedule::parse(value);
       if (!schedule) return fail("bad --failures");

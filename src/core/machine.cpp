@@ -68,7 +68,14 @@ Machine::Machine(SimConfig config, vmpi::AppMain app)
   wiring.revoke_kind = vmpi::kEvRevokeNotice;
   bus_ = std::make_unique<resilience::NotificationBus>(wiring);
   proc_model_ = std::make_unique<ProcessorModel>(config_.proc);
-  pfs_model_ = std::make_unique<PfsModel>(config_.pfs);
+  StorageSpec storage_spec = resolve_storage_spec(config_.storage);
+  if (storage_spec.is_default() && !(config_.pfs == PfsParams{})) {
+    // Legacy flat-PFS knobs seed the default hierarchy's PFS tier, keeping
+    // pre-hierarchy configurations (--pfs-bandwidth etc.) cost-identical.
+    storage_spec.tiers.front().io = config_.pfs;
+    storage_spec.preset.clear();
+  }
+  storage_ = std::make_unique<StorageHierarchy>(std::move(storage_spec));
   if (config_.power) {
     energy_ = std::make_unique<EnergyLedger>(config_.ranks, *config_.power);
   }
@@ -76,7 +83,9 @@ Machine::Machine(SimConfig config, vmpi::AppMain app)
     trace_ = std::make_unique<vmpi::MemoryTraceSink>();
   }
 
-  services_.pfs = pfs_model_.get();
+  services_.pfs = &storage_->pfs_model();
+  services_.storage = storage_.get();
+  services_.ckpt_mode = ckpt::resolve_ckpt_mode(config_.ckpt_mode);
   services_.energy = energy_.get();
   services_.run_start_time = config_.initial_time;
 }
@@ -143,6 +152,11 @@ SimResult Machine::run() {
                   << " sim workers: contended delays are approximate; use "
                      "--sim-workers=1 for exact contention modeling";
   }
+  if (storage_->any_contended() && shard.workers > 1) {
+    EXASIM_WARN() << "storage contention with " << shard.workers
+                  << " sim workers: occupancy-window delays are approximate; "
+                     "use --sim-workers=1 for exact contention modeling";
+  }
   engine_.set_sharding(std::move(shard));
   engine_.set_causality_mode(Engine::CausalityMode::kCount);
 
@@ -178,6 +192,8 @@ SimResult Machine::run() {
   result.scheduler = exasim::to_string(scheduler);
   result.routing = exasim::to_string(network_->routing());
   result.link_timeouts = exasim::to_string(network_->params().link_timeouts);
+  result.storage = exasim::to_string(storage_->spec());
+  result.ckpt_mode = ckpt::to_string(services_.ckpt_mode);
   result.detector = resilience::to_string(config_.detector);
   result.error_policy = resilience::to_string(config_.default_error_handler);
   const auto det_stats = bus_->detection_stats();
@@ -295,6 +311,14 @@ std::string sim_result_json(const SimResult& r) {
   os << "\"max_end_time_sec\":" << to_seconds(r.max_end_time) << ",";
   os << "\"avg_end_time_sec\":" << r.avg_end_time_sec << ",";
   os << "\"scheduler\":\"" << r.scheduler << "\",";
+  // Storage fields appear only off the default, so the default-config field
+  // set stays byte-identical to the pre-hierarchy golden.
+  const bool default_storage =
+      (r.storage.empty() || r.storage == "pfs") && (r.ckpt_mode.empty() || r.ckpt_mode == "pfs");
+  if (!default_storage) {
+    os << "\"storage\":\"" << r.storage << "\",";
+    os << "\"ckpt_mode\":\"" << r.ckpt_mode << "\",";
+  }
   os << "\"detector\":\"" << r.detector << "\",";
   os << "\"error_policy\":\"" << r.error_policy << "\",";
   os << "\"failure_notices\":" << r.failure_notices << ",";

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
+#include "ckpt/tiered.hpp"
 #include "iomodel/pfs.hpp"
+#include "iomodel/storage.hpp"
 #include "metrics/perf.hpp"
 #include "metrics/stats.hpp"
 #include "netmodel/network.hpp"
@@ -53,7 +55,18 @@ struct SimConfig {
   std::string routing;
 
   ProcessorParams proc;
+  /// Legacy flat-PFS knobs (--pfs-bandwidth/--pfs-latency). When `storage`
+  /// resolves to the default single-tier spec, these seed its PFS tier — so
+  /// pre-hierarchy configurations keep their exact cost model.
   PfsParams pfs;
+  /// Storage-hierarchy spec ("pfs", "hpc", "mem:...;bb:...;pfs:..."); empty
+  /// defers to EXASIM_STORAGE, unset environment means the paper-default
+  /// single free PFS tier (exasim::resolve_storage_spec).
+  std::string storage;
+  /// Checkpoint placement policy ("pfs", "partner", "staged"); empty defers
+  /// to EXASIM_CKPT_MODE, unset environment means "pfs"
+  /// (ckpt::resolve_ckpt_mode).
+  std::string ckpt_mode;
   std::optional<PowerParams> power;
   vmpi::ProcessConfig process;
 
@@ -133,6 +146,13 @@ struct SimResult {
   /// Resolved resilience configuration (canonical spec strings) and the
   /// detection-latency accounting from the notification bus: one notice per
   /// (survivor, failure) pair; latency = delivery time - time of failure.
+  /// Resolved storage hierarchy and checkpoint mode (canonical spec
+  /// strings). In sim_result_json() only when either differs from the
+  /// default "pfs"/"pfs" — the default field set stays pinned by the
+  /// bench_smoke golden.
+  std::string storage;
+  std::string ckpt_mode;
+
   std::string detector;
   std::string error_policy;
   std::uint64_t failure_notices = 0;
@@ -185,7 +205,13 @@ std::string sim_result_json(const SimResult& r);
 /// Services exposed to simulated applications through Context::services.
 struct Services {
   ckpt::CheckpointStore* checkpoints = nullptr;
+  /// The durable tier's cost model (== storage->pfs_model()); kept for
+  /// legacy write_rank_checkpoint callers.
   const PfsModel* pfs = nullptr;
+  /// The machine's storage stack (always set; single free PFS by default).
+  StorageHierarchy* storage = nullptr;
+  /// Resolved checkpoint placement policy for TieredWriter construction.
+  ckpt::CkptMode ckpt_mode = ckpt::CkptMode::kPfs;
   EnergyLedger* energy = nullptr;
   int run_index = 0;          ///< 0 for the first launch, +1 per restart.
   SimTime run_start_time = 0; ///< Virtual time this launch started at.
@@ -238,7 +264,7 @@ class Machine final : public vmpi::SystemHooks {
   std::unique_ptr<resilience::DetectorModel> detector_model_;
   std::unique_ptr<resilience::NotificationBus> bus_;
   std::unique_ptr<ProcessorModel> proc_model_;
-  std::unique_ptr<PfsModel> pfs_model_;
+  std::unique_ptr<StorageHierarchy> storage_;
   std::unique_ptr<EnergyLedger> energy_;
   std::unique_ptr<vmpi::MemoryTraceSink> trace_;
   std::vector<std::unique_ptr<vmpi::SimProcess>> processes_;

@@ -63,10 +63,13 @@ RunnerResult ResilientRunner::run() {
       EXASIM_ERROR() << "launch " << launch << " deadlocked; stopping experiment";
       break;
     }
-    // Aborted: count the failure/restart cycle, scrub incomplete checkpoint
-    // sets (the paper's pre-restart shell script), and relaunch with
-    // continuous virtual time.
+    // Aborted: count the failure/restart cycle, lose the checkpoint copies
+    // the failures took with them (a victim's node memory, drains it was
+    // sourcing, drains still in flight at abort), scrub incomplete sets (the
+    // paper's pre-restart shell script), and relaunch with continuous
+    // virtual time.
     if (!run.activated_failures.empty()) ++result.failures;
+    store_.apply_failures(run.activated_failures, run.max_end_time);
     store_.scrub();
     accumulated += config_.restart_overhead;
   }

@@ -49,4 +49,34 @@ RoutingSpec routing_spec_for(std::size_t value_index) {
   return *spec;
 }
 
+Axis storage_axis() {
+  Axis axis;
+  axis.name = "storage";
+  for (const auto& p : list_storage()) axis.values.push_back(p.name);
+  return axis;
+}
+
+StorageSpec storage_spec_for(std::size_t value_index) {
+  const auto& presets = list_storage();
+  if (value_index >= presets.size()) throw std::out_of_range("storage axis index");
+  auto spec = parse_storage_spec(presets[value_index].name);
+  if (!spec) throw std::logic_error("unparsable registered storage preset");
+  return *spec;
+}
+
+Axis ckpt_mode_axis() {
+  Axis axis;
+  axis.name = "ckpt_mode";
+  for (const auto& name : ckpt::list_ckpt_modes()) axis.values.push_back(name);
+  return axis;
+}
+
+ckpt::CkptMode ckpt_mode_for(std::size_t value_index) {
+  const auto& names = ckpt::list_ckpt_modes();
+  if (value_index >= names.size()) throw std::out_of_range("ckpt mode axis index");
+  auto mode = ckpt::parse_ckpt_mode(names[value_index]);
+  if (!mode) throw std::logic_error("unparsable registered ckpt mode");
+  return *mode;
+}
+
 }  // namespace exasim::exp

@@ -17,6 +17,8 @@ struct PfsParams {
   SimTime metadata_latency = 0;                 ///< Open/create/close round trip.
   double aggregate_bandwidth_bytes_per_sec = 0; ///< 0 = free I/O (paper default).
   double per_client_bandwidth_bytes_per_sec = 0;
+
+  friend bool operator==(const PfsParams&, const PfsParams&) = default;
 };
 
 class PfsModel {

@@ -1,5 +1,6 @@
 #include "metrics/perf.hpp"
 
+#include "ckpt/tiered.hpp"
 #include "fiber/fiber.hpp"
 #include "fiber/stack_pool.hpp"
 #include "pdes/engine.hpp"
@@ -37,6 +38,11 @@ PerfSnapshot perf_snapshot() {
   const QueueStats q = queue_stats();
   s.queue_near_hits = q.near_hits;
   s.bulk_merges = q.bulk_merges;
+  const ckpt::CkptStats ck = ckpt::ckpt_stats();
+  s.ckpt_stages = ck.stages;
+  s.ckpt_drains = ck.drains;
+  s.ckpt_partner_copies = ck.partner_copies;
+  s.ckpt_restore_tier = ck.restore_tier;
   return s;
 }
 
@@ -63,6 +69,11 @@ PerfSnapshot perf_delta(const PerfSnapshot& begin, const PerfSnapshot& end) {
   d.wakeups_suppressed = end.wakeups_suppressed - begin.wakeups_suppressed;
   d.queue_near_hits = end.queue_near_hits - begin.queue_near_hits;
   d.bulk_merges = end.bulk_merges - begin.bulk_merges;
+  d.ckpt_stages = end.ckpt_stages - begin.ckpt_stages;
+  d.ckpt_drains = end.ckpt_drains - begin.ckpt_drains;
+  d.ckpt_partner_copies = end.ckpt_partner_copies - begin.ckpt_partner_copies;
+  // restore_tier is a level (deepest tier reached), not a flow.
+  d.ckpt_restore_tier = end.ckpt_restore_tier;
   return d;
 }
 

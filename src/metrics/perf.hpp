@@ -43,6 +43,15 @@ struct PerfSnapshot {
   std::uint64_t wakeups_suppressed = 0;  ///< Spurious resumes filtered out.
   std::uint64_t queue_near_hits = 0;     ///< Pops from a near bucket.
   std::uint64_t bulk_merges = 0;         ///< EventQueue::push_bulk calls.
+
+  // Tiered checkpointing (DESIGN.md §14): non-PFS checkpoint stages,
+  // background tier-to-tier drains, partner replicas shipped over the
+  // network, and the deepest tier any restore had to reach (a level:
+  // 0 = none, 1 = mem, 2 = bb, 3 = pfs).
+  std::uint64_t ckpt_stages = 0;
+  std::uint64_t ckpt_drains = 0;
+  std::uint64_t ckpt_partner_copies = 0;
+  std::uint64_t ckpt_restore_tier = 0;
 };
 
 /// Reads the current process-wide counters. Thread-safe; O(#threads).

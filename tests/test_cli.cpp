@@ -180,6 +180,33 @@ TEST(Cli, ParsesRoutingAndLinkModel) {
   }
 }
 
+TEST(Cli, ParsesStorageAndCkptMode) {
+  EnvGuard env(nullptr);
+  auto defaulted = parse({"--ranks=8"});
+  ASSERT_TRUE(defaulted.has_value());
+  EXPECT_TRUE(defaulted->machine.storage.empty());    // "" = EXASIM_STORAGE env.
+  EXPECT_TRUE(defaulted->machine.ckpt_mode.empty());  // "" = EXASIM_CKPT_MODE env.
+
+  auto tiered = parse({"--storage=hpc", "--ckpt-mode=staged"});
+  ASSERT_TRUE(tiered.has_value());
+  EXPECT_EQ(tiered->machine.storage, "hpc");
+  EXPECT_EQ(tiered->machine.ckpt_mode, "staged");
+
+  auto custom = parse({"--storage=mem:cbw=5e10,cap=4e9;bb:lat=10us;pfs:bw=1e11,lat=1ms",
+                       "--ckpt-mode=partner"});
+  ASSERT_TRUE(custom.has_value());
+  EXPECT_EQ(custom->machine.storage, "mem:cbw=5e10,cap=4e9;bb:lat=10us;pfs:bw=1e11,lat=1ms");
+  EXPECT_EQ(custom->machine.ckpt_mode, "partner");
+
+  for (auto bad : {"--storage=bogus", "--storage=mem", "--storage=pfs;mem",
+                   "--storage=pfs:bw=1e999", "--storage=pfs:bw=1e9x",
+                   "--storage=pfs:contend=2", "--ckpt-mode=scr", "--ckpt-mode="}) {
+    std::string error;
+    EXPECT_FALSE(parse({bad}, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
 TEST(Cli, ReadsLinkTimeoutsFromEnvironment) {
   EnvGuard env(nullptr);
   ::setenv(kLinkTimeoutsEnvVar, "plane:0=300ms", 1);

@@ -265,6 +265,45 @@ TEST(Machine, ResultJsonIsSchedulerAndWorkerInvariant) {
   }
 }
 
+TEST(Machine, StagedCheckpointResultJsonIsWorkerInvariant) {
+  // ISSUE 9 acceptance: a priced storage hierarchy with staged (SCR-style)
+  // checkpointing must stay byte-identical across --sim-workers 1/2/4 —
+  // tier costs and background drains are computed from sim-time, not worker
+  // interleaving. Off-default runs echo storage/ckpt_mode into the json;
+  // the default config must NOT grow new fields (the golden stays pinned).
+  apps::HeatParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.px = p.py = p.pz = 2;
+  p.total_iterations = 20;
+  p.halo_interval = 5;
+  p.checkpoint_interval = 10;
+  auto json_with = [&](int workers, const std::string& storage,
+                       const std::string& ckpt_mode) {
+    core::SimConfig cfg = tiny_config(8);
+    cfg.sim_workers = workers;
+    cfg.ranks_per_node = 2;
+    cfg.storage = storage;
+    cfg.ckpt_mode = ckpt_mode;
+    ckpt::CheckpointStore store(8);
+    std::string json = core::sim_result_json(run_app(cfg, apps::make_heat3d(p), &store));
+    const std::size_t tail = json.find(",\"wall_seconds\"");
+    EXPECT_NE(tail, std::string::npos);
+    return json.substr(0, tail);
+  };
+  const std::string ref = json_with(1, "hpc", "staged");
+  EXPECT_NE(ref.find("\"outcome\":\"completed\""), std::string::npos);
+  EXPECT_NE(ref.find("\"storage\":\"hpc\""), std::string::npos);
+  EXPECT_NE(ref.find("\"ckpt_mode\":\"staged\""), std::string::npos);
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EXPECT_EQ(json_with(workers, "hpc", "staged"), ref);
+  }
+  // Default config: no new fields, same simulated results as ever.
+  const std::string plain = json_with(1, "", "");
+  EXPECT_EQ(plain.find("\"storage\""), std::string::npos);
+  EXPECT_EQ(plain.find("\"ckpt_mode\""), std::string::npos);
+}
+
 TEST(Machine, LinkLevelNetworkIsWorkerInvariant) {
   // ISSUE 7 acceptance: the link-level path — adaptive routing over
   // equal-cost route variants, a per-link failure-timeout distribution, and

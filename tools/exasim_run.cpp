@@ -28,6 +28,7 @@
 #include "apps/ring.hpp"
 #include "core/cli.hpp"
 #include "exp/executor.hpp"
+#include "iomodel/storage.hpp"
 #include "exp/plan.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
@@ -57,6 +58,10 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
     if (first.link_timeouts != "uniform") {
       std::fprintf(stderr, "link timeouts  : %s\n", first.link_timeouts.c_str());
     }
+    if (first.storage != "pfs" || first.ckpt_mode != "pfs") {
+      std::fprintf(stderr, "storage        : %s\n", first.storage.c_str());
+      std::fprintf(stderr, "ckpt mode      : %s\n", first.ckpt_mode.c_str());
+    }
   }
   std::uint64_t events = 0;
   double wall = 0;
@@ -85,6 +90,11 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
       p.wakeups_suppressed += run.perf.wakeups_suppressed;
       p.queue_near_hits += run.perf.queue_near_hits;
       p.bulk_merges += run.perf.bulk_merges;
+      p.ckpt_stages += run.perf.ckpt_stages;
+      p.ckpt_drains += run.perf.ckpt_drains;
+      p.ckpt_partner_copies += run.perf.ckpt_partner_copies;
+      // Deepest restore tier is a level, not a flow.
+      p.ckpt_restore_tier = std::max(p.ckpt_restore_tier, run.perf.ckpt_restore_tier);
     }
   }
   if (events == 0 || wall <= 0) return;
@@ -141,6 +151,17 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
                             : 0.0,
                  static_cast<unsigned long long>(p.bulk_merges));
   }
+  if (p.ckpt_stages > 0 || p.ckpt_drains > 0 || p.ckpt_partner_copies > 0) {
+    static const char* kTierNames[] = {"-", "mem", "bb", "pfs"};
+    const std::uint64_t tier = std::min<std::uint64_t>(p.ckpt_restore_tier, 3);
+    std::fprintf(stderr,
+                 "ckpt           : %llu stages, %llu drains, %llu partner copies, "
+                 "restore tier %s\n",
+                 static_cast<unsigned long long>(p.ckpt_stages),
+                 static_cast<unsigned long long>(p.ckpt_drains),
+                 static_cast<unsigned long long>(p.ckpt_partner_copies),
+                 kTierNames[tier]);
+  }
 }
 
 int die_usage(const std::string& msg) {
@@ -151,6 +172,7 @@ int die_usage(const std::string& msg) {
                "      ring: laps,bytes\n"
                "  --list-failure-detectors   print the detector families and exit\n"
                "  --list-topologies      print the topology zoo (spec formats) and exit\n"
+               "  --list-storage         print the storage presets and exit\n"
                "  --result-json=PATH     write the final launch's result as JSON\n",
                msg.c_str(), core::cli_usage().c_str());
   return 2;
@@ -178,6 +200,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-topologies") {
       for (const auto& t : list_topologies()) {
         std::printf("%-11s %-28s %s\n", t.name.c_str(), t.format.c_str(), t.summary.c_str());
+      }
+      return 0;
+    } else if (arg == "--list-storage") {
+      for (const auto& s : list_storage()) {
+        std::printf("%-11s %s\n    %s\n", s.name.c_str(), s.summary.c_str(), s.spec.c_str());
       }
       return 0;
     } else {
