@@ -36,6 +36,12 @@
 #  7. Multi-core speedup (skipped below 4 CPUs): the event-dense
 #     BM_ShardedWindowThroughput macro benchmark on 4 workers must beat 1
 #     worker by the factor recorded in BENCH_baseline.json.
+#  8. Perf trajectory: the macro row's events/s and hot-path counter deltas
+#     vs BENCH_baseline.json are written to build/perf_trajectory.json (CI
+#     uploads it as an artifact, so the rate history survives across runs).
+#     The macro rate is normalized by the measured/baseline engine_micro
+#     pooled-churn ratio — a host-speed proxy — and a normalized macro-rate
+#     regression of more than 25% fails the build.
 #
 # Usage: scripts/bench_smoke.sh [jobs]
 set -eu
@@ -323,5 +329,80 @@ if speedup < need:
     raise SystemExit("multi-core speedup fell below the BENCH_baseline.json floor")
 EOF
 fi
+
+echo "== bench smoke: perf trajectory (normalized macro rate, 25% tolerance) =="
+python3 - <<'EOF'
+import json, re
+
+baseline = json.load(open("BENCH_baseline.json"))
+ref = baseline["macro"]["pooled"]
+err = open("/tmp/bench_smoke_macro.stderr").read()
+
+def grab(pattern, what):
+    m = re.search(pattern, err)
+    if not m:
+        raise SystemExit(f"could not parse {what} from the macro stderr:\n" + err)
+    return m
+
+perf = grab(r"perf\s*: (\d+) events in ([\d.]+) s wall", "perf line")
+pool = grab(r"pool\s*: (\d+) allocs \(([\d.]+)% recycled\), (\d+) heap", "pool line")
+wake = grab(r"wakeups\s*: (\d+) resumes, (\d+) suppressed", "wakeups line")
+queue = grab(r"queue\s*: (\d+) near-bucket pops \([\d.]+%\), (\d+) bulk merges",
+             "queue line")
+events, wall = int(perf.group(1)), float(perf.group(2))
+measured = {
+    "events": events,
+    "wall_seconds": wall,
+    "events_per_sec": events / wall,
+    "pool_allocs": int(pool.group(1)),
+    "recycled_pct": float(pool.group(2)),
+    "heap_allocs": int(pool.group(3)),
+    "fiber_resumes": int(wake.group(1)),
+    "wakeups_suppressed": int(wake.group(2)),
+    "queue_near_hits": int(queue.group(1)),
+    "bulk_merges": int(queue.group(2)),
+}
+
+# Host-speed proxy: the engine_micro pooled event-churn rate on this host vs
+# the baseline host. Dividing the macro rate by this factor makes the 25%
+# gate robust to slow/noisy CI runners while still catching real hot-path
+# regressions (which move the macro rate without moving the tight churn loop
+# by the same factor).
+micro = json.load(open("/tmp/bench_smoke_micro.json"))
+churn = {b["name"]: b.get("items_per_second")
+         for b in micro["benchmarks"]
+         if b.get("run_type", "iteration") == "iteration"}
+micro_rate = churn.get("BM_EventChurn/pooled:1")
+micro_ref = baseline["engine_micro"]["event_churn_events_per_sec"]["pooled"]
+if not micro_rate:
+    raise SystemExit("missing BM_EventChurn/pooled:1 rate for host normalization")
+host_factor = micro_rate / micro_ref
+normalized = measured["events_per_sec"] / host_factor
+ratio = normalized / ref["events_per_sec"]
+
+deltas = {k: measured[k] - ref[k]
+          for k in ("events", "pool_allocs", "heap_allocs", "fiber_resumes",
+                    "wakeups_suppressed", "queue_near_hits", "bulk_merges")}
+trajectory = {
+    "workload": baseline["workload"],
+    "macro": measured,
+    "baseline": {k: ref[k] for k in measured},
+    "counter_deltas": deltas,
+    "host_factor": host_factor,
+    "normalized_events_per_sec": normalized,
+    "normalized_ratio_vs_baseline": ratio,
+}
+with open("build/perf_trajectory.json", "w") as f:
+    json.dump(trajectory, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+print(f"  macro {measured['events_per_sec']:.0f} events/s raw, host factor "
+      f"{host_factor:.2f}x -> {normalized:.0f} normalized "
+      f"(baseline {ref['events_per_sec']}, ratio {ratio:.2f})")
+print("  wrote build/perf_trajectory.json")
+if ratio < 0.75:
+    raise SystemExit("normalized macro event rate regressed more than 25% vs "
+                     "BENCH_baseline.json")
+EOF
 
 echo "bench smoke OK"

@@ -1,0 +1,117 @@
+#!/bin/sh
+# CI resilience-regression gate (DESIGN.md §15): run the pinned exasim_mc
+# failure-scenario lattice and diff the machine-readable report against the
+# committed golden.
+#
+# The pinned lattice: heat3d on 64 ranks (torus:4x4x4), victims {0, 21, 42},
+# detector axis paper-instant / timeout / gossip, pfs recovery, a 9-point
+# initial grid refined 6 levels (finest grid 513 points/row, 4617 raw
+# scenarios — signature-equivalence pruning resolves them in ~140
+# evaluations). The report is byte-deterministic — integer virtual-time
+# arithmetic only, no wall-clock, no floats — so ANY byte drift is a real
+# behavior change in the simulator's failure pipeline:
+#
+#  - worst-case detection latency above the golden  -> resilience REGRESSION
+#  - more missed-notification scenarios/ranks       -> resilience REGRESSION
+#  - any other drift -> the failure behavior changed; inspect, then refresh
+#    the golden deliberately (instructions printed on failure).
+#
+# The gate also enforces the exploration contract: >= 500 raw scenarios,
+# >= 50% pruned by signature equivalence, and a byte-identical report on
+# --jobs=1 vs --jobs=4.
+#
+# Usage: scripts/mc_check.sh [jobs]
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+GOLDEN=scripts/mc_report.golden.json
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target exasim_mc_tool >/dev/null
+
+run_lattice() {
+  # $1 = campaign job count, $2 = output path.
+  ./build/tools/exasim_mc heat3d --ranks=64 --topology=torus:4x4x4 \
+    --app-params=nx=32,px=4,iters=200,interval=40 \
+    --mc-victims=0,21,42 --mc-detectors='paper-instant;timeout;gossip' \
+    --mc-policies=pfs --mc-grid=9:6 \
+    --jobs="$1" --mc-report="$2" >/dev/null 2>&1
+}
+
+echo "== mc check: pinned lattice, --jobs=4 vs --jobs=1 byte-identity =="
+run_lattice 4 /tmp/mc_report_j4.json
+run_lattice 1 /tmp/mc_report_j1.json
+if ! cmp -s /tmp/mc_report_j4.json /tmp/mc_report_j1.json; then
+  echo "mc_check.sh: mc-report.json differs between --jobs=1 and --jobs=4:" >&2
+  diff /tmp/mc_report_j1.json /tmp/mc_report_j4.json >&2 || true
+  exit 1
+fi
+echo "  report byte-identical across job counts"
+
+if [ ! -f "$GOLDEN" ]; then
+  echo "mc_check.sh: missing golden $GOLDEN" >&2
+  echo "  (generate with: cp /tmp/mc_report_j4.json $GOLDEN)" >&2
+  exit 2
+fi
+
+echo "== mc check: exploration contract and golden comparison =="
+python3 - <<'EOF'
+import json
+
+got = json.load(open("/tmp/mc_report_j4.json"))
+ref = json.load(open("scripts/mc_report.golden.json"))
+
+# Exploration contract.
+print(f"  lattice: {got['raw_scenarios']} raw, {got['explored']} explored, "
+      f"{got['pruned']} pruned, {got['unknown']} unknown")
+if got["raw_scenarios"] < 500:
+    raise SystemExit("lattice shrank below 500 raw scenarios")
+if got["pruned"] * 2 < got["raw_scenarios"]:
+    raise SystemExit("signature-equivalence pruning fell below 50% of the lattice")
+if got["eval_errors"] != 0:
+    raise SystemExit(f"{got['eval_errors']} scenario evaluations errored")
+
+got_lat = got["worst_detection_latency"]["latency_ns"]
+ref_lat = ref["worst_detection_latency"]["latency_ns"]
+got_missed = (got["missed"]["scenarios"], got["missed"]["max_missed"])
+ref_missed = (ref["missed"]["scenarios"], ref["missed"]["max_missed"])
+print(f"  worst detection latency: {got_lat/1e6:.3f} ms (golden {ref_lat/1e6:.3f} ms)")
+print(f"  missed notifications: {got_missed[0]} scenarios, worst {got_missed[1]} ranks "
+      f"(golden {ref_missed[0]}/{ref_missed[1]})")
+
+if got == ref:
+    print("  mc-report.json matches the golden byte-for-byte (modulo json parse)")
+    raise SystemExit(0)
+
+# The reports differ: classify the drift before failing.
+regressions = []
+if got_lat > ref_lat:
+    regressions.append(
+        f"worst-case detection latency REGRESSED: {ref_lat} ns -> {got_lat} ns")
+if got_missed[0] > ref_missed[0]:
+    regressions.append(
+        f"missed-notification scenarios REGRESSED: {ref_missed[0]} -> {got_missed[0]}")
+if got_missed[1] > ref_missed[1]:
+    regressions.append(
+        f"worst missed-notification rank count REGRESSED: {ref_missed[1]} -> {got_missed[1]}")
+for r in regressions:
+    print(f"  {r}")
+if regressions:
+    raise SystemExit("mc_check.sh: resilience regression against scripts/mc_report.golden.json")
+raise SystemExit(
+    "mc_check.sh: mc-report.json drifted from the golden (no latency/missed "
+    "regression, but the failure behavior changed — e.g. class structure, "
+    "boundaries, or recovery cost). Inspect the diff, then refresh with:\n"
+    "  cp /tmp/mc_report_j4.json scripts/mc_report.golden.json")
+EOF
+
+# Byte-level check on top of the semantic one: the golden is committed in
+# exactly the emitter's layout, so formatting drift also surfaces.
+if ! cmp -s /tmp/mc_report_j4.json "$GOLDEN"; then
+  echo "mc_check.sh: report bytes differ from $GOLDEN (emitter layout drift):" >&2
+  diff "$GOLDEN" /tmp/mc_report_j4.json >&2 || true
+  exit 1
+fi
+
+echo "mc check OK"

@@ -10,9 +10,12 @@
 # under the race detector. A fourth, scoped repeat runs test_storage with
 # EXASIM_CKPT_MODE=staged on 4 workers — the tiered writer's occupancy
 # windows and drain bookkeeping under the race detector. The ASan leg runs
-# pooled and EXASIM_NO_POOL=1.
+# pooled and EXASIM_NO_POOL=1. The mc leg runs the model-checker suite
+# (test_mc — a tiny scenario lattice end to end) under TSan, as-is and with
+# EXASIM_JOBS=4 so the campaign executor fans scenario evaluations across
+# worker threads under the race detector.
 #
-# Usage: scripts/tier1.sh [release|tsan|asan|all] [jobs]
+# Usage: scripts/tier1.sh [release|tsan|asan|mc|all] [jobs]
 #   scripts/tier1.sh              # all legs, jobs = nproc
 #   scripts/tier1.sh tsan         # one leg (what each CI job runs)
 #   scripts/tier1.sh all 8        # all legs with 8 build jobs
@@ -77,12 +80,21 @@ run_asan() {
   (cd build-asan && EXASIM_NO_POOL=1 ctest --output-on-failure -R 'test_util|test_fiber|test_pdes|test_vmpi_p2p|test_resilience')
 }
 
+run_mc() {
+  echo "== tier 1: ThreadSanitizer, model checker (tiny lattice, serial + EXASIM_JOBS=4) =="
+  cmake -B build-tsan -S . -DEXASIM_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_mc
+  (cd build-tsan && ctest --output-on-failure -R 'test_mc')
+  (cd build-tsan && EXASIM_JOBS=4 ctest --output-on-failure -R 'test_mc')
+}
+
 case "$LEG" in
   release) run_release ;;
   tsan)    run_tsan ;;
   asan)    run_asan ;;
-  all)     run_release; run_tsan; run_asan ;;
-  *) echo "tier1.sh: unknown leg '$LEG' (want release|tsan|asan|all)" >&2; exit 2 ;;
+  mc)      run_mc ;;
+  all)     run_release; run_tsan; run_asan; run_mc ;;
+  *) echo "tier1.sh: unknown leg '$LEG' (want release|tsan|asan|mc|all)" >&2; exit 2 ;;
 esac
 
 echo "tier 1 OK ($LEG)"

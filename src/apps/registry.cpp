@@ -1,0 +1,55 @@
+#include "apps/registry.hpp"
+
+#include <stdexcept>
+
+#include "apps/cgproxy.hpp"
+#include "apps/heat3d.hpp"
+#include "apps/ring.hpp"
+
+namespace exasim::apps {
+
+const std::vector<std::string>& list_apps() {
+  static const std::vector<std::string> names = {"heat3d", "cgproxy", "ring"};
+  return names;
+}
+
+vmpi::AppMain make_app(const std::string& name, const ParamMap& params, int ranks) {
+  if (name == "heat3d") {
+    HeatParams p;
+    p.nx = static_cast<int>(params.get_int("nx").value_or(64));
+    p.ny = static_cast<int>(params.get_int("ny").value_or(p.nx));
+    p.nz = static_cast<int>(params.get_int("nz").value_or(p.nx));
+    p.px = static_cast<int>(params.get_int("px").value_or(2));
+    p.py = static_cast<int>(params.get_int("py").value_or(p.px));
+    p.pz = static_cast<int>(params.get_int("pz").value_or(p.px));
+    p.total_iterations = static_cast<int>(params.get_int("iters").value_or(100));
+    p.halo_interval = static_cast<int>(params.get_int("interval").value_or(25));
+    p.checkpoint_interval = p.halo_interval;
+    p.real_compute = ranks <= 4096;  // Skeleton mode at scale.
+    return make_heat3d(p);
+  }
+  if (name == "cgproxy") {
+    CgProxyParams p;
+    p.total_iterations = static_cast<int>(params.get_int("iters").value_or(100));
+    p.checkpoint_interval = static_cast<int>(params.get_int("interval").value_or(20));
+    p.local_elements = static_cast<std::size_t>(params.get_int("elements").value_or(1024));
+    return make_cgproxy(p);
+  }
+  if (name == "ring") {
+    RingParams p;
+    p.laps = static_cast<int>(params.get_int("laps").value_or(3));
+    p.payload_bytes = static_cast<std::size_t>(params.get_int("bytes").value_or(8));
+    return make_ring(p);
+  }
+  throw std::invalid_argument("unknown app: " + name);
+}
+
+std::string app_params_help() {
+  return
+      "  --app-params=k=v,...   application parameters:\n"
+      "      heat3d: nx,ny,nz,px,py,pz,iters,interval (halo+ckpt)\n"
+      "      cgproxy: iters,interval,elements\n"
+      "      ring: laps,bytes\n";
+}
+
+}  // namespace exasim::apps

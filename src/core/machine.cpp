@@ -108,6 +108,7 @@ SimResult Machine::run() {
     proc->context().set_error_handler(proc->context().world(), config_.default_error_handler);
     if (energy_) proc->attach_energy(energy_.get());
     if (trace_) proc->attach_trace(trace_.get());
+    proc->attach_notice_log(&notice_log_);
     engine_.add_process(r, proc.get());
     processes_.push_back(std::move(proc));
   }
@@ -200,6 +201,13 @@ SimResult Machine::run() {
   result.failure_notices = det_stats.notices;
   result.max_detection_latency = det_stats.max_latency;
   result.mean_detection_latency_sec = det_stats.mean_latency_sec();
+  result.notice_arrivals = notice_log_.snapshot();
+  result.rank_end_times.reserve(processes_.size());
+  result.rank_outcomes.reserve(processes_.size());
+  for (const auto& proc : processes_) {
+    result.rank_end_times.push_back(proc->end_time());
+    result.rank_outcomes.push_back(proc->outcome());
+  }
   result.events_processed = engine_.events_processed();
   result.causality_violations = engine_.causality_violations();
   result.perf = perf_delta(perf_begin, perf_snapshot());

@@ -20,6 +20,7 @@
 #include "procmodel/processor.hpp"
 #include "resilience/bus.hpp"
 #include "resilience/detector.hpp"
+#include "resilience/notice_log.hpp"
 #include "util/parse.hpp"
 #include "util/time.hpp"
 #include "vmpi/process.hpp"
@@ -169,6 +170,23 @@ struct SimResult {
 
   std::vector<LpId> deadlocked_ranks;  ///< Non-empty only for kDeadlock.
 
+  /// Per-rank failure-notice arrival log (DESIGN.md §15): one record per
+  /// failure notice the engine actually delivered, sorted by (t_fail,
+  /// failed_rank, observer) so the log is byte-identical across
+  /// `--sim-workers` settings. Not part of sim_result_json() — the model
+  /// checker consumes it directly for missed-notification detection.
+  std::vector<resilience::NoticeArrival> notice_arrivals;
+  /// Final virtual time of every rank (index = world rank; 0 for a rank that
+  /// never terminated — cross-check against deadlocked_ranks). Gives the
+  /// model checker the "was this rank still alive when the failure happened"
+  /// predicate. Not part of sim_result_json().
+  std::vector<SimTime> rank_end_times;
+  /// Final per-rank outcome (index = world rank). Together with
+  /// `notice_arrivals` this is the model checker's missed-notification
+  /// predicate: an *aborted* survivor with no arrival record was cut off
+  /// before detection reached it. Not part of sim_result_json().
+  std::vector<vmpi::ProcOutcome> rank_outcomes;
+
   std::uint64_t events_processed = 0;
   /// Events scheduled before the scheduler's local clock (Engine causality
   /// guard in counting mode). Nonzero values come from simulator-internal
@@ -263,6 +281,7 @@ class Machine final : public vmpi::SystemHooks {
   std::unique_ptr<vmpi::Fabric> fabric_;
   std::unique_ptr<resilience::DetectorModel> detector_model_;
   std::unique_ptr<resilience::NotificationBus> bus_;
+  resilience::NoticeLog notice_log_;
   std::unique_ptr<ProcessorModel> proc_model_;
   std::unique_ptr<StorageHierarchy> storage_;
   std::unique_ptr<EnergyLedger> energy_;

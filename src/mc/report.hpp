@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mc/lattice.hpp"
+#include "mc/signature.hpp"
+
+namespace exasim::mc {
+
+/// Result of one mc::explore call: lattice geometry echo, equivalence
+/// classes, the resilience analyses, and the exploration accounting.
+///
+/// Byte-identity contract: to_json() emits only integers and config-echo
+/// strings — no floating point, no wall-clock, no host identity — and every
+/// container is emitted in a deterministically sorted order, so the same
+/// lattice produces the same bytes on any host at any `--jobs` setting
+/// (the property tests/test_mc and the CI mc-check gate pin).
+struct McReport {
+  // --- configuration echo -------------------------------------------------
+  std::string app;                ///< Application name ("heat3d", ...).
+  std::string app_params;         ///< Canonicalized --app-params text.
+  int ranks = 0;
+  LatticeSpec spec;               ///< Resolved spec (window/quantum filled in).
+  std::vector<LatticeRow> rows;
+  std::vector<std::string> detector_names;  ///< Canonical spec strings.
+  std::vector<std::string> policy_names;
+  std::int64_t finest_points = 0;  ///< Per-row finest-grid cardinality F.
+  SimTime finest_step = 0;
+
+  // --- exploration accounting ---------------------------------------------
+  std::uint64_t raw_scenarios = 0;  ///< rows * F: the lattice answered for.
+  std::uint64_t explored = 0;       ///< Scenario evaluations actually run.
+  std::uint64_t pruned = 0;         ///< Finest points inferred by equivalence.
+  std::uint64_t unknown = 0;        ///< Finest points inside frontier gaps.
+  std::uint64_t baseline_runs = 0;  ///< Failure-free probes (not scenarios).
+  std::uint64_t eval_errors = 0;    ///< Evaluations that threw.
+  bool budget_exhausted = false;
+  std::vector<SimTime> baseline_e2;  ///< Failure-free E2 per policy (ns).
+
+  // --- equivalence classes -------------------------------------------------
+  struct Class {
+    std::uint64_t signature = 0;
+    std::uint64_t covered = 0;  ///< Finest points assigned to this class.
+    std::size_t row = 0;        ///< Representative: first member in scan order.
+    SimTime time = 0;
+    ScenarioOutcome rep;
+  };
+  std::vector<Class> classes;  ///< Sorted by (covered desc, signature).
+
+  // --- analyses -------------------------------------------------------------
+  struct WorstLatency {
+    bool any = false;
+    std::size_t row = 0;
+    SimTime time = 0;        ///< Injection time of the worst scenario.
+    SimTime latency = 0;     ///< Worst per-observer detection latency (ns).
+  };
+  WorstLatency worst_latency;
+
+  /// Maximal injection-time interval of one row over which every evaluated
+  /// scenario left at least one live (aborted) rank without the failure
+  /// notice.
+  struct MissedWindow {
+    std::size_t row = 0;
+    SimTime t_lo = 0, t_hi = 0;
+    int max_missed = 0;  ///< Worst per-scenario missed-rank count inside.
+  };
+  std::uint64_t missed_scenarios = 0;  ///< Evaluated scenarios with misses.
+  int max_missed = 0;
+  std::vector<MissedWindow> missed_windows;
+
+  /// Injecting *later* cost *less* (E2 dropped by more than one quantum
+  /// between adjacent evaluated points of a row) — the non-monotonic
+  /// recovery-cost anomalies the checker is after: they mark checkpoint
+  /// cliffs where delaying a failure crosses a commit boundary.
+  struct NonMonotonic {
+    std::size_t row = 0;
+    SimTime t_lo = 0, t_hi = 0;
+    SimTime e2_drop = 0;  ///< baseline-detrended E2 decrease (ns).
+  };
+  std::vector<NonMonotonic> non_monotonic;
+
+  /// Signature changes localized to one finest-grid step (fully bisected),
+  /// and those left wider because the budget ran out (the frontier a rerun
+  /// with a larger --mc-budget would refine next).
+  struct Boundary {
+    std::size_t row = 0;
+    SimTime t_lo = 0, t_hi = 0;
+  };
+  std::vector<Boundary> boundaries;
+  std::vector<Boundary> frontier;
+
+  /// Machine-readable form (see byte-identity contract above).
+  std::string to_json() const;
+  /// Human summary to `out` (counts, worst cases, anomalies).
+  void print_summary(std::FILE* out) const;
+};
+
+}  // namespace exasim::mc

@@ -1,0 +1,64 @@
+#include "mc/signature.hpp"
+
+#include <algorithm>
+
+namespace exasim::mc {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer as the combining step.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+std::int64_t quantize(std::int64_t value, std::int64_t quantum) {
+  if (quantum <= 0) return value;
+  // Floor division so negative excursions (e.g. E2 below baseline) still
+  // bucket consistently.
+  std::int64_t q = value / quantum;
+  if (value % quantum != 0 && value < 0) --q;
+  return q;
+}
+
+}  // namespace
+
+std::uint64_t signature_of(const ScenarioOutcome& o, SimTime quantum,
+                           SimTime baseline_e2) {
+  std::uint64_t h = 0x5eed0f5eed0f5eedull;
+  if (!o.error.empty()) {
+    h = mix(h, 0xe7707e77ull);
+    for (const char c : o.error) h = mix(h, static_cast<std::uint8_t>(c));
+    return h;
+  }
+  h = mix(h, o.completed ? 1 : 0);
+  h = mix(h, static_cast<std::uint64_t>(o.launches));
+  h = mix(h, static_cast<std::uint64_t>(o.failures));
+  h = mix(h, o.actual_fail_time == kSimTimeNever ? 0 : 1);
+  h = mix(h, o.aborted ? 1 : 0);
+  h = mix(h, static_cast<std::uint64_t>(o.abort_origin + 1));
+  h = mix(h, o.notices);
+  h = mix(h, static_cast<std::uint64_t>(o.missed_notifications));
+  const auto sq = static_cast<std::int64_t>(quantum);
+  h = mix(h, static_cast<std::uint64_t>(
+                 quantize(static_cast<std::int64_t>(o.max_detection_latency), sq)));
+  h = mix(h, static_cast<std::uint64_t>(
+                 quantize(static_cast<std::int64_t>(o.mean_detection_latency), sq)));
+  const std::int64_t abort_lag =
+      (o.aborted && o.actual_fail_time != kSimTimeNever)
+          ? static_cast<std::int64_t>(o.abort_time) -
+                static_cast<std::int64_t>(o.actual_fail_time)
+          : 0;
+  h = mix(h, static_cast<std::uint64_t>(quantize(abort_lag, sq)));
+  h = mix(h, static_cast<std::uint64_t>(
+                 quantize(static_cast<std::int64_t>(o.e2) -
+                              static_cast<std::int64_t>(baseline_e2),
+                          sq)));
+  return h;
+}
+
+}  // namespace exasim::mc

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace exasim::mc {
+
+/// The resilience-relevant outcome of one scenario evaluation (one
+/// ResilientRunner run with a single injected failure). This is the record
+/// the signature hashes, the report aggregates, and the analyses (worst
+/// latency, missed-notification windows, non-monotonic recovery cost) scan.
+struct ScenarioOutcome {
+  bool completed = false;
+  int launches = 0;
+  int failures = 0;           ///< Activated failures across all launches (F).
+  SimTime e2 = 0;             ///< Total simulated time including restarts.
+  /// When the injected failure actually fired in launch 0 (kSimTimeNever if
+  /// the app completed first and the injection was a no-op).
+  SimTime actual_fail_time = kSimTimeNever;
+  bool aborted = false;
+  SimTime abort_time = 0;     ///< Launch-0 abort time (0 when !aborted).
+  int abort_origin = -1;      ///< Rank that initiated the abort (-1 = none).
+  std::uint64_t notices = 0;  ///< Failure notices delivered in launch 0.
+  SimTime max_detection_latency = 0;   ///< Launch-0 worst observer latency.
+  SimTime mean_detection_latency = 0;  ///< Launch-0 mean observer latency (ns).
+  /// Live ranks the failure notice never reached: ranks (other than the
+  /// victim) that ended launch 0 aborted or deadlocked *without* a
+  /// NoticeArrival record for the injected failure — they were cut off by
+  /// the abort before detection reached them (DESIGN.md §15).
+  int missed_notifications = 0;
+  /// Non-empty when the evaluation itself threw; such scenarios class by
+  /// error text and are excluded from the latency/cost analyses.
+  std::string error;
+};
+
+/// Equivalence-class signature of an outcome. Discrete fields (completion,
+/// launch/failure counts, abort origin, notice and missed counts) hash
+/// exactly; continuous times hash *detrended and quantized*:
+///
+///   - detection latencies and the abort lag (abort_time - actual_fail_time)
+///     in units of `quantum`,
+///   - E2 as its excess over the failure-free baseline of the same recovery
+///     policy (`baseline_e2`), in units of `quantum`.
+///
+/// Raw injection/abort/finish times deliberately do not participate: they
+/// advance with the injection time itself, so hashing them would put every
+/// grid point in its own class and defeat pruning. Two scenarios with equal
+/// signatures are "the same failure story" — same detection path, same
+/// abort/recovery shape, same cost to within quantum.
+std::uint64_t signature_of(const ScenarioOutcome& o, SimTime quantum,
+                           SimTime baseline_e2);
+
+}  // namespace exasim::mc

@@ -1,0 +1,35 @@
+#include "resilience/notice_log.hpp"
+
+#include <algorithm>
+
+namespace exasim::resilience {
+
+void NoticeLog::record(int observer, int failed_rank, SimTime t_fail, SimTime arrival) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  arrivals_.push_back(NoticeArrival{observer, failed_rank, t_fail, arrival});
+}
+
+std::vector<NoticeArrival> NoticeLog::snapshot() const {
+  std::vector<NoticeArrival> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = arrivals_;
+  }
+  // Append order depends on which engine worker delivered which notice
+  // first; (t_fail, failed_rank, observer) is a total order over the record
+  // set (one notice per observer per failure), so the snapshot is identical
+  // for every worker count.
+  std::sort(out.begin(), out.end(), [](const NoticeArrival& a, const NoticeArrival& b) {
+    if (a.t_fail != b.t_fail) return a.t_fail < b.t_fail;
+    if (a.failed_rank != b.failed_rank) return a.failed_rank < b.failed_rank;
+    return a.observer < b.observer;
+  });
+  return out;
+}
+
+std::size_t NoticeLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return arrivals_.size();
+}
+
+}  // namespace exasim::resilience

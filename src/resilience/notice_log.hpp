@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace exasim::resilience {
+
+/// One delivered failure notice: `observer` learned at `arrival` that
+/// `failed_rank` died at `t_fail`. Records exist only for notices the engine
+/// actually delivered — an observer that was already dead or finished when
+/// its notice would have arrived produces no record, which is exactly the
+/// gap the model checker's missed-notification analysis looks for.
+struct NoticeArrival {
+  std::int32_t observer = -1;
+  std::int32_t failed_rank = -1;
+  SimTime t_fail = 0;
+  SimTime arrival = 0;
+
+  friend bool operator==(const NoticeArrival&, const NoticeArrival&) = default;
+};
+
+/// Per-rank failure-notice arrival log (DESIGN.md §15). The simulated MPI
+/// layer records every delivered failure notice here; core::Machine snapshots
+/// the log into SimResult::notice_arrivals at the end of the run. Appends
+/// come from whichever engine worker owns the observer's LP group, so the
+/// log is mutex-guarded and the snapshot is sorted by (t_fail, failed_rank,
+/// observer) — the same record set, in the same order, for every
+/// `--sim-workers` setting.
+class NoticeLog {
+ public:
+  void record(int observer, int failed_rank, SimTime t_fail, SimTime arrival);
+
+  /// Sorted copy of the records (deterministic across worker counts).
+  std::vector<NoticeArrival> snapshot() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<NoticeArrival> arrivals_;
+};
+
+}  // namespace exasim::resilience

@@ -372,7 +372,9 @@ void SimProcess::handle_failure_activation(SimTime t) {
 }
 
 void SimProcess::handle_failure_notice(FailureNoticePayload& p, SimTime t) {
-  (void)t;
+  if (notice_log_ != nullptr) {
+    notice_log_->record(world_rank_, p.failed_rank, p.time_of_failure, t);
+  }
   fault_.record_peer_failure(p.failed_rank, p.time_of_failure, p.detect_time);
   fail_requests_on_notice(p.failed_rank, p.time_of_failure, p.detect_time);
   // A probe on the failed rank can now return kProcFailed. Notices never

@@ -13,6 +13,7 @@
 #include "pdes/engine.hpp"
 #include "powermodel/power.hpp"
 #include "resilience/fault_state.hpp"
+#include "resilience/notice_log.hpp"
 #include "procmodel/processor.hpp"
 #include "util/time.hpp"
 #include "vmpi/comm.hpp"
@@ -127,6 +128,12 @@ class SimProcess final : public LogicalProcess {
   /// Optional MPI-operation tracing (attached by the machine).
   void attach_trace(TraceSink* sink) { trace_ = sink; }
   TraceSink* trace() { return trace_; }
+
+  /// Optional failure-notice arrival log (attached by the machine): every
+  /// failure notice actually delivered to this process is recorded, giving
+  /// the model checker the per-rank arrival times it needs for
+  /// missed-notification detection (DESIGN.md §15).
+  void attach_notice_log(resilience::NoticeLog* log) { notice_log_ = log; }
 
   /// Always-on performance accounting: virtual time spent computing vs in
   /// communication (blocked or transferring) — the performance-investigation
@@ -300,6 +307,7 @@ class SimProcess final : public LogicalProcess {
   ProcessConfig config_;
   EnergyLedger* energy_ = nullptr;
   TraceSink* trace_ = nullptr;
+  resilience::NoticeLog* notice_log_ = nullptr;
   SimTime busy_time_ = 0;
   SimTime comm_time_ = 0;
 

@@ -20,12 +20,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "apps/cgproxy.hpp"
-#include "apps/heat3d.hpp"
-#include "apps/ring.hpp"
+#include "apps/registry.hpp"
 #include "core/cli.hpp"
 #include "exp/executor.hpp"
 #include "iomodel/storage.hpp"
@@ -165,16 +164,12 @@ void print_perf(const std::vector<const core::RunnerResult*>& results) {
 }
 
 int die_usage(const std::string& msg) {
-  std::fprintf(stderr, "exasim_run: %s\n\nusage: exasim_run <heat3d|cgproxy|ring> [options]\n%s"
-               "  --app-params=k=v,...   application parameters:\n"
-               "      heat3d: nx,ny,nz,px,py,pz,iters,interval (halo+ckpt)\n"
-               "      cgproxy: iters,interval,elements\n"
-               "      ring: laps,bytes\n"
+  std::fprintf(stderr, "exasim_run: %s\n\nusage: exasim_run <heat3d|cgproxy|ring> [options]\n%s%s"
                "  --list-failure-detectors   print the detector families and exit\n"
                "  --list-topologies      print the topology zoo (spec formats) and exit\n"
                "  --list-storage         print the storage presets and exit\n"
                "  --result-json=PATH     write the final launch's result as JSON\n",
-               msg.c_str(), core::cli_usage().c_str());
+               msg.c_str(), core::cli_usage().c_str(), apps::app_params_help().c_str());
   return 2;
 }
 
@@ -222,32 +217,10 @@ int main(int argc, char** argv) {
   if (!params) return die_usage("malformed --app-params");
 
   vmpi::AppMain app;
-  if (app_name == "heat3d") {
-    apps::HeatParams p;
-    p.nx = static_cast<int>(params->get_int("nx").value_or(64));
-    p.ny = static_cast<int>(params->get_int("ny").value_or(p.nx));
-    p.nz = static_cast<int>(params->get_int("nz").value_or(p.nx));
-    p.px = static_cast<int>(params->get_int("px").value_or(2));
-    p.py = static_cast<int>(params->get_int("py").value_or(p.px));
-    p.pz = static_cast<int>(params->get_int("pz").value_or(p.px));
-    p.total_iterations = static_cast<int>(params->get_int("iters").value_or(100));
-    p.halo_interval = static_cast<int>(params->get_int("interval").value_or(25));
-    p.checkpoint_interval = p.halo_interval;
-    p.real_compute = options->machine.ranks <= 4096;  // Skeleton mode at scale.
-    app = apps::make_heat3d(p);
-  } else if (app_name == "cgproxy") {
-    apps::CgProxyParams p;
-    p.total_iterations = static_cast<int>(params->get_int("iters").value_or(100));
-    p.checkpoint_interval = static_cast<int>(params->get_int("interval").value_or(20));
-    p.local_elements = static_cast<std::size_t>(params->get_int("elements").value_or(1024));
-    app = apps::make_cgproxy(p);
-  } else if (app_name == "ring") {
-    apps::RingParams p;
-    p.laps = static_cast<int>(params->get_int("laps").value_or(3));
-    p.payload_bytes = static_cast<std::size_t>(params->get_int("bytes").value_or(8));
-    app = apps::make_ring(p);
-  } else {
-    return die_usage("unknown app: " + app_name);
+  try {
+    app = apps::make_app(app_name, *params, options->machine.ranks);
+  } catch (const std::invalid_argument& e) {
+    return die_usage(e.what());
   }
 
   if (options->replicates > 1) {
